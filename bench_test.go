@@ -1,0 +1,238 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+	"repro/internal/radio"
+	"repro/internal/verify"
+)
+
+// benchPoints caches deterministic workloads per size.
+func benchPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(int64(n) + 4242))
+	return pointset.Uniform(rng, n, math.Sqrt(float64(n)))
+}
+
+// BenchmarkTable1 regenerates every Table-1 row (experiment E-T1): one
+// sub-benchmark per row, measuring the full orientation pipeline (EMST +
+// algorithm) on n=1000 sensors. Run with -bench 'BenchmarkTable1' to print
+// the reproduction of the paper's headline table; the harness verifies
+// strong connectivity on every iteration.
+func BenchmarkTable1(b *testing.B) {
+	pts := benchPoints(1000)
+	for _, row := range core.Table1Rows() {
+		b.Run(row.Name, func(b *testing.B) {
+			var lastRatio float64
+			for i := 0; i < b.N; i++ {
+				asg, res, err := core.Orient(pts, row.K, row.Phi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					b.Fatalf("violations: %s", res.Violations[0])
+				}
+				if i == 0 && !verify.CheckStrong(asg) {
+					b.Fatal("not strongly connected")
+				}
+				lastRatio = res.RadiusRatio()
+			}
+			b.ReportMetric(lastRatio, "radius/lmax")
+			b.ReportMetric(row.Bound, "paper-bound")
+		})
+	}
+}
+
+// BenchmarkOrientScaling measures the main theorem's cost across n.
+func BenchmarkOrientScaling(b *testing.B) {
+	for _, n := range []int{100, 400, 1600, 6400} {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("t3p1/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, res := core.OrientTwoAntennae(pts, math.Pi); len(res.Violations) > 0 {
+					b.Fatal("violations")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMST compares the EMST constructions (substrate ablation).
+func BenchmarkMST(b *testing.B) {
+	for _, n := range []int{200, 1000, 4000} {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("prim/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mst.Prim(pts)
+			}
+		})
+		b.Run(fmt.Sprintf("kruskal/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mst.Kruskal(pts)
+			}
+		})
+	}
+}
+
+// BenchmarkSCC measures strong-connectivity checking on induced digraphs.
+func BenchmarkSCC(b *testing.B) {
+	pts := benchPoints(2000)
+	asg, _, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := asg.InducedDigraph()
+	b.Run("tarjan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.TarjanSCC(g)
+		}
+	})
+	b.Run("kosaraju", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.KosarajuSCC(g)
+		}
+	})
+}
+
+// BenchmarkInducedDigraph measures transmission-graph construction.
+func BenchmarkInducedDigraph(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		pts := benchPoints(n)
+		asg, _, err := core.Orient(pts, 2, math.Pi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				asg.InducedDigraph()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCover compares the optimal gap cover against the
+// paper's literal Lemma-1 construction (experiment E-A1).
+func BenchmarkAblationCover(b *testing.B) {
+	pts := benchPoints(1000)
+	b.Run("optimal", func(b *testing.B) {
+		var spread float64
+		for i := 0; i < b.N; i++ {
+			_, res := core.OrientFullCover(pts, 2, 2*math.Pi, false)
+			spread = res.SpreadUsed
+		}
+		b.ReportMetric(spread, "max-spread")
+	})
+	b.Run("literal", func(b *testing.B) {
+		var spread float64
+		for i := 0; i < b.N; i++ {
+			_, res := core.OrientFullCover(pts, 2, 2*math.Pi, true)
+			spread = res.SpreadUsed
+		}
+		b.ReportMetric(spread, "max-spread")
+	})
+}
+
+// BenchmarkBTSPTours compares tour constructions (experiment E-A2).
+func BenchmarkBTSPTours(b *testing.B) {
+	pts := benchPoints(400)
+	tree := mst.Euclidean(pts)
+	lmax := tree.LMax()
+	b.Run("shortcut2opt", func(b *testing.B) {
+		var bn float64
+		for i := 0; i < b.N; i++ {
+			tour := core.TwoOptBottleneck(pts, core.ShortcutTour(tree), 4*len(pts))
+			bn = core.TourBottleneck(pts, tour) / lmax
+		}
+		b.ReportMetric(bn, "bottleneck/lmax")
+	})
+	b.Run("cube", func(b *testing.B) {
+		var bn float64
+		for i := 0; i < b.N; i++ {
+			bn = core.TourBottleneck(pts, core.CubeTour(tree)) / lmax
+		}
+		b.ReportMetric(bn, "bottleneck/lmax")
+	})
+}
+
+// BenchmarkPhiSweep measures the E-S1 trade-off harness end to end at a
+// small scale (the series itself is produced by cmd/sweep).
+func BenchmarkPhiSweep(b *testing.B) {
+	cfg := experiments.Config{Seeds: 1, Sizes: []int{150}, Workloads: []string{"uniform"}, BaseSeed: 1}
+	for i := 0; i < b.N; i++ {
+		experiments.PhiSweep(cfg, 6)
+	}
+}
+
+// BenchmarkBroadcast measures flooding over an oriented network (E-X3).
+func BenchmarkBroadcast(b *testing.B) {
+	pts := benchPoints(2000)
+	asg, _, err := core.Orient(pts, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := asg.InducedDigraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := radio.Broadcast(g, i%g.N)
+		if !r.Complete {
+			b.Fatal("incomplete flood")
+		}
+	}
+}
+
+// BenchmarkInterference measures the overhearing audit (E-X3).
+func BenchmarkInterference(b *testing.B) {
+	pts := benchPoints(1000)
+	asg, _, err := core.Orient(pts, 1, core.Phi1Full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.Interference(asg)
+	}
+}
+
+// BenchmarkVerify measures the full verification battery.
+func BenchmarkVerify(b *testing.B) {
+	pts := benchPoints(1000)
+	asg, res, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := verify.Check(asg, verify.Budgets{K: 2, Phi: math.Pi, RadiusBound: res.Guarantee})
+		if !rep.OK() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkShrinkRadii measures the energy post-pass.
+func BenchmarkShrinkRadii(b *testing.B) {
+	pts := benchPoints(1000)
+	base, _, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cp := antenna.New(pts)
+		for u := range base.Sectors {
+			cp.Sectors[u] = append([]geom.Sector(nil), base.Sectors[u]...)
+		}
+		b.StartTimer()
+		cp.ShrinkRadii()
+	}
+}

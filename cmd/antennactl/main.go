@@ -1,0 +1,187 @@
+// Command antennactl is the operator tool for the antenna-orientation
+// library: generate sensor deployments, orient antennae per the paper's
+// algorithms, verify strong connectivity, and render the result as SVG.
+//
+// Usage:
+//
+//	antennactl gen    -workload uniform -n 200 -seed 1 -o sensors.csv
+//	antennactl orient -in sensors.csv -k 2 -phi 3.1416 [-svg net.svg] [-shrink]
+//	antennactl verify -in sensors.csv -k 2 -phi 3.1416
+//	antennactl render -in sensors.csv -k 3 -phi 0 -svg out.svg
+//
+// Spreads are radians; "pi" multiples like -phi 1.0pi are accepted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+	"repro/internal/render"
+	"repro/internal/verify"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "orient":
+		err = cmdOrient(os.Args[2:], false)
+	case "verify":
+		err = cmdOrient(os.Args[2:], true)
+	case "render":
+		err = cmdOrient(os.Args[2:], false)
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antennactl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate> [flags]
+  gen      -workload uniform|clusters|grid|annulus|stars|line -n N -seed S [-o file.csv]
+  orient   -in file.csv -k K -phi PHI [-svg out.svg] [-shrink]
+  verify   -in file.csv -k K -phi PHI
+  render   -in file.csv -k K -phi PHI -svg out.svg
+  simulate -in file.csv -k K -phi PHI -sim broadcast|route|fail [-src N] [-fails N]`)
+}
+
+// parsePhi accepts plain radians or "Xpi" multiples.
+func parsePhi(s string) (float64, error) {
+	if strings.HasSuffix(s, "pi") {
+		base := strings.TrimSuffix(s, "pi")
+		if base == "" {
+			return math.Pi, nil
+		}
+		v, err := strconv.ParseFloat(base, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad spread %q: %w", s, err)
+		}
+		return v * math.Pi, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad spread %q: %w", s, err)
+	}
+	return v, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workload := fs.String("workload", "uniform", "uniform|clusters|grid|annulus|stars|line")
+	n := fs.Int("n", 200, "number of sensors")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output CSV (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	pts := experiments.MakeWorkload(*workload, rng, *n)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return pointset.WriteCSV(w, pts)
+}
+
+func loadPoints(path string) ([]geom.Point, error) {
+	if path == "" {
+		return pointset.ReadCSV(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pointset.ReadCSV(f)
+}
+
+func cmdOrient(args []string, verifyOnly bool) error {
+	fs := flag.NewFlagSet("orient", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV of sensor coordinates (default stdin)")
+	k := fs.Int("k", 2, "antennae per sensor (1-5)")
+	phiStr := fs.String("phi", "1pi", "total spread budget (radians, or e.g. 0.8pi)")
+	svg := fs.String("svg", "", "write an SVG rendering to this path")
+	shrink := fs.Bool("shrink", false, "shrink antenna radii to the farthest covered sensor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	phi, err := parsePhi(*phiStr)
+	if err != nil {
+		return err
+	}
+	pts, err := loadPoints(*in)
+	if err != nil {
+		return err
+	}
+	asg, res, err := core.Orient(pts, *k, phi)
+	if err != nil {
+		return err
+	}
+	if *shrink {
+		asg.ShrinkRadii()
+	}
+	rep := verify.Check(asg, verify.Budgets{K: *k, Phi: phi, RadiusBound: res.Guarantee})
+	fmt.Printf("algorithm   %s\n", res.Algorithm)
+	fmt.Printf("sensors     %d\n", len(pts))
+	fmt.Printf("l_max       %.6f\n", res.LMax)
+	fmt.Printf("bound       %.6f x l_max (%s)\n", res.Bound, sourceOf(*k, phi))
+	fmt.Printf("radius used %.6f (ratio %.6f)\n", res.RadiusUsed, res.RadiusRatio())
+	fmt.Printf("spread used %.6f of budget %.6f\n", res.SpreadUsed, phi)
+	fmt.Printf("verified    %v (%s)\n", rep.OK(), rep.String())
+	if len(res.Violations) > 0 {
+		fmt.Printf("violations  %d (first: %s)\n", len(res.Violations), res.Violations[0])
+	}
+	if verifyOnly && !rep.OK() {
+		return fmt.Errorf("verification failed")
+	}
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		style := render.DefaultStyle()
+		style.Title = fmt.Sprintf("k=%d phi=%.3f %s", *k, phi, res.Algorithm)
+		if err := render.Assignment(f, asg, style); err != nil {
+			return err
+		}
+		fmt.Printf("svg         %s\n", *svg)
+	}
+	// A short MST summary helps interpret ratios.
+	if len(pts) > 1 {
+		tree := mst.Euclidean(pts)
+		fmt.Printf("mst         maxdeg=%d total=%.4f\n", tree.MaxDegree(), tree.TotalLength())
+	}
+	return nil
+}
+
+func sourceOf(k int, phi float64) string {
+	_, src := core.Bound(k, phi)
+	return src
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParsePhi(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"3.1415", 3.1415, true},
+		{"pi", math.Pi, true},
+		{"1pi", math.Pi, true},
+		{"0.8pi", 0.8 * math.Pi, true},
+		{"1.6pi", 1.6 * math.Pi, true},
+		{"xpi", 0, false},
+		{"abc", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parsePhi(c.in)
+		if c.ok && (err != nil || math.Abs(got-c.want) > 1e-12) {
+			t.Errorf("parsePhi(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parsePhi(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestSourceOf(t *testing.T) {
+	if got := sourceOf(2, math.Pi); got != "Theorem 3.1" {
+		t.Errorf("sourceOf(2, π) = %q", got)
+	}
+	if got := sourceOf(5, 0); got != "folklore (k=5)" {
+		t.Errorf("sourceOf(5, 0) = %q", got)
+	}
+}

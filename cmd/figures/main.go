@@ -1,0 +1,78 @@
+// Command figures regenerates the paper's Figures 1–6 as SVG files
+// (experiments E-F1..E-F6), plus the proof-case coverage tables for
+// Theorems 3, 5, and 6.
+//
+// Usage:
+//
+//	figures [-fig N] [-seed S] [-dir out/] [-coverage]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 1-6 (0 = all)")
+	seed := flag.Int64("seed", 2009, "random seed for instance generation")
+	dir := flag.String("dir", ".", "output directory")
+	coverage := flag.Bool("coverage", false, "print proof-case coverage tables")
+	flag.Parse()
+
+	figs := []int{1, 2, 3, 4, 5, 6}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, fnum := range figs {
+		path := filepath.Join(*dir, fmt.Sprintf("figure%d.svg", fnum))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		desc, err := experiments.Figure(f, fnum, *seed)
+		cerr := f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("figure %d -> %s (%s)\n", fnum, path, desc)
+	}
+
+	if *coverage {
+		cfg := experiments.DefaultConfig()
+		fmt.Println()
+		must(experiments.WriteCaseCoverage(os.Stdout,
+			"E-F3 — Theorem 3.1 proof-case coverage (k=2, φ₂=π)",
+			experiments.CaseCoverage(cfg, 2, math.Pi)))
+		fmt.Println()
+		must(experiments.WriteCaseCoverage(os.Stdout,
+			"E-F4 — Theorem 3.2 proof-case coverage (k=2, φ₂=0.8π)",
+			experiments.CaseCoverage(cfg, 2, 0.8*math.Pi)))
+		fmt.Println()
+		must(experiments.WriteCaseCoverage(os.Stdout,
+			"E-F5 — Theorem 5 case coverage (k=3, φ=0)",
+			experiments.CaseCoverage(cfg, 3, 0)))
+		fmt.Println()
+		must(experiments.WriteCaseCoverage(os.Stdout,
+			"E-F6 — Theorem 6 case coverage (k=4, φ=0)",
+			experiments.CaseCoverage(cfg, 4, 0)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Command sweep runs the trade-off experiments: the φ₂ radius/spread
+// curve of Theorem 3 (E-S1), the k sweep of the φ=0 column (E-S2), the
+// bottleneck-tour ablation (E-A2), the exact-optimum gap (E-X1), and the
+// interference/broadcast comparison (E-X3).
+//
+// Usage:
+//
+//	sweep -mode phi2|k|btsp|exact|interference|energy|cconn|topo [-seeds N] [-steps N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/render"
+)
+
+func main() {
+	mode := flag.String("mode", "phi2", "phi2|k|btsp|exact|interference|energy|cconn|topo")
+	seeds := flag.Int("seeds", 0, "instances per point; 0 = default")
+	steps := flag.Int("steps", 12, "sweep steps (phi2 mode)")
+	n := flag.Int("n", 0, "instance size for exact/interference modes")
+	csvOut := flag.Bool("csv", false, "emit CSV for series output")
+	svgOut := flag.String("svg", "", "also render the series as an SVG chart (phi2/k modes)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	var err error
+	switch *mode {
+	case "phi2":
+		pts := experiments.PhiSweep(cfg, *steps)
+		if *csvOut {
+			err = writeSweepCSV(pts, "phi2")
+		} else {
+			err = experiments.WriteSweep(os.Stdout,
+				"E-S1 — k=2 radius vs spread sum (Theorem 3 curve, dropping to 1 at 6π/5)", "phi2", pts)
+		}
+		if err == nil && *svgOut != "" {
+			err = renderSweepSVG(*svgOut, "E-S1: k=2 radius vs spread sum", "phi2 (rad)", pts)
+		}
+	case "k":
+		pts := experiments.KSweep(cfg)
+		if *csvOut {
+			err = writeSweepCSV(pts, "k")
+		} else {
+			err = experiments.WriteSweep(os.Stdout,
+				"E-S2 — radius vs antenna count at spread 0 (Table 1 φ=0 column)", "k", pts)
+		}
+		if err == nil && *svgOut != "" {
+			err = renderSweepSVG(*svgOut, "E-S2: radius vs antenna count (spread 0)", "k", pts)
+		}
+	case "btsp":
+		err = experiments.WriteBTSP(os.Stdout, experiments.RunBTSP(cfg, nil))
+	case "exact":
+		err = experiments.WriteExactGap(os.Stdout, experiments.RunExactGap(cfg, *n))
+	case "interference":
+		err = experiments.WriteInterference(os.Stdout, experiments.RunInterference(cfg, *n))
+	case "energy":
+		err = experiments.WriteEnergy(os.Stdout, experiments.RunEnergy(cfg, *n))
+	case "cconn":
+		err = experiments.WriteCConnectivity(os.Stdout, experiments.RunCConnectivity(cfg, *n))
+	case "topo":
+		err = experiments.WriteTopoBaselines(os.Stdout, experiments.RunTopoBaselines(cfg, *n))
+	default:
+		fmt.Fprintln(os.Stderr, "sweep: unknown mode", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func renderSweepSVG(path, title, xlabel string, pts []experiments.SweepPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ch := render.NewChart(title, xlabel, "radius / l_max")
+	xs := make([]float64, len(pts))
+	bounds := make([]float64, len(pts))
+	maxes := make([]float64, len(pts))
+	means := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], bounds[i], maxes[i], means[i] = p.X, p.Bound, p.MaxRatio, p.MeanRatio
+	}
+	ch.Add("paper bound", "#1f77b4", xs, bounds)
+	ch.Add("measured max", "#d62728", xs, maxes)
+	ch.Add("measured mean", "#2ca02c", xs, means)
+	_, err = ch.WriteTo(f)
+	return err
+}
+
+func writeSweepCSV(pts []experiments.SweepPoint, xlabel string) error {
+	headers := []string{xlabel, "bound", "max_ratio", "mean_ratio", "successes", "instances"}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			strconv.FormatFloat(p.X, 'f', 6, 64),
+			strconv.FormatFloat(p.Bound, 'f', 6, 64),
+			strconv.FormatFloat(p.MaxRatio, 'f', 6, 64),
+			strconv.FormatFloat(p.MeanRatio, 'f', 6, 64),
+			strconv.Itoa(p.Successes),
+			strconv.Itoa(p.Instances),
+		})
+	}
+	return experiments.WriteCSVTable(os.Stdout, headers, rows)
+}

@@ -1,0 +1,99 @@
+// Command table1 regenerates the paper's Table 1 (experiment E-T1): every
+// row of "upper bounds on antenna range" run across synthetic
+// deployments, with the measured worst radius/l_max ratio next to the
+// paper's bound, plus the supporting experiments E-F1/E-F2 and E-A1.
+//
+// Usage:
+//
+//	table1 [-seeds N] [-sizes 60,150,400] [-csv] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 0, "instances per (row, workload); 0 = default")
+	sizes := flag.String("sizes", "", "comma-separated instance sizes")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	full := flag.Bool("full", false, "also run E-F1, E-F2, E-A1 and case coverage")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "table1: bad size:", err)
+				os.Exit(2)
+			}
+			cfg.Sizes = append(cfg.Sizes, v)
+		}
+	}
+
+	results := experiments.RunTable1(cfg)
+	if *csvOut {
+		headers := []string{"row", "k", "phi", "bound", "max_ratio", "mean_ratio", "successes", "instances"}
+		var rows [][]string
+		for _, r := range results {
+			rows = append(rows, []string{
+				r.Row.Name,
+				strconv.Itoa(r.Row.K),
+				strconv.FormatFloat(r.Row.Phi, 'f', 6, 64),
+				strconv.FormatFloat(r.Row.Bound, 'f', 6, 64),
+				strconv.FormatFloat(r.MaxRatio, 'f', 6, 64),
+				strconv.FormatFloat(r.MeanRatio, 'f', 6, 64),
+				strconv.Itoa(r.Successes),
+				strconv.Itoa(r.Instances),
+			})
+		}
+		if err := experiments.WriteCSVTable(os.Stdout, headers, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := experiments.WriteTable1(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	bad := 0
+	for _, r := range results {
+		if r.Successes != r.Instances || r.Violations > 0 {
+			bad++
+		}
+	}
+	fmt.Printf("\n%d/%d rows fully verified (strong connectivity + budgets on every instance)\n",
+		len(results)-bad, len(results))
+
+	if *full {
+		fmt.Println()
+		if err := experiments.WriteLemma1(os.Stdout, experiments.RunLemma1()); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := experiments.WriteFacts(os.Stdout, experiments.RunFacts(cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := experiments.WriteAblationCover(os.Stdout, experiments.RunAblationCover(cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

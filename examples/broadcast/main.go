@@ -1,0 +1,56 @@
+// Broadcast: compare antenna configurations as communication substrates —
+// flood latency, gossip spread, and interference (unintended receivers per
+// transmission) across the Table-1 rows on the same deployment. This is
+// the paper's introduction quantified: directional antennae trade radius
+// for dramatically less interference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/pointset"
+	"repro/internal/radio"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	sensors := pointset.Uniform(rng, 300, 18)
+
+	fmt.Printf("deployment: %d sensors\n\n", len(sensors))
+	fmt.Printf("%-10s %-3s %-8s %-10s %-12s %-12s %-10s\n",
+		"row", "k", "phi/pi", "radius", "flood(max)", "gossip(p50)", "overhear")
+
+	for _, row := range core.Table1Rows() {
+		asg, res, err := core.Orient(sensors, row.K, row.Phi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := asg.InducedDigraph()
+		maxRounds, _, complete := radio.BroadcastAll(g)
+		if !complete {
+			log.Fatalf("row %s: flooding incomplete — orientation bug", row.Name)
+		}
+		// Median gossip rounds over repeated randomized runs.
+		var rounds []int
+		for trial := 0; trial < 11; trial++ {
+			r := radio.Gossip(g, 0, rng, 10000)
+			rounds = append(rounds, r.Rounds)
+		}
+		for i := 1; i < len(rounds); i++ {
+			for j := i; j > 0 && rounds[j] < rounds[j-1]; j-- {
+				rounds[j], rounds[j-1] = rounds[j-1], rounds[j]
+			}
+		}
+		interference := radio.Interference(asg)
+		fmt.Printf("%-10s %-3d %-8.3f %-10.4f %-12d %-12d %-10.3f\n",
+			row.Name, row.K, row.Phi/3.14159265, res.RadiusRatio(),
+			maxRounds, rounds[len(rounds)/2], interference.MeanOverhear)
+	}
+
+	fmt.Println("\nreadout: wider spreads buy shorter radii but overhear more;")
+	fmt.Println("zero-spread configurations are almost interference-free at the")
+	fmt.Println("cost of up to 2x the transmission radius — Table 1's trade-off, live.")
+}

@@ -1,0 +1,86 @@
+// Farmfield: a precision-agriculture deployment — clustered soil sensors
+// around irrigation pivots, plus a boundary fence line. The example picks
+// the cheapest antenna configuration (smallest k) whose radius bound fits
+// the sensors' transmission power budget, orients it, and renders the
+// result as SVG.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro"
+	"repro/internal/pointset"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Field: 5 pivot clusters plus a sparse fence line along the south
+	// edge.
+	field := pointset.Clusters(rng, 180, 5, 40, 1.2)
+	fence := pointset.Line(rng, 30, 1.3, 0.2)
+	sensors := append(field, pointset.Translate(fence, 0, -3)...)
+
+	lmax := repro.LMax(sensors)
+	// The radios can push at most 1.5× the MST bottleneck distance.
+	budgetRatio := 1.5
+
+	// Candidate configurations, cheapest hardware first: one antenna with
+	// a wide beam, then more antennae with narrow beams.
+	type config struct {
+		k    int
+		phi  float64
+		note string
+	}
+	candidates := []config{
+		{1, 0, "single fixed beam (bottleneck tour)"},
+		{1, math.Pi, "single π beam"},
+		{2, 2 * math.Pi / 3, "two beams, 120° total"},
+		{2, math.Pi, "two beams, 180° total"},
+		{3, 0, "three fixed beams"},
+		{4, 0, "four fixed beams"},
+		{5, 0, "five fixed beams"},
+	}
+
+	fmt.Printf("farm field: %d sensors, l_max %.3f, radio budget %.2f x l_max\n\n",
+		len(sensors), lmax, budgetRatio)
+	fmt.Printf("%-34s %-12s %-10s\n", "configuration", "paper bound", "fits?")
+	var chosen *config
+	for i, c := range candidates {
+		bound, _ := repro.Bound(c.k, c.phi)
+		fits := bound <= budgetRatio
+		fmt.Printf("%-34s %-12.4f %v\n", c.note, bound, fits)
+		if fits && chosen == nil {
+			chosen = &candidates[i]
+		}
+	}
+	if chosen == nil {
+		log.Fatal("no configuration fits the power budget")
+	}
+
+	fmt.Printf("\nchosen: k=%d phi=%.3f (%s)\n", chosen.k, chosen.phi, chosen.note)
+	net, err := repro.Orient(sensors, chosen.k, chosen.phi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strongly connected: %v\n", net.Strong())
+	fmt.Printf("radius used:        %.4f x l_max (bound %.4f)\n", net.RadiusRatio(), net.Bound)
+
+	rounds, complete := net.Broadcast(0)
+	fmt.Printf("alert flood:        %d rounds (complete=%v)\n", rounds, complete)
+
+	out := "farmfield.svg"
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := net.WriteSVG(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendered:           %s\n", out)
+}

@@ -1,0 +1,50 @@
+// Resilience: progressive sensor failures on an oriented network — how
+// much strong connectivity survives before repair, and how many surviving
+// sensors must re-aim their antennae afterwards. Compares the fragile
+// k=1 tour (a directed cycle) against the k=4 chain construction, making
+// the paper's open c-connectivity question concrete.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/dynamics"
+	"repro/internal/pointset"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+	sensors := pointset.Clusters(rng, 160, 4, 16, 0.8)
+
+	scenarios := []struct {
+		label string
+		sc    dynamics.Scenario
+	}{
+		{"k=1 tour (directed cycle)", dynamics.Scenario{K: 1, Phi: 0, Step: 8, MaxFails: 40}},
+		{"k=4 chains (Theorem 6)", dynamics.Scenario{K: 4, Phi: 0, Step: 8, MaxFails: 40}},
+	}
+
+	for _, s := range scenarios {
+		fmt.Printf("%s over %d sensors\n", s.label, len(sensors))
+		fmt.Printf("%10s  %14s  %12s  %10s\n", "failures", "residual SCC", "post-repair", "churn")
+		// Fresh rng per scenario so both see identical failure orders.
+		stages, err := dynamics.RunScenario(sensors, s.sc, rand.New(rand.NewSource(99)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, st := range stages {
+			fmt.Printf("%10d  %13.1f%%  %12v  %8.1f%%\n",
+				st.CumulativeFailed,
+				st.Impact.SCCFraction*100,
+				st.Repair.Strong,
+				st.Repair.ChurnFrac*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("readout: the tour shatters after the first failure (a directed cycle")
+	fmt.Println("has no redundancy) while the MST-chain network keeps most of its bulk")
+	fmt.Println("strongly connected; repair always restores connectivity, re-aiming a")
+	fmt.Println("fraction of survivors proportional to the damage.")
+}

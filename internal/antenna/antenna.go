@@ -1,0 +1,239 @@
+// Package antenna models sensors equipped with directional antennae and
+// builds the transmission digraph they induce: a directed edge u→v exists
+// iff v lies inside the spread and range of one of u's antennae (the
+// paper's communication model, Section 1.1).
+package antenna
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/spatial"
+)
+
+// Assignment is a complete antenna orientation for a point set: one sector
+// list per sensor. Sensors may hold fewer than k antennae when some are
+// unused (an unused antenna is equivalent to a zero-spread antenna pointed
+// anywhere, and costs no spread).
+type Assignment struct {
+	Pts     []geom.Point
+	Sectors [][]geom.Sector
+}
+
+// New returns an empty assignment over the given sensors.
+func New(pts []geom.Point) *Assignment {
+	return &Assignment{Pts: pts, Sectors: make([][]geom.Sector, len(pts))}
+}
+
+// Add attaches a sector to sensor u.
+func (a *Assignment) Add(u int, s geom.Sector) {
+	a.Sectors[u] = append(a.Sectors[u], s)
+}
+
+// AddRay attaches a zero-spread antenna at u pointed at the target point,
+// with the given radius.
+func (a *Assignment) AddRay(u int, target geom.Point, radius float64) {
+	a.Add(u, geom.RaySector(a.Pts[u], target, radius))
+}
+
+// AddRayTo attaches a zero-spread antenna at u pointed at sensor v.
+func (a *Assignment) AddRayTo(u, v int, radius float64) {
+	a.AddRay(u, a.Pts[v], radius)
+}
+
+// N returns the number of sensors.
+func (a *Assignment) N() int { return len(a.Pts) }
+
+// AntennaCount returns the number of sectors at sensor u.
+func (a *Assignment) AntennaCount(u int) int { return len(a.Sectors[u]) }
+
+// MaxAntennas returns the largest per-sensor antenna count.
+func (a *Assignment) MaxAntennas() int {
+	best := 0
+	for _, s := range a.Sectors {
+		if len(s) > best {
+			best = len(s)
+		}
+	}
+	return best
+}
+
+// SpreadAt returns the total angular spread used at sensor u.
+func (a *Assignment) SpreadAt(u int) float64 {
+	return geom.SectorUnionSpread(a.Sectors[u])
+}
+
+// MaxSpread returns the largest per-sensor total spread.
+func (a *Assignment) MaxSpread() float64 {
+	var best float64
+	for u := range a.Sectors {
+		if s := a.SpreadAt(u); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// MaxRadius returns the largest antenna radius used anywhere.
+func (a *Assignment) MaxRadius() float64 {
+	var best float64
+	for _, secs := range a.Sectors {
+		if r := geom.MaxRadius(secs); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Covers reports whether some antenna of u covers the point q.
+func (a *Assignment) Covers(u int, q geom.Point) bool {
+	for _, s := range a.Sectors[u] {
+		if s.Contains(a.Pts[u], q) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversVertex reports whether some antenna of u covers sensor v.
+func (a *Assignment) CoversVertex(u, v int) bool {
+	return a.Covers(u, a.Pts[v])
+}
+
+// InducedDigraph builds the transmission digraph: edge u→v iff v lies in
+// some sector of u. A spatial grid restricts candidate pairs to the
+// maximum radius in use, so construction is near-linear for bounded-range
+// assignments.
+func (a *Assignment) InducedDigraph() *graph.Digraph {
+	n := a.N()
+	g := graph.NewDigraph(n)
+	maxR := a.MaxRadius()
+	if n == 0 || maxR <= 0 {
+		return g
+	}
+	idx := spatial.NewGrid(a.Pts, maxR/2+1e-12)
+	var buf []int
+	for u := 0; u < n; u++ {
+		if len(a.Sectors[u]) == 0 {
+			continue
+		}
+		// Candidates within this sensor's own largest radius.
+		ru := geom.MaxRadius(a.Sectors[u])
+		buf = idx.Within(a.Pts[u], ru, buf[:0])
+		for _, v := range buf {
+			if v == u {
+				continue
+			}
+			if a.CoversVertex(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	g.Dedup()
+	return g
+}
+
+// Stats summarizes an assignment for reports.
+type Stats struct {
+	N          int
+	MaxAnt     int
+	MaxSpread  float64
+	MaxRadius  float64
+	MeanSpread float64
+	Edges      int
+	Strong     bool
+}
+
+// Summarize computes assignment statistics, including strong connectivity
+// of the induced digraph.
+func (a *Assignment) Summarize() Stats {
+	g := a.InducedDigraph()
+	var totalSpread float64
+	for u := range a.Sectors {
+		totalSpread += a.SpreadAt(u)
+	}
+	mean := 0.0
+	if a.N() > 0 {
+		mean = totalSpread / float64(a.N())
+	}
+	return Stats{
+		N:          a.N(),
+		MaxAnt:     a.MaxAntennas(),
+		MaxSpread:  a.MaxSpread(),
+		MaxRadius:  a.MaxRadius(),
+		MeanSpread: mean,
+		Edges:      g.NumEdges(),
+		Strong:     graph.StronglyConnected(g),
+	}
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d antennas<=%d spread<=%.4f radius<=%.4f edges=%d strong=%v",
+		s.N, s.MaxAnt, s.MaxSpread, s.MaxRadius, s.Edges, s.Strong)
+}
+
+// ShrinkRadii rescales every sector radius to the smallest value that
+// still covers the targets it currently reaches, i.e. sets each antenna's
+// radius to the distance of the farthest sensor it actually covers. This
+// is the energy-minimizing post-pass: the induced digraph is unchanged.
+func (a *Assignment) ShrinkRadii() {
+	n := a.N()
+	if n == 0 {
+		return
+	}
+	maxR := a.MaxRadius()
+	idx := spatial.NewGrid(a.Pts, maxR/2+1e-12)
+	var buf []int
+	for u := 0; u < n; u++ {
+		for si := range a.Sectors[u] {
+			s := a.Sectors[u][si]
+			buf = idx.Within(a.Pts[u], s.Radius, buf[:0])
+			far := 0.0
+			for _, v := range buf {
+				if v == u {
+					continue
+				}
+				if s.Contains(a.Pts[u], a.Pts[v]) {
+					if d := a.Pts[u].Dist(a.Pts[v]); d > far {
+						far = d
+					}
+				}
+			}
+			a.Sectors[u][si].Radius = far
+		}
+	}
+}
+
+// TotalSectorArea returns the summed area of all sectors: the standard
+// proxy for aggregate transmission energy.
+func (a *Assignment) TotalSectorArea() float64 {
+	var sum float64
+	for _, secs := range a.Sectors {
+		for _, s := range secs {
+			sum += s.Area()
+		}
+	}
+	return sum
+}
+
+// Validate checks structural sanity: every sector radius is finite and
+// non-negative, spreads are in [0, 2π]. Returns nil when healthy.
+func (a *Assignment) Validate() error {
+	for u, secs := range a.Sectors {
+		for _, s := range secs {
+			if s.Radius < 0 || math.IsNaN(s.Radius) || math.IsInf(s.Radius, 0) {
+				return fmt.Errorf("antenna: sensor %d has invalid radius %v", u, s.Radius)
+			}
+			if s.Spread < 0 || s.Spread > geom.TwoPi+geom.AngleEps {
+				return fmt.Errorf("antenna: sensor %d has invalid spread %v", u, s.Spread)
+			}
+			if math.IsNaN(s.Start) {
+				return fmt.Errorf("antenna: sensor %d has NaN start", u)
+			}
+		}
+	}
+	return nil
+}

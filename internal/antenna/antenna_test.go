@@ -1,0 +1,172 @@
+package antenna
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointset"
+)
+
+func TestAssignmentBasics(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	a := New(pts)
+	if a.N() != 3 || a.MaxAntennas() != 0 || a.MaxRadius() != 0 {
+		t.Fatal("fresh assignment not empty")
+	}
+	a.AddRayTo(0, 1, 1.5)
+	a.Add(0, geom.NewSector(math.Pi/4, math.Pi/2, 2))
+	if a.AntennaCount(0) != 2 {
+		t.Fatalf("AntennaCount = %d", a.AntennaCount(0))
+	}
+	if got := a.SpreadAt(0); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("SpreadAt = %v", got)
+	}
+	if got := a.MaxSpread(); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("MaxSpread = %v", got)
+	}
+	if got := a.MaxRadius(); got != 2 {
+		t.Fatalf("MaxRadius = %v", got)
+	}
+	if !a.CoversVertex(0, 1) {
+		t.Fatal("ray should cover its target")
+	}
+	if !a.CoversVertex(0, 2) {
+		t.Fatal("wide sector should cover +y at distance 1")
+	}
+	if a.CoversVertex(1, 0) {
+		t.Fatal("sensor 1 has no antennae")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadSectors(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}}
+	a := New(pts)
+	a.Sectors[0] = append(a.Sectors[0], geom.Sector{Start: 0, Spread: 0, Radius: -1})
+	if a.Validate() == nil {
+		t.Fatal("negative radius accepted")
+	}
+	a = New(pts)
+	a.Sectors[0] = append(a.Sectors[0], geom.Sector{Start: 0, Spread: 7, Radius: 1})
+	if a.Validate() == nil {
+		t.Fatal("oversized spread accepted")
+	}
+	a = New(pts)
+	a.Sectors[0] = append(a.Sectors[0], geom.Sector{Start: math.NaN(), Spread: 0, Radius: 1})
+	if a.Validate() == nil {
+		t.Fatal("NaN start accepted")
+	}
+	a = New(pts)
+	a.Sectors[0] = append(a.Sectors[0], geom.Sector{Start: 0, Spread: 0, Radius: math.Inf(1)})
+	if a.Validate() == nil {
+		t.Fatal("infinite radius accepted")
+	}
+}
+
+func TestInducedDigraphRing(t *testing.T) {
+	// Sensors on a ring, each pointing a zero-spread antenna at the next:
+	// the induced digraph is the directed ring.
+	n := 12
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Polar(geom.Point{}, geom.TwoPi*float64(i)/float64(n), 5)
+	}
+	a := New(pts)
+	for i := range pts {
+		a.AddRayTo(i, (i+1)%n, pts[i].Dist(pts[(i+1)%n])+1e-9)
+	}
+	g := a.InducedDigraph()
+	if g.NumEdges() != n {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), n)
+	}
+	for i := range pts {
+		if !g.HasEdge(i, (i+1)%n) {
+			t.Fatalf("missing ring edge %d", i)
+		}
+	}
+	if !graph.StronglyConnected(g) {
+		t.Fatal("ring should be strongly connected")
+	}
+	st := a.Summarize()
+	if !st.Strong || st.N != n || st.MaxAnt != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "strong=true") {
+		t.Fatalf("String = %q", st.String())
+	}
+}
+
+func TestInducedDigraphOmni(t *testing.T) {
+	// Full-circle antennae of ample radius: complete digraph.
+	rng := rand.New(rand.NewSource(1))
+	pts := pointset.Uniform(rng, 25, 2)
+	a := New(pts)
+	for i := range pts {
+		a.Add(i, geom.NewSector(0, geom.TwoPi, 10))
+	}
+	g := a.InducedDigraph()
+	if g.NumEdges() != 25*24 {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), 25*24)
+	}
+}
+
+func TestInducedDigraphRangeLimits(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 3, Y: 0}}
+	a := New(pts)
+	a.Add(0, geom.NewSector(0, geom.TwoPi, 1.5)) // reaches 1 but not 2
+	g := a.InducedDigraph()
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatalf("range limit violated: %v", g)
+	}
+	// Empty assignment: no edges.
+	b := New(pts)
+	if b.InducedDigraph().NumEdges() != 0 {
+		t.Fatal("empty assignment has edges")
+	}
+	// Empty point set.
+	if New(nil).InducedDigraph().NumEdges() != 0 {
+		t.Fatal("empty points have edges")
+	}
+}
+
+func TestShrinkRadii(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 2}}
+	a := New(pts)
+	a.Add(0, geom.NewSector(0, geom.TwoPi, 100)) // hugely over-provisioned
+	a.AddRayTo(1, 0, 50)
+	a.AddRayTo(2, 0, 50)
+	before := a.InducedDigraph()
+	a.ShrinkRadii()
+	after := a.InducedDigraph()
+	if before.NumEdges() != after.NumEdges() {
+		t.Fatalf("ShrinkRadii changed the digraph: %d vs %d", before.NumEdges(), after.NumEdges())
+	}
+	if got := a.Sectors[0][0].Radius; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("sensor 0 radius = %v, want 2", got)
+	}
+	if got := a.Sectors[1][0].Radius; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("sensor 1 radius = %v, want 1", got)
+	}
+}
+
+func TestTotalSectorArea(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}}
+	a := New(pts)
+	a.Add(0, geom.NewSector(0, math.Pi, 2)) // area = 0.5*π*4 = 2π
+	if got := a.TotalSectorArea(); math.Abs(got-2*math.Pi) > 1e-9 {
+		t.Fatalf("TotalSectorArea = %v", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := New(nil).Summarize()
+	if st.N != 0 || !st.Strong {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}

@@ -1,0 +1,116 @@
+package antenna
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// jsonAssignment is the stable wire format: sensors with their sectors.
+type jsonAssignment struct {
+	Sensors []jsonSensor `json:"sensors"`
+}
+
+type jsonSensor struct {
+	X       float64      `json:"x"`
+	Y       float64      `json:"y"`
+	Sectors []jsonSector `json:"sectors,omitempty"`
+}
+
+type jsonSector struct {
+	Start  float64 `json:"start"`
+	Spread float64 `json:"spread"`
+	Radius float64 `json:"radius"`
+}
+
+// WriteJSON serializes the assignment (points + oriented sectors) so a
+// deployment can be stored, diffed, or fed to another tool.
+func (a *Assignment) WriteJSON(w io.Writer) error {
+	out := jsonAssignment{Sensors: make([]jsonSensor, a.N())}
+	for i, p := range a.Pts {
+		s := jsonSensor{X: p.X, Y: p.Y}
+		for _, sec := range a.Sectors[i] {
+			s.Sectors = append(s.Sectors, jsonSector{Start: sec.Start, Spread: sec.Spread, Radius: sec.Radius})
+		}
+		out.Sensors[i] = s
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses an assignment previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Assignment, error) {
+	var in jsonAssignment
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("antenna: decode: %w", err)
+	}
+	pts := make([]geom.Point, len(in.Sensors))
+	for i, s := range in.Sensors {
+		pts[i] = geom.Point{X: s.X, Y: s.Y}
+	}
+	a := New(pts)
+	for i, s := range in.Sensors {
+		for _, sec := range s.Sectors {
+			a.Add(i, geom.NewSector(sec.Start, sec.Spread, sec.Radius))
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// WriteDOT emits the induced transmission digraph in Graphviz DOT format
+// with sensor positions as node attributes (pos is in points, usable with
+// neato -n).
+func (a *Assignment) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "antennae"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  node [shape=point];\n", name); err != nil {
+		return err
+	}
+	for i, p := range a.Pts {
+		if _, err := fmt.Fprintf(w, "  n%d [pos=\"%.4f,%.4f!\"];\n", i, p.X*72, p.Y*72); err != nil {
+			return err
+		}
+	}
+	g := a.InducedDigraph()
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[u] {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// EqualDigraph reports whether two assignments induce the same digraph —
+// the round-trip invariant for serialization.
+func EqualDigraph(a, b *Assignment) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	ga := a.InducedDigraph()
+	gb := b.InducedDigraph()
+	if ga.NumEdges() != gb.NumEdges() {
+		return false
+	}
+	for u := 0; u < ga.N; u++ {
+		for _, v := range ga.Adj[u] {
+			if !gb.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Induced is a convenience alias used by external tooling.
+func Induced(a *Assignment) *graph.Digraph { return a.InducedDigraph() }

@@ -1,0 +1,93 @@
+package antenna
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func sampleAssignment() *Assignment {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: 1}}
+	a := New(pts)
+	a.AddRayTo(0, 1, 1.0)
+	a.Add(1, geom.NewSector(math.Pi/2, math.Pi/3, 1.5))
+	a.AddRayTo(2, 0, 1.2)
+	a.AddRayTo(1, 2, 1.2)
+	return a
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := sampleAssignment()
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != a.N() {
+		t.Fatalf("N = %d", b.N())
+	}
+	for i := range a.Sectors {
+		if len(a.Sectors[i]) != len(b.Sectors[i]) {
+			t.Fatalf("sensor %d sector count mismatch", i)
+		}
+	}
+	if !EqualDigraph(a, b) {
+		t.Fatal("round trip changed the induced digraph")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	// Invalid sector values are rejected by Validate.
+	bad := `{"sensors":[{"x":0,"y":0,"sectors":[{"start":0,"spread":0,"radius":-5}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	a := sampleAssignment()
+	var buf bytes.Buffer
+	if err := a.WriteDOT(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, `digraph "antennae"`) {
+		t.Fatalf("bad header: %q", s[:30])
+	}
+	if !strings.Contains(s, "n0 -> n1;") {
+		t.Fatal("missing edge n0->n1")
+	}
+	if !strings.Contains(s, "pos=") {
+		t.Fatal("missing positions")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(s), "}") {
+		t.Fatal("unterminated graph")
+	}
+}
+
+func TestEqualDigraph(t *testing.T) {
+	a := sampleAssignment()
+	b := sampleAssignment()
+	if !EqualDigraph(a, b) {
+		t.Fatal("identical assignments differ")
+	}
+	b.AddRayTo(0, 2, 2)
+	if EqualDigraph(a, b) {
+		t.Fatal("extra edge not detected")
+	}
+	if EqualDigraph(a, New(nil)) {
+		t.Fatal("size mismatch not detected")
+	}
+	if Induced(a).NumEdges() == 0 {
+		t.Fatal("Induced alias broken")
+	}
+}

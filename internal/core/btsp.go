@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/mst"
+)
+
+// CubeTour returns a Hamiltonian cycle in the cube of the spanning tree:
+// consecutive cycle vertices are within tree distance 3, hence within
+// Euclidean distance 3·l_max. This is Sekanina's classical construction
+// and our *guaranteed* substitute for the Parker–Rardin bottleneck tour
+// (DESIGN.md §6): split the tree at the first edge on the x→y path, solve
+// both sides so the junction endpoints stay adjacent to the cut edge, and
+// concatenate.
+func CubeTour(t *mst.Tree) []int {
+	n := t.N()
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	allowed := make([]bool, n)
+	for i := range allowed {
+		allowed[i] = true
+	}
+	e := t.Edges()[0]
+	return cubeHamPath(t, allowed, n, e[0], e[1])
+}
+
+// cubeHamPath returns a Hamiltonian path of the component `allowed` from x
+// to y (x ≠ y unless the component is a single vertex), with consecutive
+// vertices at tree distance ≤ 3.
+func cubeHamPath(t *mst.Tree, allowed []bool, size, x, y int) []int {
+	if size == 1 {
+		return []int{x}
+	}
+	// First step from x towards y inside the component.
+	b := firstStep(t, allowed, x, y)
+	// Component of x after cutting edge (x, b).
+	compA := make([]bool, len(allowed))
+	sizeA := markComponent(t, allowed, compA, x, b)
+	compB := make([]bool, len(allowed))
+	sizeB := 0
+	for v := range allowed {
+		if allowed[v] && !compA[v] {
+			compB[v] = true
+			sizeB++
+		}
+	}
+
+	var pathA []int
+	if sizeA == 1 {
+		pathA = []int{x}
+	} else {
+		u := anyNeighbor(t, compA, x)
+		pathA = cubeHamPath(t, compA, sizeA, x, u)
+	}
+	var pathB []int
+	switch {
+	case sizeB == 1:
+		pathB = []int{b}
+	case y == b:
+		w := anyNeighbor(t, compB, b)
+		pathB = cubeHamPath(t, compB, sizeB, w, y)
+	default:
+		pathB = cubeHamPath(t, compB, sizeB, b, y)
+	}
+	return append(pathA, pathB...)
+}
+
+// firstStep returns the first vertex after x on the tree path from x to y
+// within the allowed component.
+func firstStep(t *mst.Tree, allowed []bool, x, y int) int {
+	n := t.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[x] = x
+	queue := []int{x}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == y {
+			break
+		}
+		for _, w := range t.Adj[v] {
+			if allowed[w] && parent[w] == -1 {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	v := y
+	for parent[v] != x {
+		v = parent[v]
+	}
+	return v
+}
+
+// markComponent flood-fills comp with the component of x in
+// allowed − edge(x, cut) and returns its size.
+func markComponent(t *mst.Tree, allowed, comp []bool, x, cut int) int {
+	comp[x] = true
+	size := 1
+	stack := []int{x}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range t.Adj[v] {
+			if v == x && w == cut {
+				continue
+			}
+			if allowed[w] && !comp[w] {
+				comp[w] = true
+				size++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return size
+}
+
+func anyNeighbor(t *mst.Tree, comp []bool, v int) int {
+	for _, w := range t.Adj[v] {
+		if comp[w] {
+			return w
+		}
+	}
+	return -1
+}
+
+// ShortcutTour returns the preorder of a DFS over the tree (the classical
+// doubled-MST shortcut). No bottleneck guarantee, but with 2-opt repair it
+// empirically lands at ≤ 2·l_max on random instances.
+func ShortcutTour(t *mst.Tree) []int {
+	n := t.N()
+	if n == 0 {
+		return nil
+	}
+	seen := make([]bool, n)
+	order := make([]int, 0, n)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for i := len(t.Adj[v]) - 1; i >= 0; i-- {
+			w := t.Adj[v][i]
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return order
+}
+
+// TourBottleneck returns the length of the longest hop in the cyclic tour.
+func TourBottleneck(pts []geom.Point, tour []int) float64 {
+	if len(tour) < 2 {
+		return 0
+	}
+	var best float64
+	for i := range tour {
+		d := pts[tour[i]].Dist(pts[tour[(i+1)%len(tour)]])
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TwoOptBottleneck improves a tour's bottleneck with 2-opt moves: while
+// some move strictly shrinks the longest affected hop, apply it. maxIters
+// caps the number of accepted moves. Returns the improved tour (a copy).
+func TwoOptBottleneck(pts []geom.Point, tour []int, maxIters int) []int {
+	n := len(tour)
+	out := append([]int(nil), tour...)
+	if n < 4 {
+		return out
+	}
+	dist := func(i, j int) float64 { return pts[out[i%n]].Dist(pts[out[j%n]]) }
+	for iter := 0; iter < maxIters; iter++ {
+		// Locate the bottleneck hop (wi, wi+1).
+		wi := 0
+		worst := -1.0
+		for i := 0; i < n; i++ {
+			if d := dist(i, i+1); d > worst {
+				worst, wi = d, i
+			}
+		}
+		improved := false
+		for j := 0; j < n; j++ {
+			if j == wi || (j+1)%n == wi || j == (wi+1)%n {
+				continue
+			}
+			// Replace hops (wi, wi+1), (j, j+1) with (wi, j), (wi+1, j+1).
+			oldMax := math.Max(dist(wi, wi+1), dist(j, j+1))
+			newMax := math.Max(dist(wi, j), dist(wi+1, j+1))
+			if newMax < oldMax-geom.Eps {
+				reverseSegment(out, (wi+1)%n, j)
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return out
+}
+
+// reverseSegment reverses tour[i..j] cyclically (inclusive).
+func reverseSegment(tour []int, i, j int) {
+	n := len(tour)
+	steps := j - i
+	if steps < 0 {
+		steps += n
+	}
+	steps = (steps + 1) / 2
+	for s := 0; s < steps; s++ {
+		a := (i + s) % n
+		b := (j - s + n) % n
+		tour[a], tour[b] = tour[b], tour[a]
+	}
+}
+
+// ExactBottleneckTour computes a bottleneck-optimal Hamiltonian cycle for
+// small n (≤ ~14) by binary-searching the bottleneck over the sorted
+// pairwise distances and testing Hamiltonicity with a bitmask DP. Returns
+// the tour and its bottleneck; ok is false when n is out of range.
+func ExactBottleneckTour(pts []geom.Point) (tour []int, bottleneck float64, ok bool) {
+	n := len(pts)
+	if n == 0 || n > 14 {
+		return nil, 0, false
+	}
+	if n == 1 {
+		return []int{0}, 0, true
+	}
+	if n == 2 {
+		return []int{0, 1}, pts[0].Dist(pts[1]), true
+	}
+	var dists []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dists = append(dists, pts[i].Dist(pts[j]))
+		}
+	}
+	sort.Float64s(dists)
+	lo, hi := 0, len(dists)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, feasible := hamCycleWithin(pts, dists[mid]); feasible {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	t, feasible := hamCycleWithin(pts, dists[lo])
+	if !feasible {
+		return nil, 0, false
+	}
+	return t, dists[lo], true
+}
+
+// hamCycleWithin searches for a Hamiltonian cycle whose hops are all
+// ≤ d (with tolerance), via DP over subsets anchored at vertex 0.
+func hamCycleWithin(pts []geom.Point, d float64) ([]int, bool) {
+	n := len(pts)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i != j && pts[i].Dist(pts[j]) <= d+geom.Eps {
+				adj[i][j] = true
+			}
+		}
+	}
+	full := 1<<n - 1
+	// dp[mask][v]: predecessor vertex +1, 0 = unreachable.
+	dp := make([][]int8, full+1)
+	dp[1] = make([]int8, n)
+	dp[1][0] = int8(1) // start marker
+	for mask := 1; mask <= full; mask++ {
+		if dp[mask] == nil {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if dp[mask][v] == 0 || mask&(1<<v) == 0 {
+				continue
+			}
+			for w := 1; w < n; w++ {
+				if mask&(1<<w) != 0 || !adj[v][w] {
+					continue
+				}
+				nm := mask | 1<<w
+				if dp[nm] == nil {
+					dp[nm] = make([]int8, n)
+				}
+				if dp[nm][w] == 0 {
+					dp[nm][w] = int8(v + 1)
+				}
+			}
+		}
+	}
+	if dp[full] == nil {
+		return nil, false
+	}
+	for v := 1; v < n; v++ {
+		if dp[full][v] != 0 && adj[v][0] {
+			// Reconstruct.
+			tour := make([]int, 0, n)
+			mask, cur := full, v
+			for cur != 0 {
+				tour = append(tour, cur)
+				prev := int(dp[mask][cur]) - 1
+				mask &^= 1 << cur
+				cur = prev
+			}
+			tour = append(tour, 0)
+			// Reverse into forward order.
+			for i, j := 0, len(tour)-1; i < j; i, j = i+1, j-1 {
+				tour[i], tour[j] = tour[j], tour[i]
+			}
+			return tour, true
+		}
+	}
+	return nil, false
+}
+
+// OrientTour aims k zero-spread antennae along a Hamiltonian cycle: each
+// sensor points at its successor, and (k ≥ 2) at its predecessor too. The
+// induced digraph contains the directed cycle, hence is strongly
+// connected; the radius used is the tour bottleneck. This reproduces the
+// φ = 0 rows of Table 1 ([14]).
+func OrientTour(pts []geom.Point, tour []int, k int, phi float64) (*antenna.Assignment, *Result) {
+	res := newResult("btsp-tour", k, phi)
+	asg := antenna.New(pts)
+	if len(pts) <= 1 {
+		res.bump("trivial")
+		return asg, res
+	}
+	tree := mst.Euclidean(pts)
+	res.LMax = tree.LMax()
+	res.checkf(len(tour) == len(pts), "tour visits %d of %d sensors", len(tour), len(pts))
+	n := len(tour)
+	for i, v := range tour {
+		next := tour[(i+1)%n]
+		asg.AddRayTo(v, next, pts[v].Dist(pts[next]))
+		res.bump("tour-forward")
+		if k >= 2 {
+			prev := tour[(i-1+n)%n]
+			asg.AddRayTo(v, prev, pts[v].Dist(pts[prev]))
+			res.bump("tour-backward")
+		}
+	}
+	res.RadiusUsed = asg.MaxRadius()
+	res.SpreadUsed = asg.MaxSpread()
+	return asg, res
+}
+
+// BestTour builds the orientation tour for the φ=0 rows: the 2-opt
+// repaired MST shortcut tour, falling back to the Sekanina cube tour if
+// that is better, and to the exact solver on tiny instances. Returns the
+// tour and its bottleneck.
+func BestTour(pts []geom.Point) ([]int, float64) {
+	n := len(pts)
+	if n == 0 {
+		return nil, 0
+	}
+	if n <= 11 {
+		if t, b, ok := ExactBottleneckTour(pts); ok {
+			return t, b
+		}
+	}
+	tree := mst.Euclidean(pts)
+	sc := TwoOptBottleneck(pts, ShortcutTour(tree), 4*n)
+	cu := CubeTour(tree)
+	bs, bc := TourBottleneck(pts, sc), TourBottleneck(pts, cu)
+	if bc < bs {
+		return cu, bc
+	}
+	return sc, bs
+}

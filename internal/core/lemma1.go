@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// CoverSectors computes sectors at apex covering every target with at most
+// k antennae using the *optimal* total spread: the k widest cyclic gaps
+// between target rays are left dark, and each maximal run of consecutive
+// rays between chosen gaps becomes one closed sector. The total spread is
+// 2π − Σ(k largest gaps) ≤ 2π(d−k)/d for d targets — at least as good as
+// the paper's Lemma 1 guarantee, and exactly the minimum possible.
+//
+// Each sector's radius is the distance to the farthest target it covers.
+// Returns nil for no targets; with k ≥ len(targets) every target gets a
+// zero-spread private ray.
+func CoverSectors(apex geom.Point, targets []geom.Point, k int) []geom.Sector {
+	m := len(targets)
+	if m == 0 || k <= 0 {
+		return nil
+	}
+	if k >= m {
+		out := make([]geom.Sector, 0, m)
+		for _, t := range targets {
+			out = append(out, geom.RaySector(apex, t, apex.Dist(t)))
+		}
+		return out
+	}
+	dirs := make([]float64, m)
+	for i, t := range targets {
+		dirs[i] = geom.Dir(apex, t)
+	}
+	gaps := geom.CyclicGaps(dirs) // CCW positional order
+	// Pick the k widest gaps (by index into gaps).
+	order := make([]int, len(gaps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return gaps[order[a]].Width > gaps[order[b]].Width })
+	chosen := append([]int(nil), order[:k]...)
+	sort.Ints(chosen) // back to positional order
+	out := make([]geom.Sector, 0, k)
+	for i, gi := range chosen {
+		next := chosen[(i+1)%len(chosen)]
+		// Sector spans from the ray that closes gap gi to the ray that
+		// opens gap next.
+		startRay := gaps[gi].To
+		endRay := gaps[next].From
+		start := dirs[startRay]
+		spread := geom.CCW(start, dirs[endRay])
+		s := geom.NewSector(start, spread, 0)
+		// Radius: farthest covered target.
+		var far float64
+		for j, d := range dirs {
+			if s.ContainsDir(d) {
+				if dd := apex.Dist(targets[j]); dd > far {
+					far = dd
+				}
+			}
+		}
+		s.Radius = far
+		out = append(out, s)
+	}
+	return out
+}
+
+// CoverSectorsLiteral is the paper's Lemma 1 construction taken verbatim:
+// find k+1 consecutive target rays whose k consecutive gaps have maximal
+// total width (≥ 2πk/d), aim k−1 zero-spread antennae at the interior rays
+// of that run, and one wide antenna across everything else. Total spread
+// is 2π − (that run) ≤ 2π(d−k)/d, but generally worse than CoverSectors
+// because the discarded gaps must be consecutive. Kept as the ablation
+// baseline E-A1.
+func CoverSectorsLiteral(apex geom.Point, targets []geom.Point, k int) []geom.Sector {
+	m := len(targets)
+	if m == 0 || k <= 0 {
+		return nil
+	}
+	if k >= m {
+		return CoverSectors(apex, targets, k)
+	}
+	dirs := make([]float64, m)
+	for i, t := range targets {
+		dirs[i] = geom.Dir(apex, t)
+	}
+	gaps := geom.CyclicGaps(dirs)
+	n := len(gaps)
+	// Best window of k consecutive gaps.
+	bestStart, bestSum := 0, -1.0
+	for s := 0; s < n; s++ {
+		var sum float64
+		for j := 0; j < k; j++ {
+			sum += gaps[(s+j)%n].Width
+		}
+		if sum > bestSum {
+			bestSum, bestStart = sum, s
+		}
+	}
+	out := make([]geom.Sector, 0, k)
+	// Interior rays of the window get zero-spread antennae: the rays
+	// closing gaps bestStart .. bestStart+k-2.
+	for j := 0; j < k-1; j++ {
+		ray := gaps[(bestStart+j)%n].To
+		out = append(out, geom.RaySector(apex, targets[ray], apex.Dist(targets[ray])))
+	}
+	// The wide antenna runs from the ray closing the window's last gap
+	// around to the ray opening the window's first gap.
+	start := dirs[gaps[(bestStart+k-1)%n].To]
+	end := dirs[gaps[bestStart].From]
+	spread := geom.CCW(start, end)
+	s := geom.NewSector(start, spread, 0)
+	var far float64
+	for j, d := range dirs {
+		if s.ContainsDir(d) {
+			if dd := apex.Dist(targets[j]); dd > far {
+				far = dd
+			}
+		}
+	}
+	s.Radius = far
+	out = append(out, s)
+	return out
+}

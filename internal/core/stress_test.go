@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pointset"
+)
+
+// TestPhiGridRegression sweeps the spread budget finely across every
+// algorithm regime for k ∈ {1, 2} on mixed workloads, including the
+// degree-5 adversarial star fields: the regime boundaries (2π/3, π, 6π/5,
+// 8π/5) are where dispatch bugs would live.
+func TestPhiGridRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(314))
+	phis := []float64{
+		0,
+		Phi2Min - 1e-9, Phi2Min, Phi2Min + 0.05,
+		0.8 * math.Pi, 0.95 * math.Pi,
+		math.Pi - 1e-9, math.Pi, math.Pi + 0.05,
+		Phi2Full - 1e-9, Phi2Full, Phi2Full + 0.1,
+		Phi1Full - 1e-9, Phi1Full, Phi1Full + 0.1,
+		1.95 * math.Pi,
+	}
+	for trial := 0; trial < 6; trial++ {
+		var pts = workload(rng, trial, 90)
+		if trial%2 == 1 {
+			pts = pointset.StarField(rng, 2)
+		}
+		for _, k := range []int{1, 2} {
+			for _, phi := range phis {
+				asg, res, err := Orient(pts, k, phi)
+				if err != nil {
+					t.Fatalf("k=%d phi=%.6f: %v", k, phi, err)
+				}
+				if len(res.Violations) != 0 {
+					t.Fatalf("k=%d phi=%.6f trial=%d: %s", k, phi, trial, res.Violations[0])
+				}
+				if !graph.StronglyConnected(asg.InducedDigraph()) {
+					t.Fatalf("k=%d phi=%.6f trial=%d: not strongly connected (%s)",
+						k, phi, trial, res.Algorithm)
+				}
+				if res.RadiusRatio() > res.Guarantee+1e-7 {
+					t.Fatalf("k=%d phi=%.6f: ratio %.6f above guarantee %.6f (%s)",
+						k, phi, res.RadiusRatio(), res.Guarantee, res.Algorithm)
+				}
+				if sp := asg.MaxSpread(); sp > phi+1e-7 {
+					t.Fatalf("k=%d phi=%.6f: spread %.6f above budget (%s)",
+						k, phi, sp, res.Algorithm)
+				}
+			}
+		}
+	}
+}
+
+// TestDispatcherMonotoneRadius checks the economic sanity of Table 1 on
+// real instances: granting more spread never forces a *worse* guarantee,
+// and the dispatcher's reported bound is monotone non-increasing in φ.
+func TestDispatcherMonotoneRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	pts := pointset.Uniform(rng, 100, 10)
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		prevBound := math.Inf(1)
+		for phi := 0.0; phi < 2*math.Pi; phi += math.Pi / 12 {
+			_, res, err := Orient(pts, k, phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bound > prevBound+1e-9 {
+				t.Fatalf("k=%d: bound increased at phi=%.4f (%.4f > %.4f)",
+					k, phi, res.Bound, prevBound)
+			}
+			prevBound = res.Bound
+		}
+	}
+}

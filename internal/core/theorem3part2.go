@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// orientDeg4Part2 handles δ(u) = 4 for 2π/3 ≤ φ₂ < π (Figs. 4(a), 4(b)).
+func (c *t3ctx) orientDeg4Part2(u int, p geom.Point) {
+	pts := c.rooted.Pts
+	phi := c.phi
+	dirP := geom.Dir(pts[u], p)
+	ch := c.rooted.ChildrenCCWFrom(u, dirP)
+	c1, c2, c3 := ch[0], ch[1], ch[2]
+	d1 := geom.Dir(pts[u], pts[c1])
+	d2 := geom.Dir(pts[u], pts[c2])
+	d3 := geom.Dir(pts[u], pts[c3])
+
+	// A = ∠u(3)u u(1) through p; B = ∠u(1)u u(3) through u(2).
+	A := geom.CCW(d3, d1)
+	B := geom.TwoPi - A
+	switch {
+	case A <= phi+geom.AngleEps:
+		// Fig. 4(a): one antenna spans u(3) → p → u(1); ray to u(2).
+		c.addWide(u, d3, A, pts[c3], p, pts[c1])
+		c.asg.AddRayTo(u, c2, pts[u].Dist(pts[c2]))
+		c.push(c1, pts[u])
+		c.push(c2, pts[u])
+		c.push(c3, pts[u])
+		c.res.bump("t3-deg4p2-spanA")
+	case B <= phi+geom.AngleEps:
+		// One antenna spans u(1) → u(2) → u(3); ray to p.
+		c.addWide(u, d1, B, pts[c1], pts[c2], pts[c3])
+		c.asg.AddRay(u, p, pts[u].Dist(p))
+		c.push(c1, pts[u])
+		c.push(c2, pts[u])
+		c.push(c3, pts[u])
+		c.res.bump("t3-deg4p2-spanB")
+	default:
+		// Fig. 4(b): both spans exceed φ₂. One of ∠u(3)up, ∠pu u(1) is
+		// ≤ 2π/3 ≤ φ₂; cover it plus the far child by ray, and bridge
+		// u(2) from whichever neighbor child is angularly closer
+		// (min gap ≤ π − φ₂/2 because ∠u(1)u u(3) > φ₂).
+		gP3 := geom.CCW(d3, dirP) // u(3) -> p
+		gP1 := geom.CCW(dirP, d1) // p -> u(1)
+		c.res.checkf(math.Min(gP3, gP1) <= 2*math.Pi/3+geom.AngleEps,
+			"vertex %d: min(p-side gaps) %.6f > 2π/3", u, math.Min(gP3, gP1))
+		g12 := geom.CCW(d1, d2)
+		g23 := geom.CCW(d2, d3)
+		c.res.checkf(math.Min(g12, g23) <= math.Pi-phi/2+geom.AngleEps,
+			"vertex %d: min inner gap %.6f > π − φ/2", u, math.Min(g12, g23))
+		if gP3 <= gP1 {
+			c.addWide(u, d3, gP3, pts[c3], p)
+			c.asg.AddRayTo(u, c1, pts[u].Dist(pts[c1]))
+			c.res.bump("t3-deg4p2-anchor3")
+		} else {
+			c.addWide(u, dirP, gP1, p, pts[c1])
+			c.asg.AddRayTo(u, c3, pts[u].Dist(pts[c3]))
+			c.res.bump("t3-deg4p2-anchor1")
+		}
+		if g12 <= g23 {
+			c.pushSibling(u, c1, c2)
+			c.push(c3, pts[u])
+		} else {
+			c.pushSibling(u, c3, c2)
+			c.push(c1, pts[u])
+		}
+		c.push(c2, pts[u])
+	}
+}
+
+// orientDeg5Part2 handles δ(u) = 5 for 2π/3 ≤ φ₂ < π (Figs. 4(c)–4(f)).
+func (c *t3ctx) orientDeg5Part2(u int, p geom.Point) {
+	pts := c.rooted.Pts
+	phi := c.phi
+	dirP := geom.Dir(pts[u], p)
+	ch := c.rooted.ChildrenCCWFrom(u, dirP)
+	c1, c2, c3, c4 := ch[0], ch[1], ch[2], ch[3]
+	d1 := geom.Dir(pts[u], pts[c1])
+	d2 := geom.Dir(pts[u], pts[c2])
+	d3 := geom.Dir(pts[u], pts[c3])
+	d4 := geom.Dir(pts[u], pts[c4])
+	parent := c.rooted.Parent[u]
+	c.res.checkf(parent >= 0, "degree-5 vertex %d must have a parent (root is a leaf)", u)
+	dirPP := geom.Dir(pts[u], pts[parent])
+	a2 := geom.CCW(d4, d1) // ∠u(4)u u(1) through p
+	ppInside := geom.CCW(d4, dirPP) <= a2+geom.AngleEps
+	g12 := geom.CCW(d1, d2)
+	g23 := geom.CCW(d2, d3)
+	g34 := geom.CCW(d3, d4)
+
+	if !ppInside {
+		// First case of the proof: p(u) outside [~uu(4), ~uu(1)].
+		alpha := geom.CCW(d4, d2) // u(4) -> p -> u(1) -> u(2)
+		if alpha <= phi+geom.AngleEps {
+			// Fig. 4(c): one antenna covers u(4), p, u(1), u(2).
+			c.addWide(u, d4, alpha, pts[c4], p, pts[c1], pts[c2])
+			c.asg.AddRayTo(u, c3, pts[u].Dist(pts[c3]))
+			c.push(c1, pts[u])
+			c.push(c2, pts[u])
+			c.push(c3, pts[u])
+			c.push(c4, pts[u])
+			c.res.bump("t3-deg5p2-out-wide")
+			return
+		}
+		// Fig. 4(d): cover u(4), p, u(1) (consecutive tree neighbors:
+		// a2 ≤ 2π/3 ≤ φ₂); ray to u(2); u(3) bridged by u(2) or u(4).
+		c.res.checkf(a2 <= 2*math.Pi/3+geom.AngleEps,
+			"vertex %d: consecutive arc ∠u(4)u u(1) = %.6f > 2π/3", u, a2)
+		c.res.checkf(math.Min(g23, g34) <= math.Pi-phi/2+geom.AngleEps,
+			"vertex %d: min(g23, g34) = %.6f > π − φ/2", u, math.Min(g23, g34))
+		c.addWide(u, d4, a2, pts[c4], p, pts[c1])
+		c.asg.AddRayTo(u, c2, pts[u].Dist(pts[c2]))
+		if g23 <= g34 {
+			c.pushSibling(u, c2, c3)
+			c.push(c4, pts[u])
+		} else {
+			c.pushSibling(u, c4, c3)
+			c.push(c2, pts[u])
+		}
+		c.push(c1, pts[u])
+		c.push(c3, pts[u])
+		c.res.bump("t3-deg5p2-out-bridge")
+		return
+	}
+
+	// Second case: p(u) inside [~uu(4), ~uu(1)] alongside p.
+	c.res.checkf(a2 <= math.Pi+geom.AngleEps && a2 >= 2*math.Pi/3-geom.AngleEps,
+		"vertex %d: ∠u(4)u u(1) = %.6f outside [2π/3, π]", u, a2)
+	a1 := geom.CCW(d3, dirP) // ∠u(3)up through u(4)
+	a3 := geom.CCW(dirP, d2) // ∠pu u(2) through u(1)
+
+	switch {
+	case a1 <= phi+geom.AngleEps:
+		// Proof case 1(i): antenna over u(3), u(4), p; ray to u(1);
+		// u(2) bridged by u(1) or u(3) (∠u(1)u u(3) ∈ [2π/3, π]).
+		c.res.checkf(math.Min(g12, g23) <= math.Pi/2+geom.AngleEps,
+			"vertex %d: min(g12, g23) = %.6f > π/2", u, math.Min(g12, g23))
+		c.addWide(u, d3, a1, pts[c3], pts[c4], p)
+		c.asg.AddRayTo(u, c1, pts[u].Dist(pts[c1]))
+		if g12 <= g23 {
+			c.pushSibling(u, c1, c2)
+			c.push(c3, pts[u])
+		} else {
+			c.pushSibling(u, c3, c2)
+			c.push(c1, pts[u])
+		}
+		c.push(c2, pts[u])
+		c.push(c4, pts[u])
+		c.res.bump("t3-deg5p2-in-a1")
+	case a2 <= phi+geom.AngleEps:
+		// Proof case 1(ii): antenna over u(4), p, u(1); ray to u(3);
+		// u(2) bridged by u(1) or u(3).
+		c.res.checkf(math.Min(g12, g23) <= math.Pi/2+geom.AngleEps,
+			"vertex %d: min(g12, g23) = %.6f > π/2", u, math.Min(g12, g23))
+		c.addWide(u, d4, a2, pts[c4], p, pts[c1])
+		c.asg.AddRayTo(u, c3, pts[u].Dist(pts[c3]))
+		if g12 <= g23 {
+			c.pushSibling(u, c1, c2)
+			c.push(c3, pts[u])
+		} else {
+			c.pushSibling(u, c3, c2)
+			c.push(c1, pts[u])
+		}
+		c.push(c2, pts[u])
+		c.push(c4, pts[u])
+		c.res.bump("t3-deg5p2-in-a2")
+	case a3 <= phi+geom.AngleEps:
+		// Proof case 1(iii): antenna over p, u(1), u(2); ray to u(4);
+		// u(3) bridged by u(2) or u(4) (∠u(2)u u(4) ∈ [2π/3, π]).
+		c.res.checkf(math.Min(g23, g34) <= math.Pi/2+geom.AngleEps,
+			"vertex %d: min(g23, g34) = %.6f > π/2", u, math.Min(g23, g34))
+		c.addWide(u, dirP, a3, p, pts[c1], pts[c2])
+		c.asg.AddRayTo(u, c4, pts[u].Dist(pts[c4]))
+		if g23 <= g34 {
+			c.pushSibling(u, c2, c3)
+			c.push(c4, pts[u])
+		} else {
+			c.pushSibling(u, c4, c3)
+			c.push(c2, pts[u])
+		}
+		c.push(c1, pts[u])
+		c.push(c3, pts[u])
+		c.res.bump("t3-deg5p2-in-a3")
+	default:
+		// Proof case 2: a1, a2, a3 all exceed φ₂.
+		b1 := geom.CCW(d4, dirP) // ∠u(4)up
+		b2 := geom.CCW(dirP, d1) // ∠pu u(1)
+		if b1 <= b2 {
+			c.deg5Part2Case2(u, p, [4]int{c1, c2, c3, c4}, b1, g12, g23, g34, false)
+		} else {
+			// Mirror image: swap the roles of the two sides.
+			c.deg5Part2Case2(u, p, [4]int{c1, c2, c3, c4}, b2, g12, g23, g34, true)
+		}
+	}
+}
+
+// deg5Part2Case2 implements proof case 2 of part 2 at a degree-5 vertex:
+// the wide antenna hugs the target p on the narrow side (sweep b ≤ φ₂/2 or
+// ∈ [φ₂/2, π/2]), a zero-spread antenna covers the far boundary child, and
+// the two middle children are reached through sibling chains
+// u(1)→u(2) / u(4)→u(3) (or, in subcase i, a second small antenna pairs
+// u(2) with u(3)). mirrored selects the reflection-symmetric labelling.
+func (c *t3ctx) deg5Part2Case2(u int, p geom.Point, cs [4]int, b float64, g12, g23, g34 float64, mirrored bool) {
+	pts := c.rooted.Pts
+	phi := c.phi
+	c1, c2, c3, c4 := cs[0], cs[1], cs[2], cs[3]
+	dirP := geom.Dir(pts[u], p)
+	d2 := geom.Dir(pts[u], pts[c2])
+	d4 := geom.Dir(pts[u], pts[c4])
+	c.res.checkf(b <= phi+geom.AngleEps, "vertex %d: case-2 anchor sweep %.6f > φ", u, b)
+
+	// Near/far boundary children and near/far inner gaps, mirrored or not:
+	// un-mirrored the antenna covers {u(4), p}, the ray covers u(1), and
+	// the chains are u(1)→u(2), u(4)→u(3).
+	nearBoundary, farBoundary := c4, c1
+	gNear, gFar := g34, g12 // gaps adjacent to the near/far boundary
+	innerNear, innerFar := c3, c2
+	if mirrored {
+		nearBoundary, farBoundary = c1, c4
+		gNear, gFar = g12, g34
+		innerNear, innerFar = c2, c3
+	}
+	wide := func() {
+		if mirrored {
+			c.addWide(u, dirP, b, p, pts[nearBoundary])
+		} else {
+			c.addWide(u, d4, b, pts[nearBoundary], p)
+		}
+	}
+	if b >= phi/2-geom.AngleEps {
+		// Proof case 2(a) / Fig. 4(e): both inner gaps are ≤ π − φ₂/2.
+		c.res.checkf(gNear <= math.Pi-phi/2+geom.AngleEps,
+			"vertex %d: case-2a near gap %.6f > π − φ/2", u, gNear)
+		c.res.checkf(gFar <= math.Pi-phi/2+geom.AngleEps,
+			"vertex %d: case-2a far gap %.6f > π − φ/2", u, gFar)
+		wide()
+		c.asg.AddRayTo(u, farBoundary, pts[u].Dist(pts[farBoundary]))
+		c.pushSibling(u, farBoundary, innerFar)
+		c.pushSibling(u, nearBoundary, innerNear)
+		c.push(innerFar, pts[u])
+		c.push(innerNear, pts[u])
+		c.res.bump("t3-deg5p2-case2a")
+		return
+	}
+	// Proof case 2(b): the far gap is < π − φ₂/2 automatically.
+	c.res.checkf(gFar <= math.Pi-phi/2+geom.AngleEps,
+		"vertex %d: case-2b far gap %.6f > π − φ/2", u, gFar)
+	if g23 <= phi/2+geom.AngleEps {
+		// Case 2(b)i / Fig. 4(f): second antenna spans u(2)–u(3); the far
+		// inner child bridges to the far boundary child.
+		wide()
+		c.addWide(u, d2, g23, pts[c2], pts[c3])
+		c.res.checkf(b+g23 <= phi+geom.AngleEps,
+			"vertex %d: case-2bi total spread %.6f > φ", u, b+g23)
+		c.pushSibling(u, innerFar, farBoundary)
+		c.push(farBoundary, pts[u])
+		c.push(innerNear, pts[u])
+		c.push(nearBoundary, pts[u])
+		c.res.bump("t3-deg5p2-case2bi")
+		return
+	}
+	// Case 2(b)ii: as 2(a), using the sum argument for the near gap.
+	c.res.checkf(gNear <= math.Pi-phi/2+geom.AngleEps,
+		"vertex %d: case-2bii near gap %.6f > π − φ/2", u, gNear)
+	wide()
+	c.asg.AddRayTo(u, farBoundary, pts[u].Dist(pts[farBoundary]))
+	c.pushSibling(u, farBoundary, innerFar)
+	c.pushSibling(u, nearBoundary, innerNear)
+	c.push(innerFar, pts[u])
+	c.push(innerNear, pts[u])
+	c.res.bump("t3-deg5p2-case2bii")
+}

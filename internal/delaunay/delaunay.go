@@ -1,0 +1,239 @@
+// Package delaunay computes Delaunay triangulations with the
+// Bowyer–Watson incremental algorithm. Its role in this repository is the
+// classical one: the Delaunay triangulation contains the Euclidean MST,
+// so Kruskal over the O(n) Delaunay edges replaces the O(n²) candidate
+// set and the triangulation doubles as a planar communication overlay for
+// the topology-control experiments.
+package delaunay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Triangulation is the result: triangles as index triples over the input
+// points, plus the unique undirected edge set.
+type Triangulation struct {
+	Pts       []geom.Point
+	Triangles [][3]int
+	edges     map[[2]int]struct{}
+}
+
+// Edges returns the undirected Delaunay edges (u < v), sorted
+// lexicographically for determinism.
+func (t *Triangulation) Edges() [][2]int {
+	out := make([][2]int, 0, len(t.edges))
+	for e := range t.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// NumTriangles returns the triangle count.
+func (t *Triangulation) NumTriangles() int { return len(t.Triangles) }
+
+// circumcircleContains reports whether q lies strictly inside the
+// circumcircle of triangle (a, b, c) given in CCW order, using the
+// standard 3×3 determinant (with a tolerance scaled by magnitude).
+func circumcircleContains(a, b, c, q geom.Point) bool {
+	ax := a.X - q.X
+	ay := a.Y - q.Y
+	bx := b.X - q.X
+	by := b.Y - q.Y
+	cx := c.X - q.X
+	cy := c.Y - q.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	scale := (ax*ax + ay*ay) * (bx*bx + by*by) * (cx*cx + cy*cy)
+	tol := 1e-12 * (1 + math.Abs(scale))
+	return det > tol
+}
+
+// Build triangulates the points. Inputs with fewer than 3 points, or all
+// collinear, yield a triangulation with no triangles but with the chain
+// edges (for collinear inputs the MST-relevant edges are the consecutive
+// pairs, which Build synthesizes so Kruskal stays correct).
+func Build(pts []geom.Point) (*Triangulation, error) {
+	n := len(pts)
+	t := &Triangulation{Pts: pts, edges: make(map[[2]int]struct{})}
+	if n < 2 {
+		return t, nil
+	}
+	if n == 2 {
+		t.addEdge(0, 1)
+		return t, nil
+	}
+	// Super-triangle comfortably containing everything.
+	min, max := geom.BoundingBox(pts)
+	span := math.Max(max.X-min.X, max.Y-min.Y)
+	if span == 0 {
+		span = 1
+	}
+	mid := geom.Midpoint(min, max)
+	s0 := geom.Point{X: mid.X - 20*span, Y: mid.Y - 10*span}
+	s1 := geom.Point{X: mid.X + 20*span, Y: mid.Y - 10*span}
+	s2 := geom.Point{X: mid.X, Y: mid.Y + 20*span}
+	all := append(append([]geom.Point{}, pts...), s0, s1, s2)
+	si0, si1, si2 := n, n+1, n+2
+
+	type tri struct {
+		a, b, c int
+	}
+	ccw := func(x tri) tri {
+		if geom.Orientation(all[x.a], all[x.b], all[x.c]) < 0 {
+			return tri{x.a, x.c, x.b}
+		}
+		return x
+	}
+	tris := []tri{ccw(tri{si0, si1, si2})}
+
+	for p := 0; p < n; p++ {
+		// Bad triangles: circumcircle contains the new point.
+		var bad []int
+		for i, tr := range tris {
+			if circumcircleContains(all[tr.a], all[tr.b], all[tr.c], all[p]) {
+				bad = append(bad, i)
+			}
+		}
+		if len(bad) == 0 {
+			// Degenerate (duplicate or exactly-on-circle ties): skip the
+			// point; the edge synthesis below keeps the MST usable.
+			continue
+		}
+		// Boundary polygon: edges of bad triangles not shared by two bad
+		// triangles.
+		edgeCount := map[[2]int]int{}
+		keyOf := func(u, v int) [2]int {
+			if u > v {
+				u, v = v, u
+			}
+			return [2]int{u, v}
+		}
+		for _, i := range bad {
+			tr := tris[i]
+			edgeCount[keyOf(tr.a, tr.b)]++
+			edgeCount[keyOf(tr.b, tr.c)]++
+			edgeCount[keyOf(tr.c, tr.a)]++
+		}
+		// Remove bad triangles (back to front).
+		sort.Sort(sort.Reverse(sort.IntSlice(bad)))
+		for _, i := range bad {
+			tris[i] = tris[len(tris)-1]
+			tris = tris[:len(tris)-1]
+		}
+		// Re-triangulate the cavity.
+		for e, cnt := range edgeCount {
+			if cnt != 1 {
+				continue
+			}
+			if geom.Orientation(all[e[0]], all[e[1]], all[p]) == 0 {
+				continue // collinear sliver; skip
+			}
+			tris = append(tris, ccw(tri{e[0], e[1], p}))
+		}
+	}
+	// Harvest triangles not touching the super-triangle.
+	for _, tr := range tris {
+		if tr.a >= n || tr.b >= n || tr.c >= n {
+			continue
+		}
+		t.Triangles = append(t.Triangles, [3]int{tr.a, tr.b, tr.c})
+		t.addEdge(tr.a, tr.b)
+		t.addEdge(tr.b, tr.c)
+		t.addEdge(tr.c, tr.a)
+	}
+	if len(t.Triangles) == 0 {
+		// Collinear (or otherwise degenerate) input: fall back to the
+		// sorted chain so downstream MST construction remains exact.
+		t.synthesizeChain()
+		return t, nil
+	}
+	// Points skipped as degenerate must still appear in the edge set for
+	// spanning purposes: hook each isolated point to its nearest neighbor.
+	t.attachIsolated()
+	return t, nil
+}
+
+func (t *Triangulation) addEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	t.edges[[2]int{u, v}] = struct{}{}
+}
+
+// synthesizeChain connects collinear points in coordinate order.
+func (t *Triangulation) synthesizeChain() {
+	idx := make([]int, len(t.Pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := t.Pts[idx[a]], t.Pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	for i := 1; i < len(idx); i++ {
+		t.addEdge(idx[i-1], idx[i])
+	}
+}
+
+// attachIsolated links any vertex absent from the edge set to its nearest
+// neighbor, preserving connectivity of the edge graph.
+func (t *Triangulation) attachIsolated() {
+	n := len(t.Pts)
+	seen := make([]bool, n)
+	for e := range t.edges {
+		seen[e[0]] = true
+		seen[e[1]] = true
+	}
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		best := -1
+		bestD := math.Inf(1)
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			if d := t.Pts[u].Dist2(t.Pts[v]); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		if best >= 0 {
+			t.addEdge(v, best)
+		}
+	}
+}
+
+// Validate checks the Delaunay empty-circumcircle property on every
+// triangle against every point (O(n·t); test-sized inputs).
+func (t *Triangulation) Validate() error {
+	for _, tr := range t.Triangles {
+		a, b, c := t.Pts[tr[0]], t.Pts[tr[1]], t.Pts[tr[2]]
+		for q := range t.Pts {
+			if q == tr[0] || q == tr[1] || q == tr[2] {
+				continue
+			}
+			if circumcircleContains(a, b, c, t.Pts[q]) {
+				return fmt.Errorf("delaunay: point %d inside circumcircle of %v", q, tr)
+			}
+		}
+	}
+	return nil
+}

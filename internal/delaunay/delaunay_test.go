@@ -1,0 +1,191 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointset"
+)
+
+// naivePrimWeight computes the exact EMST weight with dense Prim — a
+// local reference implementation (package mst imports delaunay, so tests
+// here cannot import mst back).
+func naivePrimWeight(pts []geom.Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	var total float64
+	for iter := 0; iter < n; iter++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (best < 0 || dist[v] < dist[best]) {
+				best = v
+			}
+		}
+		inTree[best] = true
+		total += dist[best]
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := pts[best].Dist(pts[v]); d < dist[v] {
+					dist[v] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+func TestBuildSquare(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTriangles() != 2 {
+		t.Fatalf("square should triangulate into 2 triangles, got %d", tr.NumTriangles())
+	}
+	// 4 boundary edges + 1 diagonal.
+	if len(tr.Edges()) != 5 {
+		t.Fatalf("edges = %d, want 5 (%v)", len(tr.Edges()), tr.Edges())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	if tr, err := Build(nil); err != nil || len(tr.Edges()) != 0 {
+		t.Fatal("empty build wrong")
+	}
+	if tr, err := Build([]geom.Point{{X: 1, Y: 1}}); err != nil || len(tr.Edges()) != 0 {
+		t.Fatal("single build wrong")
+	}
+	tr, err := Build([]geom.Point{{X: 0, Y: 0}, {X: 2, Y: 3}})
+	if err != nil || len(tr.Edges()) != 1 {
+		t.Fatal("pair build wrong")
+	}
+	// Collinear points: chain edges, no triangles.
+	var line []geom.Point
+	for i := 0; i < 8; i++ {
+		line = append(line, geom.Point{X: float64(i), Y: 0})
+	}
+	tr, err = Build(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTriangles() != 0 {
+		t.Fatalf("collinear input yielded %d triangles", tr.NumTriangles())
+	}
+	if len(tr.Edges()) != 7 {
+		t.Fatalf("collinear chain edges = %d, want 7", len(tr.Edges()))
+	}
+}
+
+func TestEmptyCircumcircleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		pts := pointset.Uniform(rng, 10+rng.Intn(80), 10)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Euler bound for planar triangulations: e ≤ 3n − 6.
+		if n := len(pts); len(tr.Edges()) > 3*n-6 {
+			t.Fatalf("trial %d: %d edges exceed planar bound", trial, len(tr.Edges()))
+		}
+	}
+}
+
+func TestDelaunayEdgesConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		pts := pointset.Clusters(rng, 10+rng.Intn(120), 4, 10, 0.5)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsu := graph.NewDSU(len(pts))
+		for _, e := range tr.Edges() {
+			dsu.Union(e[0], e[1])
+		}
+		if dsu.Sets() != 1 {
+			t.Fatalf("trial %d: Delaunay edge graph has %d components", trial, dsu.Sets())
+		}
+	}
+}
+
+// TestContainsEMST is the property this package exists for: every EMST
+// edge is a Delaunay edge, so Kruskal restricted to Delaunay edges yields
+// an exact EMST.
+func TestContainsEMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		pts := pointset.Uniform(rng, 10+rng.Intn(100), 10)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference := naivePrimWeight(pts)
+		// Kruskal over Delaunay edges only.
+		edges := tr.Edges()
+		type we struct {
+			w    float64
+			u, v int
+		}
+		var cand []we
+		for _, e := range edges {
+			cand = append(cand, we{pts[e[0]].Dist(pts[e[1]]), e[0], e[1]})
+		}
+		for i := 1; i < len(cand); i++ {
+			for j := i; j > 0 && cand[j].w < cand[j-1].w; j-- {
+				cand[j], cand[j-1] = cand[j-1], cand[j]
+			}
+		}
+		dsu := graph.NewDSU(len(pts))
+		var total float64
+		cnt := 0
+		for _, c := range cand {
+			if dsu.Union(c.u, c.v) {
+				total += c.w
+				cnt++
+			}
+		}
+		if cnt != len(pts)-1 {
+			t.Fatalf("trial %d: Delaunay-Kruskal spanned %d edges", trial, cnt)
+		}
+		if math.Abs(total-reference) > 1e-6 {
+			t.Fatalf("trial %d: Delaunay-Kruskal weight %.9f != Prim %.9f",
+				trial, total, reference)
+		}
+	}
+}
+
+func TestDuplicatePointsSkipped(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 0}}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate is attached to its nearest neighbor so the edge set
+	// still spans all indices.
+	dsu := graph.NewDSU(4)
+	for _, e := range tr.Edges() {
+		dsu.Union(e[0], e[1])
+	}
+	if dsu.Sets() != 1 {
+		t.Fatalf("duplicate point disconnected: %v", tr.Edges())
+	}
+}

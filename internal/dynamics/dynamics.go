@@ -1,0 +1,189 @@
+// Package dynamics studies the orientation algorithms as a *living*
+// network: sensors fail, the residual digraph degrades, and the network
+// re-orients. The paper's conclusion raises exactly this robustness
+// question (strong c-connectivity); here we quantify it empirically:
+// how much strong connectivity survives f failures before repair, and how
+// many surviving sensors must re-aim afterwards (re-orientation churn).
+package dynamics
+
+import (
+	"math/rand"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// FailureImpact describes the residual network after failures, before any
+// repair.
+type FailureImpact struct {
+	Failed      int
+	Survivors   int
+	LargestSCC  int     // size of the largest residual SCC
+	SCCFraction float64 // LargestSCC / Survivors
+	StillStrong bool
+	Reachable   int // sensors reachable from the first survivor
+}
+
+// Fail removes the given sensors from the assignment and analyses the
+// residual induced digraph. The assignment itself is not modified.
+func Fail(asg *antenna.Assignment, failed []int) FailureImpact {
+	n := asg.N()
+	dead := make([]bool, n)
+	for _, f := range failed {
+		if f >= 0 && f < n {
+			dead[f] = true
+		}
+	}
+	keep := make([]bool, n)
+	survivors := 0
+	for v := 0; v < n; v++ {
+		keep[v] = !dead[v]
+		if keep[v] {
+			survivors++
+		}
+	}
+	g := asg.InducedDigraph()
+	sub, new2old := g.InducedSubgraph(keep)
+	impact := FailureImpact{Failed: len(failed), Survivors: survivors}
+	if survivors == 0 {
+		impact.StillStrong = true
+		impact.SCCFraction = 1
+		return impact
+	}
+	impact.LargestSCC = graph.LargestSCCSize(sub)
+	impact.SCCFraction = float64(impact.LargestSCC) / float64(survivors)
+	impact.StillStrong = impact.LargestSCC == survivors
+	impact.Reachable = sub.ReachableFrom(0)
+	_ = new2old
+	return impact
+}
+
+// RepairResult describes a re-orientation of the surviving sensors.
+type RepairResult struct {
+	Survivors int
+	Strong    bool    // repaired network strongly connected
+	Churn     int     // surviving sensors whose sector set changed
+	ChurnFrac float64 // Churn / Survivors
+	NewRadius float64 // radius used by the repaired orientation
+}
+
+// Repair re-runs the Table-1 dispatcher on the survivors and measures the
+// churn against the original orientation: a surviving sensor counts as
+// churned when its sector multiset changed beyond tolerance. MST-local
+// algorithms keep churn proportional to the damaged region, which is the
+// property this measures.
+func Repair(asg *antenna.Assignment, failed []int, k int, phi float64) (RepairResult, *antenna.Assignment, error) {
+	n := asg.N()
+	dead := make([]bool, n)
+	for _, f := range failed {
+		if f >= 0 && f < n {
+			dead[f] = true
+		}
+	}
+	var pts []geom.Point
+	var old2new []int
+	survivorOld := make([]int, 0, n)
+	old2new = make([]int, n)
+	for v := 0; v < n; v++ {
+		if dead[v] {
+			old2new[v] = -1
+			continue
+		}
+		old2new[v] = len(pts)
+		pts = append(pts, asg.Pts[v])
+		survivorOld = append(survivorOld, v)
+	}
+	repaired, _, err := core.Orient(pts, k, phi)
+	if err != nil {
+		return RepairResult{}, nil, err
+	}
+	res := RepairResult{Survivors: len(pts)}
+	res.Strong = graph.StronglyConnected(repaired.InducedDigraph())
+	res.NewRadius = repaired.MaxRadius()
+	for newIdx, oldIdx := range survivorOld {
+		if !sectorsEqual(asg.Sectors[oldIdx], repaired.Sectors[newIdx]) {
+			res.Churn++
+		}
+	}
+	if res.Survivors > 0 {
+		res.ChurnFrac = float64(res.Churn) / float64(res.Survivors)
+	}
+	return res, repaired, nil
+}
+
+// sectorsEqual compares sector lists up to ordering and tolerance.
+func sectorsEqual(a, b []geom.Sector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, sa := range a {
+		found := false
+		for i, sb := range b {
+			if used[i] {
+				continue
+			}
+			if angleClose(sa.Start, sb.Start) && close(sa.Spread, sb.Spread) && close(sa.Radius, sb.Radius) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func close(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
+
+func angleClose(a, b float64) bool {
+	d := geom.CCW(a, b)
+	return d < 1e-9 || geom.TwoPi-d < 1e-9
+}
+
+// Scenario runs a progressive-failure experiment: kill `step` random
+// sensors at a time (up to maxFailures), measuring residual connectivity
+// and repair churn at each stage.
+type Scenario struct {
+	K        int
+	Phi      float64
+	Step     int
+	MaxFails int
+}
+
+// StageResult is one stage of a failure scenario.
+type StageResult struct {
+	CumulativeFailed int
+	Impact           FailureImpact
+	Repair           RepairResult
+}
+
+// RunScenario executes the scenario over the given points.
+func RunScenario(pts []geom.Point, sc Scenario, rng *rand.Rand) ([]StageResult, error) {
+	asg, _, err := core.Orient(pts, sc.K, sc.Phi)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Step <= 0 {
+		sc.Step = 1
+	}
+	if sc.MaxFails <= 0 || sc.MaxFails >= len(pts) {
+		sc.MaxFails = len(pts) / 4
+	}
+	perm := rng.Perm(len(pts))
+	var out []StageResult
+	for f := sc.Step; f <= sc.MaxFails; f += sc.Step {
+		failed := perm[:f]
+		impact := Fail(asg, failed)
+		repair, _, err := Repair(asg, failed, sc.K, sc.Phi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StageResult{CumulativeFailed: f, Impact: impact, Repair: repair})
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package dynamics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pointset"
+)
+
+func TestFailNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := pointset.Uniform(rng, 60, 8)
+	asg, _, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impact := Fail(asg, nil)
+	if !impact.StillStrong || impact.Survivors != 60 || impact.SCCFraction != 1 {
+		t.Fatalf("no-failure impact wrong: %+v", impact)
+	}
+}
+
+func TestFailDegradesTourNetwork(t *testing.T) {
+	// A directed tour network loses strong connectivity after any single
+	// failure (it is a cycle).
+	rng := rand.New(rand.NewSource(2))
+	pts := pointset.Uniform(rng, 40, 8)
+	asg, _, err := core.Orient(pts, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impact := Fail(asg, []int{7})
+	if impact.StillStrong {
+		t.Fatal("cycle should break after one failure")
+	}
+	if impact.Survivors != 39 {
+		t.Fatalf("survivors = %d", impact.Survivors)
+	}
+	if impact.SCCFraction >= 1 {
+		t.Fatalf("SCC fraction should drop: %+v", impact)
+	}
+}
+
+func TestFailAllAndOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := pointset.Uniform(rng, 10, 4)
+	asg, _, err := core.Orient(pts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, 10)
+	for i := range all {
+		all[i] = i
+	}
+	impact := Fail(asg, all)
+	if impact.Survivors != 0 || !impact.StillStrong {
+		t.Fatalf("total failure impact: %+v", impact)
+	}
+	// Out-of-range ids are ignored.
+	impact = Fail(asg, []int{-1, 99})
+	if impact.Survivors != 10 || !impact.StillStrong {
+		t.Fatalf("bogus failures impact: %+v", impact)
+	}
+}
+
+func TestRepairRestoresConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := pointset.Clusters(rng, 80, 4, 10, 0.5)
+	asg, _, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := []int{3, 17, 42, 55}
+	rep, repaired, err := Repair(asg, failed, 2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Fatal("repair did not restore strong connectivity")
+	}
+	if rep.Survivors != 76 || repaired.N() != 76 {
+		t.Fatalf("survivors = %d", rep.Survivors)
+	}
+	if rep.Churn == 0 {
+		t.Fatal("failures adjacent to the MST must force some re-aiming")
+	}
+	if rep.ChurnFrac < 0 || rep.ChurnFrac > 1 {
+		t.Fatalf("churn fraction %v out of range", rep.ChurnFrac)
+	}
+}
+
+func TestRepairChurnZeroWhenNothingFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := pointset.Uniform(rng, 50, 8)
+	asg, _, err := core.Orient(pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := Repair(asg, nil, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Churn != 0 {
+		t.Fatalf("deterministic re-orientation churned %d sensors with no failures", rep.Churn)
+	}
+	if !rep.Strong {
+		t.Fatal("repair not strong")
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := pointset.Uniform(rng, 60, 10)
+	stages, err := RunScenario(pts, Scenario{K: 4, Phi: 0, Step: 5, MaxFails: 15}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	for _, st := range stages {
+		if !st.Repair.Strong {
+			t.Fatalf("stage %d: repair failed", st.CumulativeFailed)
+		}
+		if st.Impact.Survivors != 60-st.CumulativeFailed {
+			t.Fatalf("stage %d: survivor count wrong", st.CumulativeFailed)
+		}
+	}
+	// Defaults kick in for bogus scenario parameters.
+	stages, err = RunScenario(pts, Scenario{K: 5, Phi: 0, Step: 0, MaxFails: 0}, rng)
+	if err != nil || len(stages) == 0 {
+		t.Fatalf("default scenario failed: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package exact computes provably optimal antenna radii for small
+// instances by exhaustive search. The paper leaves lower bounds open
+// ("Lower bounds are lacking from our study"); this solver supplies
+// empirical ones: for a given k and φ it finds the smallest radius r (a
+// pairwise distance) for which *some* orientation of k antennae with
+// total spread ≤ φ per sensor is strongly connected. Comparing the exact
+// optimum with the constructive algorithms quantifies their approximation
+// quality (experiment E-X1).
+package exact
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// MaxN is the largest instance the solver accepts. The search is
+// exponential; beyond this it refuses rather than hang.
+const MaxN = 9
+
+// Options configure the search.
+type Options struct {
+	K   int     // antennae per sensor (≥ 1)
+	Phi float64 // total spread budget per sensor
+}
+
+// Solution is the optimal radius and a witness orientation.
+type Solution struct {
+	Radius    float64 // optimal radius (absolute units)
+	OutSets   [][]int // witness: for each sensor, covered out-neighbors
+	Evaluated int     // number of out-set combinations tried
+	Ratio     float64 // Radius / l_max when lmax > 0
+}
+
+// coverable reports whether the rays towards the targets can be covered by
+// at most k sectors with total spread ≤ phi.
+func coverable(apex geom.Point, targets []geom.Point, k int, phi float64) bool {
+	if len(targets) == 0 {
+		return true
+	}
+	dirs := make([]float64, len(targets))
+	for i, t := range targets {
+		dirs[i] = geom.Dir(apex, t)
+	}
+	return geom.MinCoverSpread(dirs, k) <= phi+geom.AngleEps
+}
+
+// Solve finds the minimum radius achieving strong connectivity for the
+// given options. lmax is needed to report the ratio; pass the EMST
+// bottleneck. ok is false when n exceeds MaxN or no radius works (the
+// latter cannot happen for connected candidates: the full diameter always
+// works with k ≥ 1, φ ≥ 0? Only with enough antennae or spread to cover
+// every direction needed — hence ok).
+func Solve(pts []geom.Point, opt Options, lmax float64) (Solution, bool) {
+	n := len(pts)
+	if n > MaxN || opt.K < 1 {
+		return Solution{}, false
+	}
+	if n <= 1 {
+		return Solution{Radius: 0}, true
+	}
+	// Candidate radii: pairwise distances, ascending.
+	var cand []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cand = append(cand, pts[i].Dist(pts[j]))
+		}
+	}
+	sort.Float64s(cand)
+	cand = dedupFloats(cand)
+
+	// The largest radius may still be infeasible when k and φ cannot
+	// cover the needed directions; establish feasibility at the top first.
+	lo, hi := 0, len(cand)-1
+	if feasible(pts, opt, cand[hi]) == nil {
+		return Solution{}, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(pts, opt, cand[mid]) != nil {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	best := feasible(pts, opt, cand[lo])
+	best.Radius = cand[lo]
+	if lmax > 0 {
+		best.Ratio = best.Radius / lmax
+	}
+	return *best, true
+}
+
+// feasible searches for an orientation at radius r: every sensor chooses a
+// subset of its in-range neighbors to cover (angularly coverable within
+// the budget), such that the resulting digraph is strongly connected.
+// Returns a witness or nil.
+//
+// Pruning: subsets are enumerated per-sensor in decreasing size, keeping
+// only maximal coverable subsets (covering more vertices never hurts
+// strong connectivity), and the search aborts early if some sensor has no
+// coverable subset that reaches anyone (unless it can reach no one at all
+// — then infeasible for n > 1).
+func feasible(pts []geom.Point, opt Options, r float64) *Solution {
+	n := len(pts)
+	// In-range neighbor lists.
+	nb := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && pts[i].Dist(pts[j]) <= r+geom.Eps {
+				nb[i] = append(nb[i], j)
+			}
+		}
+	}
+	// Choices per sensor: maximal coverable subsets.
+	choices := make([][][]int, n)
+	for i := 0; i < n; i++ {
+		subs := maximalCoverable(pts, i, nb[i], opt)
+		if len(subs) == 0 {
+			return nil // cannot even cover the empty set? never: empty is coverable
+		}
+		choices[i] = subs
+	}
+	sol := &Solution{OutSets: make([][]int, n)}
+	if search(pts, choices, 0, sol) {
+		return sol
+	}
+	return nil
+}
+
+// maximalCoverable returns the maximal subsets of nb that sensor i can
+// cover within the budget. When everything is coverable there is exactly
+// one choice; otherwise subsets are enumerated by bitmask (|nb| ≤ 8 for
+// MaxN = 9).
+func maximalCoverable(pts []geom.Point, i int, nb []int, opt Options) [][]int {
+	m := len(nb)
+	if m == 0 {
+		return [][]int{{}}
+	}
+	targets := make([]geom.Point, m)
+	for x, j := range nb {
+		targets[x] = pts[j]
+	}
+	if coverable(pts[i], targets, opt.K, opt.Phi) {
+		return [][]int{append([]int(nil), nb...)}
+	}
+	type entry struct {
+		mask int
+		set  []int
+	}
+	var all []entry
+	for mask := 1; mask < 1<<m; mask++ {
+		var sub []geom.Point
+		var idx []int
+		for x := 0; x < m; x++ {
+			if mask&(1<<x) != 0 {
+				sub = append(sub, targets[x])
+				idx = append(idx, nb[x])
+			}
+		}
+		if coverable(pts[i], sub, opt.K, opt.Phi) {
+			all = append(all, entry{mask, idx})
+		}
+	}
+	// Keep only maximal masks.
+	var out [][]int
+	for a := range all {
+		maximal := true
+		for b := range all {
+			if a != b && all[a].mask&all[b].mask == all[a].mask {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, all[a].set)
+		}
+	}
+	// Prefer larger subsets first for faster success.
+	sort.Slice(out, func(a, b int) bool { return len(out[a]) > len(out[b]) })
+	return out
+}
+
+// search assigns choices[v] for v = i..n-1 and tests strong connectivity
+// at the leaves.
+func search(pts []geom.Point, choices [][][]int, i int, sol *Solution) bool {
+	n := len(pts)
+	if i == n {
+		g := graph.NewDigraph(n)
+		for u, outs := range sol.OutSets {
+			for _, v := range outs {
+				g.AddEdge(u, v)
+			}
+		}
+		sol.Evaluated++
+		return graph.StronglyConnected(g)
+	}
+	for _, c := range choices[i] {
+		sol.OutSets[i] = c
+		if search(pts, choices, i+1, sol) {
+			return true
+		}
+		if sol.Evaluated > 2_000_000 {
+			return false // safety valve
+		}
+	}
+	sol.OutSets[i] = nil
+	return false
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || math.Abs(x-out[len(out)-1]) > 1e-12 {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	if _, ok := Solve(nil, Options{K: 1, Phi: 0}, 0); !ok {
+		t.Fatal("empty should be ok")
+	}
+	if s, ok := Solve([]geom.Point{{X: 1, Y: 1}}, Options{K: 1, Phi: 0}, 0); !ok || s.Radius != 0 {
+		t.Fatal("single should be radius 0")
+	}
+	big := pointset.Uniform(rand.New(rand.NewSource(1)), MaxN+1, 5)
+	if _, ok := Solve(big, Options{K: 1, Phi: 0}, 1); ok {
+		t.Fatal("oversized instance accepted")
+	}
+	if _, ok := Solve(big[:2], Options{K: 0, Phi: 0}, 1); ok {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSolveTwoPoints(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}}
+	s, ok := Solve(pts, Options{K: 1, Phi: 0}, 5)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if math.Abs(s.Radius-5) > 1e-9 || math.Abs(s.Ratio-1) > 1e-9 {
+		t.Fatalf("radius = %v ratio = %v", s.Radius, s.Ratio)
+	}
+}
+
+func TestSolveEquilateralTriangleOneAntenna(t *testing.T) {
+	// Equilateral triangle, k=1, φ=0: each sensor points at one other;
+	// the directed 3-cycle at radius = side works.
+	side := 2.0
+	pts := []geom.Point{
+		{X: 0, Y: 0},
+		{X: side, Y: 0},
+		{X: side / 2, Y: side * math.Sqrt(3) / 2},
+	}
+	s, ok := Solve(pts, Options{K: 1, Phi: 0}, side)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if math.Abs(s.Radius-side) > 1e-9 {
+		t.Fatalf("radius = %v, want %v", s.Radius, side)
+	}
+	// Witness must be strongly connected and coverable.
+	g := graph.NewDigraph(3)
+	for u, outs := range s.OutSets {
+		for _, v := range outs {
+			g.AddEdge(u, v)
+		}
+	}
+	if !graph.StronglyConnected(g) {
+		t.Fatal("witness not strongly connected")
+	}
+}
+
+func TestSolveSquareNeedsDiagonalOrNot(t *testing.T) {
+	// Unit square, k=1, φ=0: a directed 4-cycle along the sides works at
+	// radius 1 = l_max.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	s, ok := Solve(pts, Options{K: 1, Phi: 0}, 1)
+	if !ok || math.Abs(s.Radius-1) > 1e-9 {
+		t.Fatalf("square k=1: radius %v ok=%v, want 1", s.Radius, ok)
+	}
+	// With k=2 or a 2π spread it cannot do better than l_max.
+	s, ok = Solve(pts, Options{K: 2, Phi: geom.TwoPi}, 1)
+	if !ok || s.Radius < 1-1e-9 {
+		t.Fatalf("square k=2: radius %v", s.Radius)
+	}
+}
+
+// TestExactLowerBoundsAlgorithms is experiment E-X1 in miniature: on small
+// instances the constructive algorithms may use more radius than the
+// optimum, but never less (optimality check) and never more than their
+// bound.
+func TestExactLowerBoundsAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		pts := pointset.Uniform(rng, 5+rng.Intn(3), 3)
+		tree := mst.Euclidean(pts)
+		lmax := tree.LMax()
+		for _, cfg := range []struct {
+			k   int
+			phi float64
+		}{
+			{1, math.Pi},
+			{2, math.Pi},
+			{2, 2 * math.Pi / 3},
+			{3, 0},
+			{4, 0},
+			{5, 0},
+		} {
+			opt, ok := Solve(pts, Options{K: cfg.k, Phi: cfg.phi}, lmax)
+			if !ok {
+				continue // spreads too small for any radius (possible for k=1 on some configs)
+			}
+			_, res, err := core.Orient(pts, cfg.k, cfg.phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RadiusUsed < opt.Radius-1e-9 {
+				t.Fatalf("trial %d k=%d phi=%.2f: algorithm radius %.6f below proven optimum %.6f",
+					trial, cfg.k, cfg.phi, res.RadiusUsed, opt.Radius)
+			}
+			// The optimum never exceeds the paper bound either.
+			bound, _ := core.Bound(cfg.k, cfg.phi)
+			if lmax > 0 && opt.Ratio > bound+1e-7 {
+				t.Fatalf("trial %d k=%d phi=%.2f: optimum ratio %.6f above paper bound %.6f",
+					trial, cfg.k, cfg.phi, opt.Ratio, bound)
+			}
+		}
+	}
+}
+
+func TestSolveFiveAntennaeIsLMax(t *testing.T) {
+	// k=5, φ=0 on ≤ 6 points: optimal radius is at most l_max (Table 1
+	// k=5 row) and at least the largest nearest-neighbor distance.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		pts := pointset.Uniform(rng, 6, 3)
+		lmax := mst.Euclidean(pts).LMax()
+		s, ok := Solve(pts, Options{K: 5, Phi: 0}, lmax)
+		if !ok {
+			t.Fatal("k=5 infeasible")
+		}
+		if s.Radius > lmax+1e-9 {
+			t.Fatalf("k=5 optimum %.6f exceeds l_max %.6f", s.Radius, lmax)
+		}
+		nn := pointset.NearestNeighborDists(pts)
+		worst := 0.0
+		for _, d := range nn {
+			if d > worst {
+				worst = d
+			}
+		}
+		if s.Radius < worst-1e-9 {
+			t.Fatalf("optimum %.6f below the nearest-neighbor lower bound %.6f", s.Radius, worst)
+		}
+	}
+}

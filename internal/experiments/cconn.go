@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pointset"
+	"repro/internal/topo"
+)
+
+// CConnRow reports strong 2-connectivity of one construction (E-X2, the
+// paper's open problem: "ensure the network is strongly c-connected").
+type CConnRow struct {
+	Label     string
+	K         int
+	Phi       float64
+	Strong    bool
+	Strong2   bool
+	Instances int
+	Always2   int // instances that were strongly 2-connected
+}
+
+// RunCConnectivity audits strong 2-connectivity across Table-1 rows on
+// small instances (the check is exponential in c and linear in subsets).
+func RunCConnectivity(cfg Config, n int) []CConnRow {
+	cfg = cfg.orDefault()
+	if n <= 0 || n > 40 {
+		n = 24
+	}
+	var out []CConnRow
+	for _, row := range core.Table1Rows() {
+		r := CConnRow{Label: row.Name, K: row.K, Phi: row.Phi}
+		for s := 0; s < cfg.Seeds; s++ {
+			rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(s)))
+			pts := pointset.Uniform(rng, n, 4)
+			asg, _, err := core.Orient(pts, row.K, row.Phi)
+			if err != nil {
+				continue
+			}
+			g := asg.InducedDigraph()
+			r.Instances++
+			if graph.StronglyConnected(g) {
+				r.Strong = true
+			}
+			if graph.StronglyCConnected(g, 2) {
+				r.Always2++
+			}
+		}
+		r.Strong2 = r.Always2 == r.Instances && r.Instances > 0
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteCConnectivity renders E-X2.
+func WriteCConnectivity(w io.Writer, rows []CConnRow) error {
+	if _, err := fmt.Fprintln(w, "E-X2 — strong 2-connectivity of the constructions (open problem audit)"); err != nil {
+		return err
+	}
+	headers := []string{"row", "k", "phi/pi", "strongly connected", "2-connected instances"}
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{
+			r.Label, d(r.K), f(r.Phi / math.Pi),
+			fmt.Sprintf("%v", r.Strong), pct(r.Always2, r.Instances),
+		})
+	}
+	return WriteTable(w, headers, tab)
+}
+
+// TopoRow compares the paper's constructions against classical
+// topology-control baselines on the same instances.
+type TopoRow struct {
+	Label     string
+	Strong    int // instances strongly connected
+	Instances int
+	MeanRatio float64 // radius used / l_max (mean over connected instances)
+	OutDeg    int     // max out-degree observed
+}
+
+// RunTopoBaselines contrasts Yao/Theta/KNN graphs with the paper's k=5
+// orientation: the structural point is that cone-based baselines need no
+// coordination but give up the radius bound, while the paper pins radius
+// at l_max with five antennae.
+func RunTopoBaselines(cfg Config, n int) []TopoRow {
+	cfg = cfg.orDefault()
+	if n <= 0 {
+		n = 150
+	}
+	rows := map[string]*TopoRow{}
+	order := []string{"paper-k5", "yao6", "yao5", "theta8", "knn3"}
+	for _, lbl := range order {
+		rows[lbl] = &TopoRow{Label: lbl}
+	}
+	for s := 0; s < cfg.Seeds; s++ {
+		rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(s)*13))
+		pts := MakeWorkload(cfg.Workloads[s%len(cfg.Workloads)], rng, n)
+		lmax := topo.CriticalRadius(pts)
+		if lmax == 0 {
+			continue
+		}
+		record := func(lbl string, g *graph.Digraph, radius float64) {
+			r := rows[lbl]
+			r.Instances++
+			if graph.StronglyConnected(g) {
+				r.Strong++
+				r.MeanRatio += radius / lmax
+			}
+			if od := g.MaxOutDegree(); od > r.OutDeg {
+				r.OutDeg = od
+			}
+		}
+		asg, res, err := core.Orient(pts, 5, 0)
+		if err == nil {
+			record("paper-k5", asg.InducedDigraph(), res.RadiusUsed)
+		}
+		g, rad := topo.YaoGraph(pts, 6, 0)
+		record("yao6", g, rad)
+		g, rad = topo.YaoGraph(pts, 5, 0)
+		record("yao5", g, rad)
+		g, rad = topo.ThetaGraph(pts, 8, 0)
+		record("theta8", g, rad)
+		g, rad = topo.KNNGraph(pts, 3)
+		record("knn3", g, rad)
+	}
+	out := make([]TopoRow, 0, len(order))
+	for _, lbl := range order {
+		r := rows[lbl]
+		if r.Strong > 0 {
+			r.MeanRatio /= float64(r.Strong)
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// WriteTopoBaselines renders the comparison.
+func WriteTopoBaselines(w io.Writer, rows []TopoRow) error {
+	if _, err := fmt.Fprintln(w, "Topology-control baselines vs the paper's k=5 orientation"); err != nil {
+		return err
+	}
+	headers := []string{"structure", "strongly connected", "mean radius/l_max", "max out-degree"}
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{r.Label, pct(r.Strong, r.Instances), f(r.MeanRatio), d(r.OutDeg)})
+	}
+	return WriteTable(w, headers, tab)
+}

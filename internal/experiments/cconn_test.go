@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCConnectivityOfConstructions(t *testing.T) {
+	rows := RunCConnectivity(Config{Seeds: 2, Sizes: []int{20}, Workloads: []string{"uniform"}, BaseSeed: 17}, 16)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byName := map[string]CConnRow{}
+	for _, r := range rows {
+		if r.Instances == 0 {
+			t.Fatalf("row %s ran nothing", r.Label)
+		}
+		if !r.Strong {
+			t.Fatalf("row %s not even strongly connected", r.Label)
+		}
+		byName[r.Label] = r
+	}
+	// Tour rows are directed cycles: never strongly 2-connected for n>2.
+	if byName["k1-phi0"].Always2 != 0 {
+		t.Fatal("a directed cycle cannot be strongly 2-connected")
+	}
+	var buf bytes.Buffer
+	if err := WriteCConnectivity(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2-connected") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestTopoBaselines(t *testing.T) {
+	rows := RunTopoBaselines(Config{Seeds: 3, Sizes: []int{80}, Workloads: []string{"uniform", "stars"}, BaseSeed: 19}, 80)
+	byName := map[string]TopoRow{}
+	for _, r := range rows {
+		byName[r.Label] = r
+	}
+	paper := byName["paper-k5"]
+	if paper.Strong != paper.Instances {
+		t.Fatalf("paper construction failed connectivity: %+v", paper)
+	}
+	if paper.MeanRatio > 1+1e-7 {
+		t.Fatalf("paper k=5 ratio %.4f above 1", paper.MeanRatio)
+	}
+	yao6 := byName["yao6"]
+	if yao6.Instances == 0 {
+		t.Fatal("yao6 ran nothing")
+	}
+	// Yao_6 connects but never with a better radius than l_max.
+	if yao6.Strong > 0 && yao6.MeanRatio < 1-1e-7 {
+		t.Fatalf("yao6 ratio %.4f below 1 — impossible", yao6.MeanRatio)
+	}
+	var buf bytes.Buffer
+	if err := WriteTopoBaselines(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paper-k5") {
+		t.Fatal("table malformed")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/pointset"
+)
+
+// EnergyRow is one row of the energy comparison: total sector area (the
+// standard transmission-energy proxy from the paper's related work
+// [9]–[11]) per Table-1 configuration, before and after radius shrinking.
+type EnergyRow struct {
+	Label           string
+	K               int
+	Phi             float64
+	AreaPerSensor   float64 // mean over instances, raw assignment
+	ShrunkPerSensor float64 // after ShrinkRadii (minimal radii, same digraph)
+	Instances       int
+}
+
+// RunEnergy measures the energy proxy across the Table-1 rows.
+func RunEnergy(cfg Config, n int) []EnergyRow {
+	cfg = cfg.orDefault()
+	if n <= 0 {
+		n = 150
+	}
+	var out []EnergyRow
+	for _, row := range core.Table1Rows() {
+		r := EnergyRow{Label: row.Name, K: row.K, Phi: row.Phi}
+		var raw, shrunk float64
+		for s := 0; s < cfg.Seeds; s++ {
+			rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(s)*31))
+			pts := pointset.Uniform(rng, n, 12)
+			asg, _, err := core.Orient(pts, row.K, row.Phi)
+			if err != nil {
+				continue
+			}
+			r.Instances++
+			raw += asg.TotalSectorArea() / float64(n)
+			asg.ShrinkRadii()
+			shrunk += asg.TotalSectorArea() / float64(n)
+		}
+		if r.Instances > 0 {
+			r.AreaPerSensor = raw / float64(r.Instances)
+			r.ShrunkPerSensor = shrunk / float64(r.Instances)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteEnergy renders the energy comparison.
+func WriteEnergy(w io.Writer, rows []EnergyRow) error {
+	if _, err := fmt.Fprintln(w, "Energy proxy — mean sector area per sensor (raw / radius-shrunk)"); err != nil {
+		return err
+	}
+	headers := []string{"row", "k", "phi/pi", "area", "area (shrunk)"}
+	var tab [][]string
+	for _, r := range rows {
+		tab = append(tab, []string{r.Label, d(r.K), f(r.Phi / math.Pi), f(r.AreaPerSensor), f(r.ShrunkPerSensor)})
+	}
+	return WriteTable(w, headers, tab)
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEnergy(t *testing.T) {
+	rows := RunEnergy(Config{Seeds: 2, Sizes: []int{60}, Workloads: []string{"uniform"}, BaseSeed: 23}, 60)
+	byName := map[string]EnergyRow{}
+	for _, r := range rows {
+		if r.Instances == 0 {
+			t.Fatalf("row %s ran nothing", r.Label)
+		}
+		if r.ShrunkPerSensor > r.AreaPerSensor+1e-9 {
+			t.Fatalf("row %s: shrinking increased area (%.4f -> %.4f)",
+				r.Label, r.AreaPerSensor, r.ShrunkPerSensor)
+		}
+		byName[r.Label] = r
+	}
+	// Zero-spread rows have zero sector area (rays carry no area) — the
+	// energy motivation for narrow beams.
+	if byName["k5-phi0"].AreaPerSensor != 0 {
+		t.Fatalf("k=5 zero-spread rows should have zero area, got %v",
+			byName["k5-phi0"].AreaPerSensor)
+	}
+	if byName["k1-8pi5"].AreaPerSensor <= 0 {
+		t.Fatal("wide-arc row should have positive area")
+	}
+	// Wider spreads cost more energy at the same k.
+	if byName["k2-2pi3"].AreaPerSensor > byName["k1-8pi5"].AreaPerSensor {
+		t.Fatalf("φ=2π/3 row (%.4f) should cost less than the 8π/5 arc (%.4f)",
+			byName["k2-2pi3"].AreaPerSensor, byName["k1-8pi5"].AreaPerSensor)
+	}
+	var buf bytes.Buffer
+	if err := WriteEnergy(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shrunk") {
+		t.Fatal("table malformed")
+	}
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// smallCfg keeps test runtime low.
+func smallCfg() Config {
+	return Config{Seeds: 2, Sizes: []int{40, 80}, Workloads: []string{"uniform", "stars"}, BaseSeed: 7}
+}
+
+func TestRunTable1AllRowsSucceed(t *testing.T) {
+	results := RunTable1(smallCfg())
+	if len(results) != len(core.Table1Rows()) {
+		t.Fatalf("got %d rows", len(results))
+	}
+	for _, r := range results {
+		if r.Instances == 0 {
+			t.Fatalf("row %s ran no instances", r.Row.Name)
+		}
+		if r.Successes != r.Instances {
+			t.Fatalf("row %s: %d/%d successes", r.Row.Name, r.Successes, r.Instances)
+		}
+		if r.Violations != 0 {
+			t.Fatalf("row %s: %d violations", r.Row.Name, r.Violations)
+		}
+		if r.MaxRatio > r.Guarantee+1e-7 {
+			t.Fatalf("row %s: max ratio %.4f above guarantee %.4f", r.Row.Name, r.MaxRatio, r.Guarantee)
+		}
+	}
+	// The headline Table-1 shape: measured worst ratios follow the bound
+	// ordering across the φ=0 column.
+	get := func(name string) RowResult {
+		for _, r := range results {
+			if r.Row.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return RowResult{}
+	}
+	if get("k5-phi0").MaxRatio > 1+1e-7 {
+		t.Fatal("k=5 must sit at radius 1")
+	}
+	if get("k3-phi0").MaxRatio > math.Sqrt(3)+1e-7 {
+		t.Fatal("k=3 above √3")
+	}
+	if get("k4-phi0").MaxRatio > math.Sqrt(2)+1e-7 {
+		t.Fatal("k=4 above √2")
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem 3.1") {
+		t.Fatalf("table output missing sources:\n%s", buf.String())
+	}
+}
+
+func TestPhiSweepShape(t *testing.T) {
+	pts := PhiSweep(smallCfg(), 6)
+	if len(pts) != 7 {
+		t.Fatalf("got %d sweep points", len(pts))
+	}
+	// Bound is non-increasing along the sweep and ends at 1.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Bound > pts[i-1].Bound+1e-9 {
+			t.Fatal("bound curve not monotone")
+		}
+	}
+	if math.Abs(pts[len(pts)-1].Bound-1) > 1e-9 {
+		t.Fatalf("sweep should end at bound 1, got %v", pts[len(pts)-1].Bound)
+	}
+	for _, p := range pts {
+		if p.Successes != p.Instances {
+			t.Fatalf("phi=%.3f: %d/%d", p.X, p.Successes, p.Instances)
+		}
+		if p.MaxRatio > p.Bound+1e-7 {
+			t.Fatalf("phi=%.3f: measured %.4f above bound %.4f", p.X, p.MaxRatio, p.Bound)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteSweep(&buf, "E-S1", "phi", pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "measured max") {
+		t.Fatal("sweep table malformed")
+	}
+}
+
+func TestKSweepShape(t *testing.T) {
+	pts := KSweep(smallCfg())
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The φ=0 bounds: 2, 2, √3, √2, 1 — non-increasing.
+	want := []float64{2, 2, math.Sqrt(3), math.Sqrt(2), 1}
+	for i, p := range pts {
+		if math.Abs(p.Bound-want[i]) > 1e-9 {
+			t.Fatalf("k=%d bound = %v, want %v", i+1, p.Bound, want[i])
+		}
+		if p.Successes != p.Instances {
+			t.Fatalf("k=%d: %d/%d successes", i+1, p.Successes, p.Instances)
+		}
+	}
+}
+
+func TestAblationCover(t *testing.T) {
+	results := RunAblationCover(smallCfg())
+	if len(results) != 4 {
+		t.Fatalf("got %d ablation rows", len(results))
+	}
+	for _, r := range results {
+		if r.OptimalSpread > r.LiteralSpread+1e-9 {
+			t.Fatalf("k=%d: optimal %.4f worse than literal %.4f", r.K, r.OptimalSpread, r.LiteralSpread)
+		}
+		if r.LiteralSpread > r.Lemma1Worst+1e-9 {
+			t.Fatalf("k=%d: literal %.4f above Lemma-1 worst case %.4f", r.K, r.LiteralSpread, r.Lemma1Worst)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAblationCover(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBTSP(t *testing.T) {
+	results := RunBTSP(smallCfg(), []int{8, 30})
+	if len(results) != 2 {
+		t.Fatalf("got %d", len(results))
+	}
+	if results[0].Exact == 0 {
+		t.Fatal("exact should run at n=8")
+	}
+	if results[1].Exact != 0 {
+		t.Fatal("exact should not run at n=30")
+	}
+	for _, r := range results {
+		if r.Cube > 3+1e-9 {
+			t.Fatalf("cube tour mean ratio %.4f above 3", r.Cube)
+		}
+	}
+	// At n=8 the heuristics can't beat the exact optimum.
+	if results[0].Shortcut < results[0].Exact-1e-9 {
+		t.Fatal("shortcut below exact optimum")
+	}
+	var buf bytes.Buffer
+	if err := WriteBTSP(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Sekanina") {
+		t.Fatal("BTSP table malformed")
+	}
+}
+
+func TestRunExactGap(t *testing.T) {
+	results := RunExactGap(Config{Seeds: 2, Sizes: []int{6}, Workloads: []string{"uniform"}, BaseSeed: 5}, 6)
+	if len(results) == 0 {
+		t.Fatal("no exact-gap rows")
+	}
+	for _, r := range results {
+		if r.Instances == 0 {
+			continue
+		}
+		if r.MeanGap < 1-1e-9 {
+			t.Fatalf("k=%d: algorithms beat the proven optimum (%v)", r.K, r.MeanGap)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteExactGap(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInterference(t *testing.T) {
+	rows := RunInterference(Config{Seeds: 1, Sizes: []int{60}, Workloads: []string{"uniform"}, BaseSeed: 3}, 60)
+	if len(rows) != len(core.Table1Rows()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]InterferenceRow{}
+	for _, r := range rows {
+		byName[r.Label] = r
+	}
+	// Zero-spread rows overhear less than the widest row.
+	if byName["k5-phi0"].MeanOverhear > byName["k1-8pi5"].MeanOverhear {
+		t.Fatalf("k=5 overhear %.3f above k=1 wide %.3f",
+			byName["k5-phi0"].MeanOverhear, byName["k1-8pi5"].MeanOverhear)
+	}
+	var buf bytes.Buffer
+	if err := WriteInterference(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for fig := 1; fig <= 6; fig++ {
+		var buf bytes.Buffer
+		desc, err := Figure(&buf, fig, 11)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if desc == "" || !strings.Contains(buf.String(), "<svg") {
+			t.Fatalf("figure %d produced no SVG", fig)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := Figure(&buf, 9, 1); err == nil {
+		t.Fatal("figure 9 should not exist")
+	}
+}
+
+func TestRunLemma1AllTight(t *testing.T) {
+	rows := RunLemma1()
+	if len(rows) == 0 {
+		t.Fatal("no lemma-1 rows")
+	}
+	for _, r := range rows {
+		if !r.Tight {
+			t.Fatalf("d=%d k=%d not tight: need %.6f bound %.6f", r.D, r.K, r.Need, r.Bound)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteLemma1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFactsClean(t *testing.T) {
+	r := RunFacts(smallCfg())
+	if r.Fact1Violations != 0 || r.Fact2Violations != 0 {
+		t.Fatalf("fact violations: %+v", r)
+	}
+	if r.Degree5Vertices == 0 {
+		t.Fatal("star workloads should produce degree-5 vertices")
+	}
+	var buf bytes.Buffer
+	if err := WriteFacts(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseCoverageComplete(t *testing.T) {
+	counts := CaseCoverage(Config{Seeds: 4, Sizes: []int{60, 120}, Workloads: []string{"uniform", "stars", "clusters"}, BaseSeed: 13}, 2, math.Pi)
+	for _, want := range []string{"t3-leaf", "t3-deg2", "root"} {
+		if counts[want] == 0 {
+			t.Fatalf("case %s uncovered: %v", want, counts)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCaseCoverage(&buf, "E-F3", counts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t3-leaf") {
+		t.Fatal("coverage table malformed")
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	var buf bytes.Buffer
+	headers := []string{"a", "bb"}
+	rows := [][]string{{"1", "2"}, {"333", "4"}}
+	if err := WriteTable(&buf, headers, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a    bb") && !strings.Contains(out, "a　") && !strings.Contains(out, "a  ") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+	buf.Reset()
+	if err := WriteCSVTable(&buf, headers, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,bb\n") {
+		t.Fatalf("csv: %q", buf.String())
+	}
+}

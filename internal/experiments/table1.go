@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pointset"
+	"repro/internal/verify"
+)
+
+// Config controls experiment scale. The zero value is replaced by
+// DefaultConfig.
+type Config struct {
+	Seeds     int   // instances per (row, workload)
+	Sizes     []int // instance sizes cycled across seeds
+	Workloads []string
+	BaseSeed  int64
+}
+
+// DefaultConfig is the scale used by cmd/table1 and the committed
+// EXPERIMENTS.md numbers.
+func DefaultConfig() Config {
+	return Config{
+		Seeds:     8,
+		Sizes:     []int{60, 150, 400},
+		Workloads: []string{"uniform", "clusters", "grid", "annulus", "stars"},
+		BaseSeed:  2009, // IPDPS 2009
+	}
+}
+
+func (c Config) orDefault() Config {
+	def := DefaultConfig()
+	if c.Seeds <= 0 {
+		c.Seeds = def.Seeds
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = def.Sizes
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = def.Workloads
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = def.BaseSeed
+	}
+	return c
+}
+
+// MakeWorkload generates the named deployment.
+func MakeWorkload(kind string, rng *rand.Rand, n int) []geom.Point {
+	switch kind {
+	case "clusters":
+		return pointset.Clusters(rng, n, 5, 14, 0.5)
+	case "grid":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		return pointset.PerturbedGrid(rng, side, side, 1, 0.25)
+	case "annulus":
+		return pointset.Annulus(rng, n, 5, 9)
+	case "stars":
+		return pointset.StarField(rng, 1+n/40)
+	case "line":
+		return pointset.Line(rng, n, 1, 0.3)
+	default:
+		return pointset.Uniform(rng, n, 12)
+	}
+}
+
+// RowResult aggregates one Table-1 row across instances.
+type RowResult struct {
+	Row        core.RowSpec
+	Instances  int
+	Successes  int // strongly connected and within budgets
+	MaxRatio   float64
+	MeanRatio  float64
+	Guarantee  float64
+	Violations int // algorithm-internal invariant failures
+}
+
+// RunTable1 reproduces Table 1: every row run across the configured
+// workloads, verified independently. The radius ratios are measured
+// against l_max exactly as the paper normalizes them.
+func RunTable1(cfg Config) []RowResult {
+	cfg = cfg.orDefault()
+	rows := core.Table1Rows()
+	out := make([]RowResult, 0, len(rows))
+	for _, row := range rows {
+		rr := RowResult{Row: row, Guarantee: row.Bound}
+		var ratioSum float64
+		instance := 0
+		for _, wl := range cfg.Workloads {
+			for s := 0; s < cfg.Seeds; s++ {
+				n := cfg.Sizes[instance%len(cfg.Sizes)]
+				rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(instance)*7919 + int64(len(wl))))
+				pts := MakeWorkload(wl, rng, n)
+				asg, res, err := core.Orient(pts, row.K, row.Phi)
+				instance++
+				rr.Instances++
+				if err != nil {
+					rr.Violations++
+					continue
+				}
+				if res.Guarantee > rr.Guarantee {
+					rr.Guarantee = res.Guarantee
+				}
+				rr.Violations += len(res.Violations)
+				rep := verify.Check(asg, verify.Budgets{
+					K:           row.K,
+					Phi:         row.Phi,
+					RadiusBound: res.Guarantee,
+				})
+				if rep.OK() && len(res.Violations) == 0 {
+					rr.Successes++
+				}
+				ratio := res.RadiusRatio()
+				ratioSum += ratio
+				if ratio > rr.MaxRatio {
+					rr.MaxRatio = ratio
+				}
+			}
+		}
+		if rr.Instances > 0 {
+			rr.MeanRatio = ratioSum / float64(rr.Instances)
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// WriteTable1 renders the reproduction of Table 1 next to the paper's
+// bounds.
+func WriteTable1(w io.Writer, results []RowResult) error {
+	headers := []string{"row", "k", "phi/pi", "paper bound", "measured max", "measured mean", "ok", "source"}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Row.Name,
+			d(r.Row.K),
+			f(r.Row.Phi / 3.141592653589793),
+			f(r.Row.Bound),
+			f(r.MaxRatio),
+			f(r.MeanRatio),
+			pct(r.Successes, r.Instances),
+			r.Row.Source,
+		})
+	}
+	if _, err := fmt.Fprintln(w, "Table 1 — upper bounds on antenna range (radius / l_max), paper vs measured"); err != nil {
+		return err
+	}
+	return WriteTable(w, headers, rows)
+}

@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// NormAngle normalizes an angle into the half-open interval [0, 2π).
+// Values within AngleEps of 2π are folded to 0 so that directions computed
+// through slightly different floating-point paths compare equal.
+func NormAngle(a float64) float64 {
+	a = math.Mod(a, TwoPi)
+	if a < 0 {
+		a += TwoPi
+	}
+	if TwoPi-a < AngleEps {
+		a = 0
+	}
+	return a
+}
+
+// CCW returns the counterclockwise sweep that rotates ray direction `from`
+// onto ray direction `to`, in [0, 2π).
+func CCW(from, to float64) float64 {
+	return NormAngle(to - from)
+}
+
+// CW returns the clockwise sweep from `from` to `to`, in [0, 2π).
+func CW(from, to float64) float64 {
+	return NormAngle(from - to)
+}
+
+// AngleBetween returns the unsigned angle between rays vu and vw at apex v,
+// in [0, π].
+func AngleBetween(v, u, w Point) float64 {
+	a := CCW(Dir(v, u), Dir(v, w))
+	if a > math.Pi {
+		a = TwoPi - a
+	}
+	return a
+}
+
+// CCWAngle returns the counterclockwise angle ∠uvw from ray vu to ray vw
+// (the paper's "∠ counterclockwise between rays ~vu and ~vw"), in [0, 2π).
+func CCWAngle(v, u, w Point) float64 {
+	return CCW(Dir(v, u), Dir(v, w))
+}
+
+// InCCWInterval reports whether ray direction theta lies inside the closed
+// counterclockwise interval that starts at `start` and spans `spread`
+// radians, with tolerance AngleEps. A spread ≥ 2π contains everything.
+func InCCWInterval(theta, start, spread float64) bool {
+	if spread >= TwoPi-AngleEps {
+		return true
+	}
+	d := CCW(start, theta)
+	return d <= spread+AngleEps || d >= TwoPi-AngleEps
+}
+
+// SortCCW sorts the given ray directions counterclockwise starting from the
+// reference direction ref: the key of direction a is CCW(ref, a). Returns a
+// permutation of indices into dirs (dirs itself is not modified).
+func SortCCW(ref float64, dirs []float64) []int {
+	idx := make([]int, len(dirs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return CCW(ref, dirs[idx[a]]) < CCW(ref, dirs[idx[b]])
+	})
+	return idx
+}
+
+// Gap describes the angular gap between two cyclically consecutive rays.
+type Gap struct {
+	From  int     // index (caller's space) of the ray opening the gap
+	To    int     // index of the ray closing the gap (next CCW ray)
+	Width float64 // CCW sweep from ray From to ray To
+}
+
+// CyclicGaps computes the angular gaps between cyclically consecutive ray
+// directions. The result has len(dirs) entries (a single ray yields one gap
+// of width 2π) ordered CCW starting at the ray with the smallest direction.
+// An empty input yields nil.
+func CyclicGaps(dirs []float64) []Gap {
+	n := len(dirs)
+	if n == 0 {
+		return nil
+	}
+	idx := SortCCW(0, dirs)
+	gaps := make([]Gap, n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a, b := idx[i], idx[j]
+		w := CCW(dirs[a], dirs[b])
+		if n == 1 {
+			w = TwoPi
+		} else if i == n-1 {
+			// Wrap-around gap: remaining angle to close the circle.
+			w = TwoPi - CCW(dirs[idx[0]], dirs[a])
+		}
+		gaps[i] = Gap{From: a, To: b, Width: w}
+	}
+	return gaps
+}
+
+// MaxGap returns the widest cyclic gap among the ray directions, or a zero
+// Gap if dirs is empty.
+func MaxGap(dirs []float64) Gap {
+	gaps := CyclicGaps(dirs)
+	var best Gap
+	for _, g := range gaps {
+		if g.Width > best.Width {
+			best = g
+		}
+	}
+	return best
+}
+
+// MinGap returns the narrowest cyclic gap among the ray directions, or a
+// zero Gap if dirs is empty.
+func MinGap(dirs []float64) Gap {
+	gaps := CyclicGaps(dirs)
+	if len(gaps) == 0 {
+		return Gap{}
+	}
+	best := gaps[0]
+	for _, g := range gaps[1:] {
+		if g.Width < best.Width {
+			best = g
+		}
+	}
+	return best
+}
+
+// SumKLargestGaps returns the total width of the k largest cyclic gaps of
+// dirs, clamping k to the number of gaps. It is the quantity maximized in
+// the optimal k-antenna cover of Lemma 1.
+func SumKLargestGaps(dirs []float64, k int) float64 {
+	gaps := CyclicGaps(dirs)
+	if k <= 0 || len(gaps) == 0 {
+		return 0
+	}
+	widths := make([]float64, len(gaps))
+	for i, g := range gaps {
+		widths[i] = g.Width
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(widths)))
+	if k > len(widths) {
+		k = len(widths)
+	}
+	var s float64
+	for _, w := range widths[:k] {
+		s += w
+	}
+	return s
+}
+
+// MinCoverSpread returns the minimum total angular spread needed to cover
+// every direction in dirs with at most k closed sectors sharing an apex:
+// 2π minus the k largest cyclic gaps (never negative). With k ≥ len(dirs)
+// the answer is 0 (one zero-spread antenna per ray).
+func MinCoverSpread(dirs []float64, k int) float64 {
+	if len(dirs) == 0 || k >= len(dirs) {
+		return 0
+	}
+	s := TwoPi - SumKLargestGaps(dirs, k)
+	if s < 0 {
+		return 0
+	}
+	return s
+}

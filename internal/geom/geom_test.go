@@ -1,0 +1,376 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{4, 6}
+	if got := p.Dist(q); !almost(got, 5, 1e-12) {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist2(q); !almost(got, 25, 1e-12) {
+		t.Fatalf("Dist2 = %v, want 25", got)
+	}
+	v := q.Sub(p)
+	if v != (Vec{3, 4}) {
+		t.Fatalf("Sub = %v", v)
+	}
+	if got := p.Add(v); got != q {
+		t.Fatalf("Add = %v, want %v", got, q)
+	}
+	if !p.Eq(Point{1 + 1e-12, 2}) {
+		t.Fatal("Eq should tolerate tiny perturbation")
+	}
+	if p.Eq(q) {
+		t.Fatal("distinct points reported equal")
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec{3, 4}
+	w := Vec{-4, 3}
+	if got := v.Dot(w); !almost(got, 0, 1e-12) {
+		t.Fatalf("Dot = %v, want 0", got)
+	}
+	if got := v.Cross(w); !almost(got, 25, 1e-12) {
+		t.Fatalf("Cross = %v, want 25", got)
+	}
+	if got := v.Norm(); !almost(got, 5, 1e-12) {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := v.Unit().Norm(); !almost(got, 1, 1e-12) {
+		t.Fatalf("Unit norm = %v, want 1", got)
+	}
+	if got := (Vec{0, 0}).Unit(); got != (Vec{0, 0}) {
+		t.Fatalf("zero Unit = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec{6, 8}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := v.Add(w).Sub(w); got != v {
+		t.Fatalf("Add/Sub roundtrip = %v", got)
+	}
+}
+
+func TestDirAndPolar(t *testing.T) {
+	o := Point{0, 0}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{1, 0}, 0},
+		{Point{0, 1}, math.Pi / 2},
+		{Point{-1, 0}, math.Pi},
+		{Point{0, -1}, 3 * math.Pi / 2},
+		{Point{1, 1}, math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := Dir(o, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Dir(o,%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Dir(o, o); got != 0 {
+		t.Errorf("Dir of coincident points = %v, want 0", got)
+	}
+	for theta := 0.0; theta < TwoPi; theta += 0.37 {
+		p := Polar(o, theta, 2.5)
+		if !almost(Dir(o, p), NormAngle(theta), 1e-9) {
+			t.Errorf("Polar/Dir roundtrip failed at theta=%v", theta)
+		}
+		if !almost(o.Dist(p), 2.5, 1e-9) {
+			t.Errorf("Polar distance wrong at theta=%v", theta)
+		}
+	}
+}
+
+func TestNormAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{TwoPi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+		{TwoPi - 1e-12, 0}, // folded by tolerance
+		{math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := NormAngle(c.in); !almost(got, c.want, 1e-9) {
+			t.Errorf("NormAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormAngleQuick(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e12 {
+			return true
+		}
+		g := NormAngle(a)
+		return g >= 0 && g < TwoPi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCWAndCW(t *testing.T) {
+	if got := CCW(0, math.Pi/2); !almost(got, math.Pi/2, 1e-12) {
+		t.Fatalf("CCW = %v", got)
+	}
+	if got := CCW(math.Pi/2, 0); !almost(got, 3*math.Pi/2, 1e-12) {
+		t.Fatalf("CCW wrap = %v", got)
+	}
+	if got := CW(math.Pi/2, 0); !almost(got, math.Pi/2, 1e-12) {
+		t.Fatalf("CW = %v", got)
+	}
+	// CCW + CW complete the circle for distinct rays.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64() * TwoPi
+		b := rng.Float64() * TwoPi
+		s := CCW(a, b) + CW(a, b)
+		if CCW(a, b) != 0 && !almost(s, TwoPi, 1e-9) {
+			t.Fatalf("CCW+CW = %v for a=%v b=%v", s, a, b)
+		}
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	v := Point{0, 0}
+	if got := AngleBetween(v, Point{1, 0}, Point{0, 1}); !almost(got, math.Pi/2, 1e-12) {
+		t.Fatalf("AngleBetween = %v", got)
+	}
+	// Unsigned: order must not matter.
+	if a, b := AngleBetween(v, Point{1, 0}, Point{-1, 1}), AngleBetween(v, Point{-1, 1}, Point{1, 0}); !almost(a, b, 1e-12) {
+		t.Fatalf("AngleBetween asymmetric: %v vs %v", a, b)
+	}
+	if got := AngleBetween(v, Point{1, 0}, Point{1, 0}); !almost(got, 0, 1e-12) {
+		t.Fatalf("self angle = %v", got)
+	}
+}
+
+func TestCCWAngle(t *testing.T) {
+	v := Point{0, 0}
+	u := Point{1, 0}
+	w := Point{0, 1}
+	if got := CCWAngle(v, u, w); !almost(got, math.Pi/2, 1e-12) {
+		t.Fatalf("CCWAngle = %v", got)
+	}
+	if got := CCWAngle(v, w, u); !almost(got, 3*math.Pi/2, 1e-12) {
+		t.Fatalf("CCWAngle reversed = %v", got)
+	}
+}
+
+func TestInCCWInterval(t *testing.T) {
+	cases := []struct {
+		theta, start, spread float64
+		want                 bool
+	}{
+		{0.5, 0, 1, true},
+		{1.0 + 1e-12, 0, 1, true}, // boundary with tolerance
+		{1.1, 0, 1, false},
+		{0, 0, 0, true},                       // zero spread ray hits itself
+		{6.0, 5.5, 1.5, true},                 // wraps past 2π
+		{0.7, 5.5, 1.5, true},                 // inside wrapped part
+		{1.0, 5.5, 1.5, false},                // outside wrapped part
+		{3.0, 1.0, TwoPi, true},               // full circle
+		{TwoPi - 1e-12, 0, 0, true},           // tolerance at wrap
+		{math.Pi, math.Pi / 2, math.Pi, true}, // interior
+		{3 * math.Pi / 2, math.Pi / 2, math.Pi, true},
+		{3*math.Pi/2 + 0.01, math.Pi / 2, math.Pi, false},
+	}
+	for i, c := range cases {
+		if got := InCCWInterval(c.theta, c.start, c.spread); got != c.want {
+			t.Errorf("case %d: InCCWInterval(%v,%v,%v) = %v, want %v", i, c.theta, c.start, c.spread, got, c.want)
+		}
+	}
+}
+
+func TestSortCCW(t *testing.T) {
+	dirs := []float64{3.0, 0.5, 5.5, 2.0}
+	idx := SortCCW(1.0, dirs)
+	// CCW distance from ref=1.0: 2.0->1.0, 3.0->2.0, 5.5->4.5, 0.5->5.78...
+	want := []int{3, 0, 2, 1}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("SortCCW order = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestCyclicGaps(t *testing.T) {
+	dirs := []float64{0, math.Pi / 2, math.Pi}
+	gaps := CyclicGaps(dirs)
+	if len(gaps) != 3 {
+		t.Fatalf("len(gaps) = %d", len(gaps))
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g.Width
+	}
+	if !almost(sum, TwoPi, 1e-9) {
+		t.Fatalf("gap widths sum to %v, want 2π", sum)
+	}
+	mg := MaxGap(dirs)
+	if !almost(mg.Width, math.Pi, 1e-9) {
+		t.Fatalf("MaxGap = %v, want π", mg.Width)
+	}
+	if mg.From != 2 || mg.To != 0 {
+		t.Fatalf("MaxGap endpoints = %d->%d, want 2->0", mg.From, mg.To)
+	}
+	if got := MinGap(dirs); !almost(got.Width, math.Pi/2, 1e-9) {
+		t.Fatalf("MinGap = %v", got.Width)
+	}
+}
+
+func TestCyclicGapsSingleAndEmpty(t *testing.T) {
+	if got := CyclicGaps(nil); got != nil {
+		t.Fatalf("gaps of empty = %v", got)
+	}
+	gaps := CyclicGaps([]float64{1.3})
+	if len(gaps) != 1 || !almost(gaps[0].Width, TwoPi, 1e-12) {
+		t.Fatalf("single-ray gaps = %v", gaps)
+	}
+}
+
+func TestCyclicGapsSumQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		dirs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				continue
+			}
+			dirs = append(dirs, NormAngle(r))
+		}
+		if len(dirs) == 0 {
+			return true
+		}
+		var sum float64
+		for _, g := range CyclicGaps(dirs) {
+			if g.Width < -1e-9 {
+				return false
+			}
+			sum += g.Width
+		}
+		return almost(sum, TwoPi, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumKLargestGapsAndMinCover(t *testing.T) {
+	// Four rays at the compass points: all gaps are π/2.
+	dirs := []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+	if got := SumKLargestGaps(dirs, 2); !almost(got, math.Pi, 1e-9) {
+		t.Fatalf("SumKLargestGaps = %v, want π", got)
+	}
+	if got := MinCoverSpread(dirs, 1); !almost(got, 3*math.Pi/2, 1e-9) {
+		t.Fatalf("MinCoverSpread k=1 = %v, want 3π/2", got)
+	}
+	if got := MinCoverSpread(dirs, 4); got != 0 {
+		t.Fatalf("MinCoverSpread k=n = %v, want 0", got)
+	}
+	if got := MinCoverSpread(dirs, 7); got != 0 {
+		t.Fatalf("MinCoverSpread k>n = %v, want 0", got)
+	}
+	if got := MinCoverSpread(nil, 1); got != 0 {
+		t.Fatalf("MinCoverSpread empty = %v", got)
+	}
+	// Lemma 1 necessity on a regular d-gon: cover spread is exactly
+	// 2π(d−k)/d.
+	for d := 2; d <= 8; d++ {
+		dirs := make([]float64, d)
+		for i := range dirs {
+			dirs[i] = TwoPi * float64(i) / float64(d)
+		}
+		for k := 1; k < d; k++ {
+			want := TwoPi * float64(d-k) / float64(d)
+			if got := MinCoverSpread(dirs, k); !almost(got, want, 1e-9) {
+				t.Errorf("regular %d-gon k=%d: MinCoverSpread = %v, want %v", d, k, got, want)
+			}
+		}
+	}
+}
+
+func TestOrientationAndTriangle(t *testing.T) {
+	a, b, c := Point{0, 0}, Point{1, 0}, Point{0, 1}
+	if Orientation(a, b, c) != 1 {
+		t.Fatal("expected CCW")
+	}
+	if Orientation(a, c, b) != -1 {
+		t.Fatal("expected CW")
+	}
+	if Orientation(a, b, Point{2, 0}) != 0 {
+		t.Fatal("expected collinear")
+	}
+	if !InTriangle(Point{0.2, 0.2}, a, b, c) {
+		t.Fatal("interior point not in triangle")
+	}
+	if InTriangle(Point{1, 1}, a, b, c) {
+		t.Fatal("exterior point in triangle")
+	}
+	if !InTriangle(Point{0.5, 0}, a, b, c) {
+		t.Fatal("boundary point not in triangle")
+	}
+}
+
+func TestChordBound(t *testing.T) {
+	// Equilateral: θ = π/3 gives chord = edge length.
+	if got := ChordBound(math.Pi/3, 1); !almost(got, 1, 1e-12) {
+		t.Fatalf("ChordBound(π/3) = %v, want 1", got)
+	}
+	// Diameter: θ = π gives 2.
+	if got := ChordBound(math.Pi, 1); !almost(got, 2, 1e-12) {
+		t.Fatalf("ChordBound(π) = %v, want 2", got)
+	}
+	// Clamping.
+	if got := ChordBound(-1, 1); got != 0 {
+		t.Fatalf("ChordBound(-1) = %v", got)
+	}
+	if got := ChordBound(10, 1); !almost(got, 2, 1e-12) {
+		t.Fatalf("ChordBound(10) = %v", got)
+	}
+	// Fact 1.2 empirically: points within edgeLen of apex subtending θ are
+	// within ChordBound of each other.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		theta := math.Pi/3 + rng.Float64()*(math.Pi-math.Pi/3)
+		r1 := rng.Float64()
+		r2 := rng.Float64()
+		base := rng.Float64() * TwoPi
+		apex := Point{rng.Float64(), rng.Float64()}
+		p := Polar(apex, base, r1)
+		q := Polar(apex, base+theta, r2)
+		if p.Dist(q) > ChordBound(theta, 1)+1e-9 {
+			t.Fatalf("chord bound violated: θ=%v r1=%v r2=%v", theta, r1, r2)
+		}
+	}
+}
+
+func TestCentroidBoundingBoxMidpoint(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	if got := Centroid(pts); !got.Eq(Point{1, 1}) {
+		t.Fatalf("Centroid = %v", got)
+	}
+	min, max := BoundingBox(pts)
+	if min != (Point{0, 0}) || max != (Point{2, 2}) {
+		t.Fatalf("BoundingBox = %v %v", min, max)
+	}
+	if got := Centroid(nil); got != (Point{}) {
+		t.Fatalf("Centroid(nil) = %v", got)
+	}
+	min, max = BoundingBox(nil)
+	if min != (Point{}) || max != (Point{}) {
+		t.Fatalf("BoundingBox(nil) = %v %v", min, max)
+	}
+	if got := Midpoint(Point{0, 0}, Point{2, 4}); got != (Point{1, 2}) {
+		t.Fatalf("Midpoint = %v", got)
+	}
+}

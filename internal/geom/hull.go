@@ -1,0 +1,84 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counterclockwise order using
+// Andrew's monotone chain. Collinear boundary points are dropped. The input
+// is not modified. Degenerate inputs (fewer than 3 distinct points, or all
+// collinear) return the extreme points found.
+func ConvexHull(pts []Point) []Point {
+	n := len(pts)
+	if n < 3 {
+		out := make([]Point, n)
+		copy(out, pts)
+		return out
+	}
+	ps := make([]Point, n)
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	n = len(ps)
+	if n < 3 {
+		return ps
+	}
+	hull := make([]Point, 0, 2*n)
+	// Lower hull.
+	for _, p := range ps {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= Eps {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= Eps {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// PolygonArea returns the signed area of the polygon (positive when the
+// vertices wind counterclockwise).
+func PolygonArea(poly []Point) float64 {
+	var a float64
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += poly[i].X*poly[j].Y - poly[j].X*poly[i].Y
+	}
+	return a / 2
+}
+
+// Diameter returns the largest pairwise distance among pts (O(h²) over the
+// hull, which is ample at our scales).
+func Diameter(pts []Point) float64 {
+	h := ConvexHull(pts)
+	if len(h) < 2 {
+		return 0
+	}
+	var best float64
+	for i := 0; i < len(h); i++ {
+		for j := i + 1; j < len(h); j++ {
+			if d := h[i].Dist(h[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,91 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.25, 0.75}}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4 (%v)", len(h), h)
+	}
+	if !almost(math.Abs(PolygonArea(h)), 1, 1e-9) {
+		t.Fatalf("hull area = %v, want 1", PolygonArea(h))
+	}
+	if PolygonArea(h) < 0 {
+		t.Fatal("hull not CCW")
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); len(h) != 0 {
+		t.Fatalf("hull of empty = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 2}}); len(h) != 1 {
+		t.Fatalf("hull of single = %v", h)
+	}
+	// All collinear.
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	h := ConvexHull(pts)
+	if len(h) > 2 {
+		t.Fatalf("collinear hull has %d points: %v", len(h), h)
+	}
+	// Duplicates collapse.
+	pts = []Point{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}}
+	h = ConvexHull(pts)
+	if len(h) != 3 {
+		t.Fatalf("hull with duplicates = %v", h)
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(100)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		h := ConvexHull(pts)
+		if len(h) < 3 {
+			continue
+		}
+		// Every input point is inside or on the hull: check via signed area
+		// against each hull edge.
+		for _, p := range pts {
+			for i := 0; i < len(h); i++ {
+				j := (i + 1) % len(h)
+				if h[j].Sub(h[i]).Cross(p.Sub(h[i])) < -1e-7 {
+					t.Fatalf("point %v outside hull edge %v-%v", p, h[i], h[j])
+				}
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 4}, {1, 1}}
+	if got := Diameter(pts); !almost(got, 5, 1e-9) {
+		t.Fatalf("Diameter = %v, want 5", got)
+	}
+	if got := Diameter([]Point{{1, 1}}); got != 0 {
+		t.Fatalf("Diameter single = %v", got)
+	}
+	// Diameter upper-bounds every pairwise distance.
+	rng := rand.New(rand.NewSource(9))
+	pts = pts[:0]
+	for i := 0; i < 60; i++ {
+		pts = append(pts, Point{rng.Float64(), rng.Float64()})
+	}
+	d := Diameter(pts)
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) > d+1e-9 {
+				t.Fatalf("pairwise distance exceeds diameter")
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sector models a directional antenna beam: a closed circular sector with
+// apex at the owning sensor, opening counterclockwise from the ray at angle
+// Start through Spread radians, with the given Radius (range).
+//
+// A zero-spread sector is a single ray; containment still succeeds for
+// points within AngleEps of the ray so that "antenna of angle 0 pointed at
+// v" (the paper's favourite construction) is numerically robust.
+type Sector struct {
+	Start  float64 // first bounding ray, normalized to [0, 2π)
+	Spread float64 // CCW opening in radians, in [0, 2π]
+	Radius float64 // range; non-negative
+}
+
+// NewSector builds a normalized sector.
+func NewSector(start, spread, radius float64) Sector {
+	if spread < 0 {
+		spread = 0
+	}
+	if spread > TwoPi {
+		spread = TwoPi
+	}
+	return Sector{Start: NormAngle(start), Spread: spread, Radius: radius}
+}
+
+// RaySector builds the zero-spread sector pointing from apex towards
+// target, with the given radius.
+func RaySector(apex, target Point, radius float64) Sector {
+	return NewSector(Dir(apex, target), 0, radius)
+}
+
+// SpanSector builds the sector with apex `apex` opening CCW from the ray
+// towards `first` to the ray towards `last`, with the given radius. Both
+// boundary targets are contained.
+func SpanSector(apex, first, last Point, radius float64) Sector {
+	a := Dir(apex, first)
+	return NewSector(a, CCW(a, Dir(apex, last)), radius)
+}
+
+// End returns the direction of the closing ray of the sector.
+func (s Sector) End() float64 { return NormAngle(s.Start + s.Spread) }
+
+// Mid returns the direction of the bisector ray of the sector.
+func (s Sector) Mid() float64 { return NormAngle(s.Start + s.Spread/2) }
+
+// ContainsDir reports whether ray direction theta falls inside the closed
+// angular interval of the sector (radius ignored).
+func (s Sector) ContainsDir(theta float64) bool {
+	return InCCWInterval(theta, s.Start, s.Spread)
+}
+
+// Contains reports whether point q is covered by the sector anchored at
+// apex: within Radius (plus Eps) and inside the angular interval. The apex
+// itself is always covered.
+func (s Sector) Contains(apex, q Point) bool {
+	d := apex.Dist(q)
+	if d <= Eps {
+		return true
+	}
+	if d > s.Radius+Eps {
+		return false
+	}
+	return s.ContainsDir(Dir(apex, q))
+}
+
+// String renders the sector for diagnostics.
+func (s Sector) String() string {
+	return fmt.Sprintf("sector[start=%.4f spread=%.4f r=%.4f]", s.Start, s.Spread, s.Radius)
+}
+
+// Area returns the area of the sector.
+func (s Sector) Area() float64 {
+	return 0.5 * s.Spread * s.Radius * s.Radius
+}
+
+// SectorUnionSpread returns the total spread of the sectors. It is the
+// quantity bounded by φ_k in the paper (sectors at one sensor are assumed
+// disjoint or the sum is simply an upper bound on coverage).
+func SectorUnionSpread(sectors []Sector) float64 {
+	var sum float64
+	for _, s := range sectors {
+		sum += s.Spread
+	}
+	return sum
+}
+
+// MaxRadius returns the largest radius among the sectors, or 0 for none.
+func MaxRadius(sectors []Sector) float64 {
+	var r float64
+	for _, s := range sectors {
+		r = math.Max(r, s.Radius)
+	}
+	return r
+}
+
+// CoverAllSector returns the minimal sector at apex (with the given radius)
+// covering every target: it spans 2π minus the widest cyclic gap of the
+// target directions. For zero or one target a zero-spread sector suffices.
+// The second return value is false when targets is empty.
+func CoverAllSector(apex Point, targets []Point, radius float64) (Sector, bool) {
+	if len(targets) == 0 {
+		return Sector{}, false
+	}
+	dirs := make([]float64, len(targets))
+	for i, t := range targets {
+		dirs[i] = Dir(apex, t)
+	}
+	if len(targets) == 1 {
+		return NewSector(dirs[0], 0, radius), true
+	}
+	g := MaxGap(dirs)
+	// The sector starts where the widest gap ends and spans the rest.
+	return NewSector(dirs[g.To], TwoPi-g.Width, radius), true
+}

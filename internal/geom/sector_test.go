@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewSectorNormalization(t *testing.T) {
+	s := NewSector(-math.Pi/2, -1, 3)
+	if !almost(s.Start, 3*math.Pi/2, 1e-12) {
+		t.Fatalf("Start = %v", s.Start)
+	}
+	if s.Spread != 0 {
+		t.Fatalf("negative spread not clamped: %v", s.Spread)
+	}
+	s = NewSector(0, 10, 1)
+	if !almost(s.Spread, TwoPi, 1e-12) {
+		t.Fatalf("oversized spread not clamped: %v", s.Spread)
+	}
+}
+
+func TestSectorEndMid(t *testing.T) {
+	s := NewSector(3*math.Pi/2, math.Pi, 1)
+	if !almost(s.End(), math.Pi/2, 1e-9) {
+		t.Fatalf("End = %v", s.End())
+	}
+	if !almost(s.Mid(), 0, 1e-9) {
+		t.Fatalf("Mid = %v", s.Mid())
+	}
+}
+
+func TestRaySectorContainsTarget(t *testing.T) {
+	apex := Point{1, 1}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		target := Point{rng.Float64()*10 - 5, rng.Float64()*10 - 5}
+		if target.Eq(apex) {
+			continue
+		}
+		s := RaySector(apex, target, apex.Dist(target))
+		if !s.Contains(apex, target) {
+			t.Fatalf("ray sector misses its own target %v", target)
+		}
+		// Farther point on the same ray but out of range must fail.
+		far := Polar(apex, Dir(apex, target), apex.Dist(target)*2+1)
+		if s.Contains(apex, far) {
+			t.Fatalf("out-of-range point contained")
+		}
+	}
+}
+
+func TestSpanSectorContainsBoundaryAndInterior(t *testing.T) {
+	apex := Point{0, 0}
+	first := Point{1, 0}
+	last := Point{0, 1}
+	s := SpanSector(apex, first, last, 2)
+	if !s.Contains(apex, first) || !s.Contains(apex, last) {
+		t.Fatal("span sector misses a boundary target")
+	}
+	if !s.Contains(apex, Point{1, 1}) {
+		t.Fatal("span sector misses interior point")
+	}
+	if s.Contains(apex, Point{-1, 1}) {
+		t.Fatal("span sector contains exterior point")
+	}
+	if s.Contains(apex, Point{1, -0.1}) {
+		t.Fatal("span sector contains point just below start ray")
+	}
+}
+
+func TestSpanSectorWrapsCorrectDirection(t *testing.T) {
+	// From +y CCW to +x is a 3π/2 sweep (through -x and -y).
+	apex := Point{0, 0}
+	s := SpanSector(apex, Point{0, 1}, Point{1, 0}, 2)
+	if !almost(s.Spread, 3*math.Pi/2, 1e-9) {
+		t.Fatalf("Spread = %v, want 3π/2", s.Spread)
+	}
+	if !s.Contains(apex, Point{-1, 0}) {
+		t.Fatal("wrapped sector should contain -x")
+	}
+	if s.Contains(apex, Point{1, 1}) {
+		t.Fatal("wrapped sector should not contain the first quadrant bisector")
+	}
+}
+
+func TestSectorContainsApex(t *testing.T) {
+	s := NewSector(0, 0, 0.001)
+	apex := Point{5, 5}
+	if !s.Contains(apex, apex) {
+		t.Fatal("apex must always be contained")
+	}
+}
+
+func TestSectorContainsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	apex := Point{0, 0}
+	for i := 0; i < 500; i++ {
+		start := rng.Float64() * TwoPi
+		spread := rng.Float64() * TwoPi
+		radius := 0.5 + rng.Float64()*2
+		s := NewSector(start, spread, radius)
+		// A point strictly inside the angular interval and range.
+		theta := start + spread*rng.Float64()
+		r := radius * (0.1 + 0.8*rng.Float64())
+		if !s.Contains(apex, Polar(apex, theta, r)) {
+			t.Fatalf("interior point escaped sector %v (theta=%v r=%v)", s, theta, r)
+		}
+		// A point strictly outside the angular interval (if one exists).
+		if TwoPi-spread > 0.1 {
+			out := start + spread + (TwoPi-spread)*0.5
+			if s.Contains(apex, Polar(apex, out, r)) {
+				t.Fatalf("exterior point contained in %v (theta=%v)", s, out)
+			}
+		}
+	}
+}
+
+func TestSectorAreaAndAggregates(t *testing.T) {
+	s := NewSector(0, math.Pi, 2)
+	if !almost(s.Area(), 0.5*math.Pi*4, 1e-12) {
+		t.Fatalf("Area = %v", s.Area())
+	}
+	sectors := []Sector{NewSector(0, 1, 1), NewSector(2, 0.5, 3)}
+	if got := SectorUnionSpread(sectors); !almost(got, 1.5, 1e-12) {
+		t.Fatalf("SectorUnionSpread = %v", got)
+	}
+	if got := MaxRadius(sectors); !almost(got, 3, 1e-12) {
+		t.Fatalf("MaxRadius = %v", got)
+	}
+	if got := MaxRadius(nil); got != 0 {
+		t.Fatalf("MaxRadius(nil) = %v", got)
+	}
+	if !strings.Contains(s.String(), "sector[") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestCoverAllSector(t *testing.T) {
+	apex := Point{0, 0}
+	if _, ok := CoverAllSector(apex, nil, 1); ok {
+		t.Fatal("empty targets should report !ok")
+	}
+	s, ok := CoverAllSector(apex, []Point{{1, 1}}, 1)
+	if !ok || s.Spread != 0 {
+		t.Fatalf("single target cover = %v ok=%v", s, ok)
+	}
+	// Three targets spanning three quadrants: the cover must skip the
+	// widest gap and contain all of them.
+	targets := []Point{{1, 0}, {0, 1}, {-1, 0}}
+	s, ok = CoverAllSector(apex, targets, 2)
+	if !ok {
+		t.Fatal("cover failed")
+	}
+	for _, q := range targets {
+		if !s.Contains(apex, q) {
+			t.Fatalf("cover %v misses %v", s, q)
+		}
+	}
+	if !almost(s.Spread, math.Pi, 1e-9) {
+		t.Fatalf("cover spread = %v, want π", s.Spread)
+	}
+	// Randomized: cover always contains every target and spread is
+	// 2π − widest gap.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(6)
+		pts := make([]Point, m)
+		dirs := make([]float64, m)
+		for i := range pts {
+			dirs[i] = rng.Float64() * TwoPi
+			pts[i] = Polar(apex, dirs[i], 0.2+rng.Float64())
+		}
+		s, ok := CoverAllSector(apex, pts, 2)
+		if !ok {
+			t.Fatal("cover failed")
+		}
+		for _, q := range pts {
+			if !s.Contains(apex, q) {
+				t.Fatalf("random cover misses a target (trial %d)", trial)
+			}
+		}
+		want := TwoPi - MaxGap(dirs).Width
+		if !almost(s.Spread, want, 1e-6) {
+			t.Fatalf("cover spread = %v, want %v", s.Spread, want)
+		}
+	}
+}

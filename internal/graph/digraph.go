@@ -1,0 +1,205 @@
+// Package graph provides the directed- and undirected-graph machinery used
+// by the antenna orientation algorithms and their verifier: adjacency-list
+// graphs, strongly connected components (Tarjan, with an independent
+// Kosaraju implementation for cross-checking), traversals, directed
+// eccentricity, a disjoint-set union, and a brute-force strong
+// c-connectivity test for the paper's open problem.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over vertices 0..N-1 with adjacency lists.
+type Digraph struct {
+	N   int
+	Adj [][]int
+}
+
+// NewDigraph returns an empty digraph on n vertices.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{N: n, Adj: make([][]int, n)}
+}
+
+// AddEdge inserts the directed edge u -> v. Self-loops are ignored since
+// they never affect connectivity. Duplicate edges are permitted (and cheap);
+// use Dedup to remove them.
+func (g *Digraph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.Adj[u] = append(g.Adj[u], v)
+}
+
+// HasEdge reports whether the edge u -> v is present.
+func (g *Digraph) HasEdge(u, v int) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns the total number of directed edges.
+func (g *Digraph) NumEdges() int {
+	m := 0
+	for _, a := range g.Adj {
+		m += len(a)
+	}
+	return m
+}
+
+// OutDegree returns the out-degree of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.Adj[u]) }
+
+// MaxOutDegree returns the largest out-degree in the graph.
+func (g *Digraph) MaxOutDegree() int {
+	best := 0
+	for _, a := range g.Adj {
+		if len(a) > best {
+			best = len(a)
+		}
+	}
+	return best
+}
+
+// Dedup sorts each adjacency list and removes duplicate edges.
+func (g *Digraph) Dedup() {
+	for u := range g.Adj {
+		a := g.Adj[u]
+		sort.Ints(a)
+		out := a[:0]
+		for i, v := range a {
+			if i == 0 || v != a[i-1] {
+				out = append(out, v)
+			}
+		}
+		g.Adj[u] = out
+	}
+}
+
+// Reverse returns the transpose digraph.
+func (g *Digraph) Reverse() *Digraph {
+	r := NewDigraph(g.N)
+	for u, a := range g.Adj {
+		for _, v := range a {
+			r.Adj[v] = append(r.Adj[v], u)
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := NewDigraph(g.N)
+	for u, a := range g.Adj {
+		c.Adj[u] = append([]int(nil), a...)
+	}
+	return c
+}
+
+// InducedSubgraph returns the digraph induced on the kept vertices
+// (keep[v] == true), along with the mapping from new index to old.
+func (g *Digraph) InducedSubgraph(keep []bool) (*Digraph, []int) {
+	old2new := make([]int, g.N)
+	var new2old []int
+	for v := 0; v < g.N; v++ {
+		if keep[v] {
+			old2new[v] = len(new2old)
+			new2old = append(new2old, v)
+		} else {
+			old2new[v] = -1
+		}
+	}
+	s := NewDigraph(len(new2old))
+	for u, a := range g.Adj {
+		if !keep[u] {
+			continue
+		}
+		for _, v := range a {
+			if keep[v] {
+				s.AddEdge(old2new[u], old2new[v])
+			}
+		}
+	}
+	return s, new2old
+}
+
+// String summarizes the digraph.
+func (g *Digraph) String() string {
+	return fmt.Sprintf("digraph{n=%d m=%d}", g.N, g.NumEdges())
+}
+
+// BFSFrom returns the vector of hop distances from src (-1 when
+// unreachable).
+func (g *Digraph) BFSFrom(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ReachableFrom returns the number of vertices reachable from src,
+// including src itself.
+func (g *Digraph) ReachableFrom(src int) int {
+	cnt := 0
+	for _, d := range g.BFSFrom(src) {
+		if d >= 0 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// Eccentricity returns the maximum finite BFS distance from src and whether
+// every vertex is reachable.
+func (g *Digraph) Eccentricity(src int) (int, bool) {
+	ecc := 0
+	all := true
+	for _, d := range g.BFSFrom(src) {
+		if d < 0 {
+			all = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, all
+}
+
+// Diameter returns the largest eccentricity over all sources (O(n·m)) and
+// whether the graph is strongly connected. Intended for the simulator and
+// experiments at moderate n.
+func (g *Digraph) Diameter() (int, bool) {
+	diam := 0
+	for v := 0; v < g.N; v++ {
+		ecc, all := g.Eccentricity(v)
+		if !all {
+			return 0, false
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, true
+}

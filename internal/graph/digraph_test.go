@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ring(n int) *Digraph {
+	g := NewDigraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestDigraphBasics(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate allowed
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2) // self-loop dropped
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || g.HasEdge(2, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	g.Dedup()
+	if g.NumEdges() != 2 {
+		t.Fatalf("after Dedup NumEdges = %d", g.NumEdges())
+	}
+	if g.OutDegree(0) != 1 || g.MaxOutDegree() != 1 {
+		t.Fatal("degree accounting wrong")
+	}
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.NumEdges() != 2 {
+		t.Fatal("Reverse wrong")
+	}
+	c := g.Clone()
+	c.AddEdge(3, 0)
+	if g.HasEdge(3, 0) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestBFSAndEccentricity(t *testing.T) {
+	g := ring(5)
+	dist := g.BFSFrom(0)
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v", dist)
+		}
+	}
+	ecc, all := g.Eccentricity(0)
+	if !all || ecc != 4 {
+		t.Fatalf("ecc = %d all=%v", ecc, all)
+	}
+	diam, ok := g.Diameter()
+	if !ok || diam != 4 {
+		t.Fatalf("diam = %d ok=%v", diam, ok)
+	}
+	if n := g.ReachableFrom(2); n != 5 {
+		t.Fatalf("ReachableFrom = %d", n)
+	}
+	// Broken ring: no longer strongly connected.
+	g2 := NewDigraph(3)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 2)
+	if _, ok := g2.Diameter(); ok {
+		t.Fatal("path graph reported strongly connected")
+	}
+	if _, all := g2.Eccentricity(2); all {
+		t.Fatal("vertex 2 should not reach all")
+	}
+}
+
+func TestBFSInvalidSource(t *testing.T) {
+	g := ring(3)
+	dist := g.BFSFrom(-1)
+	for _, d := range dist {
+		if d != -1 {
+			t.Fatal("invalid source should reach nothing")
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := ring(5)
+	keep := []bool{true, true, false, true, true}
+	sub, new2old := g.InducedSubgraph(keep)
+	if sub.N != 4 {
+		t.Fatalf("sub.N = %d", sub.N)
+	}
+	if len(new2old) != 4 || new2old[2] != 3 {
+		t.Fatalf("new2old = %v", new2old)
+	}
+	// Edges 0->1, 3->4, 4->0 survive; 1->2 and 2->3 die.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("sub edges = %d", sub.NumEdges())
+	}
+}
+
+func TestSCCRing(t *testing.T) {
+	g := ring(10)
+	if !StronglyConnected(g) {
+		t.Fatal("ring not strongly connected")
+	}
+	comp, n := TarjanSCC(g)
+	if n != 1 {
+		t.Fatalf("ncomp = %d", n)
+	}
+	for _, c := range comp {
+		if c != 0 {
+			t.Fatal("all vertices should share component 0")
+		}
+	}
+}
+
+func TestSCCTwoComponents(t *testing.T) {
+	// Two rings joined by a single one-way edge.
+	g := NewDigraph(6)
+	for i := 0; i < 3; i++ {
+		g.AddEdge(i, (i+1)%3)
+		g.AddEdge(3+i, 3+(i+1)%3)
+	}
+	g.AddEdge(0, 3)
+	comp, n := TarjanSCC(g)
+	if n != 2 {
+		t.Fatalf("ncomp = %d, want 2", n)
+	}
+	if comp[0] != comp[1] || comp[0] != comp[2] {
+		t.Fatal("first ring split")
+	}
+	if comp[3] != comp[4] || comp[3] != comp[5] {
+		t.Fatal("second ring split")
+	}
+	if comp[0] == comp[3] {
+		t.Fatal("rings merged")
+	}
+	// Condensation order: edge 0->3 must satisfy comp[0] >= comp[3].
+	if comp[0] < comp[3] {
+		t.Fatal("Tarjan reverse topological order violated")
+	}
+	if StronglyConnected(g) {
+		t.Fatal("graph wrongly strongly connected")
+	}
+	if LargestSCCSize(g) != 3 {
+		t.Fatalf("LargestSCCSize = %d", LargestSCCSize(g))
+	}
+}
+
+func TestSCCEmptyAndSingle(t *testing.T) {
+	if !StronglyConnected(NewDigraph(0)) || !StronglyConnected(NewDigraph(1)) {
+		t.Fatal("trivial graphs must be strongly connected")
+	}
+	if LargestSCCSize(NewDigraph(0)) != 0 {
+		t.Fatal("empty graph largest SCC")
+	}
+	g := NewDigraph(3) // no edges: 3 singleton components
+	_, n := TarjanSCC(g)
+	if n != 3 {
+		t.Fatalf("ncomp = %d", n)
+	}
+}
+
+// sccPartitionEqual checks two component labelings describe the same
+// partition.
+func sccPartitionEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := bwd[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestTarjanVsKosarajuRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(40)
+		g := NewDigraph(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		c1, n1 := TarjanSCC(g)
+		c2, n2 := KosarajuSCC(g)
+		if n1 != n2 {
+			t.Fatalf("trial %d: ncomp %d vs %d", trial, n1, n2)
+		}
+		if !sccPartitionEqual(c1, c2) {
+			t.Fatalf("trial %d: partitions differ", trial)
+		}
+	}
+}
+
+func TestTarjanDeepPath(t *testing.T) {
+	// A long path stresses the iterative implementation (a recursive one
+	// would be fine in Go, but this guards against stack bugs).
+	n := 200000
+	g := NewDigraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	_, ncomp := TarjanSCC(g)
+	if ncomp != n {
+		t.Fatalf("ncomp = %d, want %d", ncomp, n)
+	}
+	// Close the cycle: one component.
+	g.AddEdge(n-1, 0)
+	if !StronglyConnected(g) {
+		t.Fatal("big ring should be strongly connected")
+	}
+}
+
+func TestStronglyCConnected(t *testing.T) {
+	// A ring is strongly 1-connected but not 2-connected (remove any
+	// vertex and it breaks? No: removing a vertex from a directed ring
+	// leaves a path, which is NOT strongly connected).
+	g := ring(5)
+	if !StronglyCConnected(g, 1) {
+		t.Fatal("ring should be strongly 1-connected")
+	}
+	if StronglyCConnected(g, 2) {
+		t.Fatal("ring should not be strongly 2-connected")
+	}
+	// Complete digraph on 4 vertices: strongly 3-connected.
+	k := NewDigraph(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				k.AddEdge(i, j)
+			}
+		}
+	}
+	for c := 1; c <= 3; c++ {
+		if !StronglyCConnected(k, c) {
+			t.Fatalf("K4 should be strongly %d-connected", c)
+		}
+	}
+	// Disconnected graph fails immediately.
+	d := NewDigraph(4)
+	d.AddEdge(0, 1)
+	if StronglyCConnected(d, 2) {
+		t.Fatal("disconnected graph cannot be 2-connected")
+	}
+	// Degenerate: deleting >= n vertices.
+	tiny := ring(2)
+	if !StronglyCConnected(tiny, 3) {
+		t.Fatal("degenerate c > n should be vacuously true")
+	}
+}
+
+func TestDigraphString(t *testing.T) {
+	g := ring(3)
+	if got := g.String(); got != "digraph{n=3 m=3}" {
+		t.Fatalf("String = %q", got)
+	}
+}

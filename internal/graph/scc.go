@@ -1,0 +1,219 @@
+package graph
+
+// TarjanSCC computes strongly connected components with an iterative
+// Tarjan's algorithm (explicit stack, safe for deep recursion on paths).
+// It returns the component id of each vertex and the number of components.
+// Component ids are in reverse topological order of the condensation
+// (an edge u->v between components satisfies comp[u] >= comp[v]).
+func TarjanSCC(g *Digraph) (comp []int, ncomp int) {
+	n := g.N
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int // Tarjan's component stack
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int // next edge index to explore
+	}
+	var callStack []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.ei < len(g.Adj[v]) {
+				w := g.Adj[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// v is finished.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// KosarajuSCC is an independent SCC implementation (two-pass DFS) used to
+// cross-check TarjanSCC in tests. Returns component ids and the count;
+// ids are not guaranteed to match Tarjan's numbering, only the partition.
+func KosarajuSCC(g *Digraph) (comp []int, ncomp int) {
+	n := g.N
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+
+	// First pass: finishing order on g (iterative DFS).
+	type frame struct {
+		v  int
+		ei int
+	}
+	var st []frame
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		st = append(st[:0], frame{v: root})
+		for len(st) > 0 {
+			f := &st[len(st)-1]
+			if f.ei < len(g.Adj[f.v]) {
+				w := g.Adj[f.v][f.ei]
+				f.ei++
+				if !visited[w] {
+					visited[w] = true
+					st = append(st, frame{v: w})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			st = st[:len(st)-1]
+		}
+	}
+
+	// Second pass: DFS on the transpose in reverse finishing order.
+	r := g.Reverse()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var dfs []int
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = ncomp
+		dfs = append(dfs[:0], v)
+		for len(dfs) > 0 {
+			u := dfs[len(dfs)-1]
+			dfs = dfs[:len(dfs)-1]
+			for _, w := range r.Adj[u] {
+				if comp[w] == -1 {
+					comp[w] = ncomp
+					dfs = append(dfs, w)
+				}
+			}
+		}
+		ncomp++
+	}
+	return comp, ncomp
+}
+
+// StronglyConnected reports whether g is strongly connected. The empty
+// graph and the single vertex are strongly connected by convention.
+func StronglyConnected(g *Digraph) bool {
+	if g.N <= 1 {
+		return true
+	}
+	_, ncomp := TarjanSCC(g)
+	return ncomp == 1
+}
+
+// LargestSCCSize returns the size of the largest strongly connected
+// component.
+func LargestSCCSize(g *Digraph) int {
+	if g.N == 0 {
+		return 0
+	}
+	comp, ncomp := TarjanSCC(g)
+	sizes := make([]int, ncomp)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for _, s := range sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// StronglyCConnected reports whether g remains strongly connected after
+// the removal of any c-1 vertices (the paper's open problem of strong
+// c-connectivity). It brute-forces all subsets of size c-1, so it is meant
+// for small instances and experiment audits. c must be >= 1; c == 1 is
+// plain strong connectivity. Graphs with fewer than c+1 vertices return
+// true when every nonempty induced subgraph obtained this way is strongly
+// connected.
+func StronglyCConnected(g *Digraph, c int) bool {
+	if c <= 1 {
+		return StronglyConnected(g)
+	}
+	if !StronglyConnected(g) {
+		return false
+	}
+	del := c - 1
+	keep := make([]bool, g.N)
+	var rec func(start, remaining int) bool
+	rec = func(start, remaining int) bool {
+		if remaining == 0 {
+			sub, _ := g.InducedSubgraph(keep)
+			return StronglyConnected(sub)
+		}
+		for v := start; v <= g.N-remaining; v++ {
+			keep[v] = false
+			if !rec(v+1, remaining-1) {
+				keep[v] = true
+				return false
+			}
+			keep[v] = true
+		}
+		return true
+	}
+	for i := range keep {
+		keep[i] = true
+	}
+	if del >= g.N {
+		return true
+	}
+	return rec(0, del)
+}

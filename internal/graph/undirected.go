@@ -1,0 +1,182 @@
+package graph
+
+import "sort"
+
+// Edge is an undirected weighted edge between vertices U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Undirected is an undirected weighted graph stored as an edge list plus
+// adjacency lists of edge indices.
+type Undirected struct {
+	N     int
+	Edges []Edge
+	adj   [][]int // vertex -> indices into Edges
+}
+
+// NewUndirected returns an empty undirected graph on n vertices.
+func NewUndirected(n int) *Undirected {
+	return &Undirected{N: n, adj: make([][]int, n)}
+}
+
+// AddEdge appends an undirected weighted edge and returns its index.
+func (g *Undirected) AddEdge(u, v int, w float64) int {
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], idx)
+	g.adj[v] = append(g.adj[v], idx)
+	return idx
+}
+
+// Degree returns the degree of v.
+func (g *Undirected) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the largest vertex degree.
+func (g *Undirected) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Neighbors returns the neighbors of v (allocating a fresh slice).
+func (g *Undirected) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for _, ei := range g.adj[v] {
+		e := g.Edges[ei]
+		if e.U == v {
+			out = append(out, e.V)
+		} else {
+			out = append(out, e.U)
+		}
+	}
+	return out
+}
+
+// IncidentEdges returns the indices of edges incident to v.
+func (g *Undirected) IncidentEdges(v int) []int {
+	return append([]int(nil), g.adj[v]...)
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Undirected) Connected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	seen := make([]bool, g.N)
+	stack := []int{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				cnt++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return cnt == g.N
+}
+
+// IsTree reports whether the graph is a spanning tree of its vertex set.
+func (g *Undirected) IsTree() bool {
+	return len(g.Edges) == g.N-1 && g.Connected()
+}
+
+// TotalWeight returns the sum of edge weights.
+func (g *Undirected) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.Edges {
+		s += e.W
+	}
+	return s
+}
+
+// MaxEdgeWeight returns the largest edge weight (the bottleneck), or 0 for
+// an edgeless graph.
+func (g *Undirected) MaxEdgeWeight() float64 {
+	var best float64
+	for _, e := range g.Edges {
+		if e.W > best {
+			best = e.W
+		}
+	}
+	return best
+}
+
+// ToBidirected converts the undirected graph into a digraph with both
+// orientations of every edge.
+func (g *Undirected) ToBidirected() *Digraph {
+	d := NewDigraph(g.N)
+	for _, e := range g.Edges {
+		d.AddEdge(e.U, e.V)
+		d.AddEdge(e.V, e.U)
+	}
+	return d
+}
+
+// SortedEdgeWeights returns the edge weights in increasing order.
+func (g *Undirected) SortedEdgeWeights() []float64 {
+	ws := make([]float64, len(g.Edges))
+	for i, e := range g.Edges {
+		ws[i] = e.W
+	}
+	sort.Float64s(ws)
+	return ws
+}
+
+// DSU is a disjoint-set union (union-find) with path halving and union by
+// size.
+type DSU struct {
+	parent []int
+	size   []int
+	sets   int
+}
+
+// NewDSU returns a DSU over n singleton sets.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int, n), size: make([]int, n), sets: n}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning false if already joined.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// SameSet reports whether a and b are in the same set.
+func (d *DSU) SameSet(a, b int) bool { return d.Find(a) == d.Find(b) }

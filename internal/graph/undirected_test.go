@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUndirectedBasics(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1, 1.5)
+	g.AddEdge(1, 2, 0.5)
+	g.AddEdge(2, 3, 2.5)
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatal("degree wrong")
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 {
+		t.Fatalf("Neighbors = %v", nb)
+	}
+	if !g.Connected() || !g.IsTree() {
+		t.Fatal("path should be a connected tree")
+	}
+	if got := g.TotalWeight(); got != 4.5 {
+		t.Fatalf("TotalWeight = %v", got)
+	}
+	if got := g.MaxEdgeWeight(); got != 2.5 {
+		t.Fatalf("MaxEdgeWeight = %v", got)
+	}
+	ws := g.SortedEdgeWeights()
+	if ws[0] != 0.5 || ws[2] != 2.5 {
+		t.Fatalf("SortedEdgeWeights = %v", ws)
+	}
+	if got := g.IncidentEdges(1); len(got) != 2 {
+		t.Fatalf("IncidentEdges = %v", got)
+	}
+}
+
+func TestUndirectedDisconnectedAndCycle(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1, 1)
+	if g.Connected() {
+		t.Fatal("two isolated vertices should disconnect the graph")
+	}
+	if g.IsTree() {
+		t.Fatal("not a spanning tree")
+	}
+	// Cycle: connected but not a tree.
+	c := NewUndirected(3)
+	c.AddEdge(0, 1, 1)
+	c.AddEdge(1, 2, 1)
+	c.AddEdge(2, 0, 1)
+	if !c.Connected() || c.IsTree() {
+		t.Fatal("triangle misclassified")
+	}
+	if !NewUndirected(1).Connected() {
+		t.Fatal("single vertex connected")
+	}
+	if NewUndirected(0).MaxEdgeWeight() != 0 {
+		t.Fatal("empty MaxEdgeWeight")
+	}
+}
+
+func TestToBidirected(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	d := g.ToBidirected()
+	if !StronglyConnected(d) {
+		t.Fatal("bidirected tree must be strongly connected")
+	}
+	if d.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", d.NumEdges())
+	}
+}
+
+func TestDSU(t *testing.T) {
+	d := NewDSU(5)
+	if d.Sets() != 5 {
+		t.Fatalf("Sets = %d", d.Sets())
+	}
+	if !d.Union(0, 1) || !d.Union(2, 3) {
+		t.Fatal("fresh unions should succeed")
+	}
+	if d.Union(0, 1) {
+		t.Fatal("repeat union should fail")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("Sets = %d", d.Sets())
+	}
+	if !d.SameSet(0, 1) || d.SameSet(0, 2) {
+		t.Fatal("SameSet wrong")
+	}
+	d.Union(1, 3)
+	if !d.SameSet(0, 2) {
+		t.Fatal("transitive union broken")
+	}
+}
+
+func TestDSUQuickTransitivity(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		const n = 32
+		d := NewDSU(n)
+		ref := make([]int, n) // brute-force labels
+		for i := range ref {
+			ref[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range ref {
+				if ref[i] == from {
+					ref[i] = to
+				}
+			}
+		}
+		for _, p := range pairs {
+			a, b := int(p[0])%n, int(p[1])%n
+			d.Union(a, b)
+			if ref[a] != ref[b] {
+				relabel(ref[a], ref[b])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.SameSet(i, j) != (ref[i] == ref[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidirectedRandomTreesStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(80)
+		g := NewUndirected(n)
+		for v := 1; v < n; v++ {
+			g.AddEdge(v, rng.Intn(v), rng.Float64())
+		}
+		if !g.IsTree() {
+			t.Fatal("random attachment should build a tree")
+		}
+		if !StronglyConnected(g.ToBidirected()) {
+			t.Fatal("bidirected tree not strongly connected")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package mst
+
+import (
+	"sort"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Delaunay computes an exact Euclidean MST by running Kruskal over the
+// Delaunay triangulation's edges (a classical superset of the EMST). With
+// O(n) candidate edges this is the preferred path at scale; it falls back
+// to Prim when the triangulation degenerates.
+func Delaunay(pts []geom.Point) *Tree {
+	n := len(pts)
+	if n <= 2 {
+		return Prim(pts)
+	}
+	tri, err := delaunay.Build(pts)
+	if err != nil {
+		return Prim(pts)
+	}
+	type we struct {
+		w    float64
+		u, v int32
+	}
+	cand := make([]we, 0, len(tri.Edges()))
+	for _, e := range tri.Edges() {
+		cand = append(cand, we{pts[e[0]].Dist(pts[e[1]]), int32(e[0]), int32(e[1])})
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a].w < cand[b].w })
+	dsu := graph.NewDSU(n)
+	edges := make([][2]int, 0, n-1)
+	for _, c := range cand {
+		if dsu.Union(int(c.u), int(c.v)) {
+			edges = append(edges, [2]int{int(c.u), int(c.v)})
+		}
+	}
+	if dsu.Sets() != 1 {
+		return Prim(pts)
+	}
+	return newTree(pts, edges)
+}

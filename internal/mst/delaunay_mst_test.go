@@ -1,0 +1,61 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pointset"
+)
+
+func TestDelaunayMSTMatchesPrim(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		var pts []geom.Point
+		switch trial % 4 {
+		case 0:
+			pts = pointset.Uniform(rng, 20+rng.Intn(300), 10)
+		case 1:
+			pts = pointset.Clusters(rng, 20+rng.Intn(300), 5, 15, 0.4)
+		case 2:
+			pts = pointset.StarField(rng, 1+rng.Intn(3))
+		default:
+			pts = pointset.Line(rng, 30, 1, 0.1) // near-collinear
+		}
+		a := Prim(pts)
+		b := Delaunay(pts)
+		if err := b.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(a.TotalLength()-b.TotalLength()) > 1e-6 {
+			t.Fatalf("trial %d: Delaunay MST %.9f != Prim %.9f", trial, b.TotalLength(), a.TotalLength())
+		}
+		if math.Abs(a.LMax()-b.LMax()) > 1e-6 {
+			t.Fatalf("trial %d: bottleneck mismatch", trial)
+		}
+	}
+}
+
+func TestDelaunayMSTExactlyCollinear(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 12; i++ {
+		pts = append(pts, geom.Point{X: float64(i) * 1.5, Y: 2})
+	}
+	tr := Delaunay(pts)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.TotalLength()-16.5) > 1e-9 {
+		t.Fatalf("collinear MST length = %v, want 16.5", tr.TotalLength())
+	}
+}
+
+func TestDelaunayMSTTiny(t *testing.T) {
+	if tr := Delaunay(nil); tr.N() != 0 {
+		t.Fatal("empty")
+	}
+	if tr := Delaunay([]geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}); len(tr.Edges()) != 1 {
+		t.Fatal("pair")
+	}
+}

@@ -1,0 +1,222 @@
+package mst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Rooted is a rooted view of a spanning tree. The paper roots T at a
+// degree-one vertex (a leaf), which always exists for n ≥ 2 and keeps
+// every internal vertex at ≤ 4 children.
+type Rooted struct {
+	*Tree
+	Root     int
+	Parent   []int   // Parent[v] = tree parent, -1 at the root
+	Children [][]int // Children[v] = tree children, unsorted
+	PostOrd  []int   // post-order traversal (children before parents)
+	Depth    []int
+}
+
+// RootAtLeaf roots the tree at its first leaf (any degree-1 vertex),
+// matching the paper's convention δ(R_T) = 1. Panics only on invalid
+// trees; returns an error instead for malformed inputs.
+func RootAtLeaf(t *Tree) (*Rooted, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.N()
+	root := 0
+	for v := 0; v < n; v++ {
+		if t.Degree(v) == 1 {
+			root = v
+			break
+		}
+	}
+	return RootAt(t, root)
+}
+
+// RootAt roots the tree at the given vertex.
+func RootAt(t *Tree, root int) (*Rooted, error) {
+	n := t.N()
+	if n == 0 {
+		return &Rooted{Tree: t, Root: -1}, nil
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mst: root %d out of range", root)
+	}
+	r := &Rooted{
+		Tree:     t,
+		Root:     root,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+		Depth:    make([]int, n),
+	}
+	for i := range r.Parent {
+		r.Parent[i] = -2 // unvisited
+	}
+	r.Parent[root] = -1
+	// Iterative DFS building parents and a pre-order; reverse for post.
+	stack := []int{root}
+	pre := make([]int, 0, n)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pre = append(pre, v)
+		for _, u := range t.Adj[v] {
+			if r.Parent[u] == -2 {
+				r.Parent[u] = v
+				r.Depth[u] = r.Depth[v] + 1
+				r.Children[v] = append(r.Children[v], u)
+				stack = append(stack, u)
+			}
+		}
+	}
+	if len(pre) != n {
+		return nil, fmt.Errorf("mst: tree disconnected at root %d", root)
+	}
+	r.PostOrd = make([]int, n)
+	for i, v := range pre {
+		r.PostOrd[n-1-i] = v
+	}
+	return r, nil
+}
+
+// ChildrenCCWFrom returns u's children sorted counterclockwise starting
+// from the reference direction ref (the paper's "u(1), …, u(δ−1) sorted
+// counterclockwise when rotating the ray ~up"). Children whose direction
+// equals ref sort first.
+func (r *Rooted) ChildrenCCWFrom(u int, ref float64) []int {
+	ch := r.Children[u]
+	out := append([]int(nil), ch...)
+	sort.SliceStable(out, func(a, b int) bool {
+		da := geom.CCW(ref, geom.Dir(r.Pts[u], r.Pts[out[a]]))
+		db := geom.CCW(ref, geom.Dir(r.Pts[u], r.Pts[out[b]]))
+		return da < db
+	})
+	return out
+}
+
+// NeighborsCCW returns all tree neighbors of u (children and parent)
+// sorted counterclockwise from absolute direction 0.
+func (r *Rooted) NeighborsCCW(u int) []int {
+	nb := append([]int(nil), r.Adj[u]...)
+	sort.SliceStable(nb, func(a, b int) bool {
+		return geom.Dir(r.Pts[u], r.Pts[nb[a]]) < geom.Dir(r.Pts[u], r.Pts[nb[b]])
+	})
+	return nb
+}
+
+// SubtreeSizes returns the size of each vertex's subtree.
+func (r *Rooted) SubtreeSizes() []int {
+	sz := make([]int, r.N())
+	for _, v := range r.PostOrd {
+		sz[v] = 1
+		for _, c := range r.Children[v] {
+			sz[v] += sz[c]
+		}
+	}
+	return sz
+}
+
+// FactViolation describes a failed geometric invariant from the paper.
+type FactViolation struct {
+	Fact   string
+	Vertex int
+	Detail string
+}
+
+func (f FactViolation) String() string {
+	return fmt.Sprintf("%s at v%d: %s", f.Fact, f.Vertex, f.Detail)
+}
+
+// CheckFact1 verifies Fact 1 on a Euclidean MST: for every vertex v and
+// every pair of cyclically adjacent neighbors u, w of v, (1) the angle
+// ∠uvw ≥ π/3, (2) d(u,w) ≤ 2·sin(∠uvw/2)·max edge, and (3) the triangle
+// uvw contains no other point of the set. tol is the angular/distance
+// slack (exact ties are legal in MSTs). Returns all violations found; an
+// empty slice means the tree is consistent with Fact 1.
+func CheckFact1(t *Tree, tol float64) []FactViolation {
+	var out []FactViolation
+	for v := 0; v < t.N(); v++ {
+		nb := append([]int(nil), t.Adj[v]...)
+		if len(nb) < 2 {
+			continue
+		}
+		sort.Slice(nb, func(a, b int) bool {
+			return geom.Dir(t.Pts[v], t.Pts[nb[a]]) < geom.Dir(t.Pts[v], t.Pts[nb[b]])
+		})
+		for i := range nb {
+			u := nb[i]
+			w := nb[(i+1)%len(nb)]
+			if u == w {
+				continue
+			}
+			// Cyclic angular gap from u to w around v.
+			ang := geom.CCW(geom.Dir(t.Pts[v], t.Pts[u]), geom.Dir(t.Pts[v], t.Pts[w]))
+			if ang < math.Pi/3-tol {
+				out = append(out, FactViolation{
+					Fact:   "Fact1.1",
+					Vertex: v,
+					Detail: fmt.Sprintf("angle(%d,%d) = %.6f < π/3", u, w, ang),
+				})
+			}
+			unsigned := ang
+			if unsigned > math.Pi {
+				unsigned = geom.TwoPi - unsigned
+			}
+			du := t.Pts[v].Dist(t.Pts[u])
+			dw := t.Pts[v].Dist(t.Pts[w])
+			maxEdge := du
+			if dw > maxEdge {
+				maxEdge = dw
+			}
+			if d := t.Pts[u].Dist(t.Pts[w]); d > geom.ChordBound(unsigned, maxEdge)+tol {
+				out = append(out, FactViolation{
+					Fact:   "Fact1.2",
+					Vertex: v,
+					Detail: fmt.Sprintf("d(%d,%d) = %.6f > chord bound %.6f", u, w, d, geom.ChordBound(unsigned, maxEdge)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckFact2 verifies Fact 2 at every degree-5 vertex of a Euclidean MST:
+// consecutive neighbor angles lie in [π/3, 2π/3] and two-apart angles in
+// [2π/3, π], within tol.
+func CheckFact2(t *Tree, tol float64) []FactViolation {
+	var out []FactViolation
+	pi := math.Pi
+	for v := 0; v < t.N(); v++ {
+		if t.Degree(v) != 5 {
+			continue
+		}
+		nb := append([]int(nil), t.Adj[v]...)
+		sort.Slice(nb, func(a, b int) bool {
+			return geom.Dir(t.Pts[v], t.Pts[nb[a]]) < geom.Dir(t.Pts[v], t.Pts[nb[b]])
+		})
+		for i := range nb {
+			a1 := geom.CCW(geom.Dir(t.Pts[v], t.Pts[nb[i]]), geom.Dir(t.Pts[v], t.Pts[nb[(i+1)%5]]))
+			if a1 < pi/3-tol || a1 > 2*pi/3+tol {
+				out = append(out, FactViolation{
+					Fact:   "Fact2.1",
+					Vertex: v,
+					Detail: fmt.Sprintf("consecutive angle %.6f outside [π/3, 2π/3]", a1),
+				})
+			}
+			a2 := geom.CCW(geom.Dir(t.Pts[v], t.Pts[nb[i]]), geom.Dir(t.Pts[v], t.Pts[nb[(i+2)%5]]))
+			if a2 < 2*pi/3-tol || a2 > pi+tol {
+				out = append(out, FactViolation{
+					Fact:   "Fact2.2",
+					Vertex: v,
+					Detail: fmt.Sprintf("two-apart angle %.6f outside [2π/3, π]", a2),
+				})
+			}
+		}
+	}
+	return out
+}

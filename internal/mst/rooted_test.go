@@ -1,0 +1,188 @@
+package mst
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pointset"
+)
+
+func TestRootAtLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	pts := pointset.Uniform(rng, 60, 10)
+	tr := Euclidean(pts)
+	r, err := RootAtLeaf(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree(r.Root) != 1 {
+		t.Fatalf("root degree = %d, want 1", tr.Degree(r.Root))
+	}
+	if r.Parent[r.Root] != -1 {
+		t.Fatal("root parent must be -1")
+	}
+	// Every non-root vertex has a parent and appears in its parent's
+	// children.
+	for v := 0; v < tr.N(); v++ {
+		if v == r.Root {
+			continue
+		}
+		p := r.Parent[v]
+		if p < 0 {
+			t.Fatalf("vertex %d has no parent", v)
+		}
+		found := false
+		for _, c := range r.Children[p] {
+			if c == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d missing from parent %d's children", v, p)
+		}
+		if r.Depth[v] != r.Depth[p]+1 {
+			t.Fatalf("depth inconsistency at %d", v)
+		}
+	}
+	// Post-order: children before parents.
+	pos := make([]int, tr.N())
+	for i, v := range r.PostOrd {
+		pos[v] = i
+	}
+	for v := 0; v < tr.N(); v++ {
+		for _, c := range r.Children[v] {
+			if pos[c] > pos[v] {
+				t.Fatalf("post-order violated: child %d after parent %d", c, v)
+			}
+		}
+	}
+	// Subtree sizes sum correctly at the root.
+	sz := r.SubtreeSizes()
+	if sz[r.Root] != tr.N() {
+		t.Fatalf("root subtree size = %d", sz[r.Root])
+	}
+}
+
+func TestRootAtErrors(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	tr := Prim(pts)
+	if _, err := RootAt(tr, 5); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	bad := newTree(pts, nil)
+	if _, err := RootAtLeaf(bad); err == nil {
+		t.Fatal("invalid tree accepted")
+	}
+	empty, err := RootAt(newTree(nil, nil), 0)
+	if err != nil || empty.Root != -1 {
+		t.Fatalf("empty tree rooting = %v, %v", empty, err)
+	}
+}
+
+func TestChildrenCCWFrom(t *testing.T) {
+	// Star: center 4 with children at the compass points.
+	pts := []geom.Point{{X: 1, Y: 0}, {X: 0, Y: 1}, {X: -1, Y: 0}, {X: 0, Y: -1}, {X: 0, Y: 0}, {X: 2, Y: 0}}
+	edges := [][2]int{{4, 0}, {4, 1}, {4, 2}, {4, 3}, {0, 5}}
+	tr := newTree(pts, edges)
+	r, err := RootAt(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the center (4), parent is 0 (towards +x via vertex 0).
+	ref := geom.Dir(pts[4], pts[r.Parent[4]])
+	ccw := r.ChildrenCCWFrom(4, ref)
+	want := []int{1, 2, 3} // +y, -x, -y counterclockwise from +x
+	if len(ccw) != 3 {
+		t.Fatalf("children = %v", ccw)
+	}
+	for i := range want {
+		if ccw[i] != want[i] {
+			t.Fatalf("CCW children = %v, want %v", ccw, want)
+		}
+	}
+	nb := r.NeighborsCCW(4)
+	if len(nb) != 4 {
+		t.Fatalf("NeighborsCCW = %v", nb)
+	}
+	for i := 1; i < len(nb); i++ {
+		if geom.Dir(pts[4], pts[nb[i-1]]) > geom.Dir(pts[4], pts[nb[i]]) {
+			t.Fatal("NeighborsCCW not sorted")
+		}
+	}
+}
+
+func TestCheckFact1OnEuclideanMSTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		var pts []geom.Point
+		switch trial % 4 {
+		case 0:
+			pts = pointset.Uniform(rng, 20+rng.Intn(200), 10)
+		case 1:
+			pts = pointset.Clusters(rng, 20+rng.Intn(200), 3, 10, 0.6)
+		case 2:
+			pts = pointset.PerturbedGrid(rng, 8, 8, 1, 0.3)
+		default:
+			pts = pointset.Annulus(rng, 100, 3, 6)
+		}
+		tr := Euclidean(pts)
+		if v := CheckFact1(tr, 1e-7); len(v) != 0 {
+			t.Fatalf("trial %d: Fact 1 violations: %v", trial, v[0])
+		}
+		if v := CheckFact2(tr, 1e-7); len(v) != 0 {
+			t.Fatalf("trial %d: Fact 2 violations: %v", trial, v[0])
+		}
+	}
+}
+
+func TestCheckFact1CatchesBadTree(t *testing.T) {
+	// A deliberately bad "tree": two edges at an 18° angle. Not an MST
+	// (the swap to the short chord would improve it), so Fact 1.1 fires.
+	pts := []geom.Point{
+		{X: 0, Y: 0},
+		{X: 1, Y: 0},
+		{X: math.Cos(math.Pi / 10), Y: math.Sin(math.Pi / 10)},
+	}
+	tr := newTree(pts, [][2]int{{0, 1}, {0, 2}})
+	v := CheckFact1(tr, 1e-9)
+	if len(v) == 0 {
+		t.Fatal("expected Fact 1 violation")
+	}
+	found := false
+	for _, x := range v {
+		if x.Fact == "Fact1.1" {
+			found = true
+			if !strings.Contains(x.String(), "Fact1.1") {
+				t.Fatalf("String() = %q", x.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no Fact1.1 violation in %v", v)
+	}
+}
+
+func TestFact2Degree5Star(t *testing.T) {
+	// Perfect 5-star: all consecutive angles are 2π/5 ∈ [π/3, 2π/3] and
+	// two-apart angles 4π/5 ∈ [2π/3, π]: no violations.
+	pts := pointset.RegularPolygonStar(5, 1)
+	center := len(pts) - 1
+	edges := make([][2]int, 0, 5)
+	for i := 0; i < 5; i++ {
+		edges = append(edges, [2]int{center, i})
+	}
+	tr := newTree(pts, edges)
+	if v := CheckFact2(tr, 1e-9); len(v) != 0 {
+		t.Fatalf("violations on perfect star: %v", v)
+	}
+	// Squeeze two spokes together: violations appear.
+	bad := append([]geom.Point(nil), pts...)
+	bad[1] = geom.Polar(geom.Point{}, 0.1, 1)
+	tr2 := newTree(bad, edges)
+	if v := CheckFact2(tr2, 1e-9); len(v) == 0 {
+		t.Fatal("expected Fact 2 violations on squeezed star")
+	}
+}

@@ -1,0 +1,196 @@
+// Package pointset generates, transforms, and serializes the synthetic
+// sensor deployments used throughout the reproduction: uniform fields,
+// Gaussian cluster mixtures, (perturbed) grids, rings, stars, lines,
+// annuli, and the regular polygon configurations that witness the
+// necessity direction of Lemma 1.
+//
+// All generators take an explicit *rand.Rand so experiments are
+// reproducible from a seed, and deduplicate points closer than MinSep so
+// downstream geometry (angles between distinct sensors) is well defined.
+package pointset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/spatial"
+)
+
+// MinSep is the minimum pairwise separation enforced by the generators.
+const MinSep = 1e-6
+
+// Uniform samples n points uniformly from the side×side square.
+func Uniform(rng *rand.Rand, n int, side float64) []geom.Point {
+	return rejectionFill(rng, n, func() geom.Point {
+		return geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	})
+}
+
+// Clusters samples n points from c Gaussian clusters whose centers are
+// uniform in the side×side square and whose standard deviation is sigma.
+// It models the "dense pockets of sensors over an area of interest"
+// deployments from the ad hoc networking literature the paper cites.
+func Clusters(rng *rand.Rand, n, c int, side, sigma float64) []geom.Point {
+	if c < 1 {
+		c = 1
+	}
+	centers := make([]geom.Point, c)
+	for i := range centers {
+		centers[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return rejectionFill(rng, n, func() geom.Point {
+		ctr := centers[rng.Intn(c)]
+		return geom.Point{
+			X: ctr.X + rng.NormFloat64()*sigma,
+			Y: ctr.Y + rng.NormFloat64()*sigma,
+		}
+	})
+}
+
+// Grid returns an axis-aligned rows×cols lattice with the given pitch.
+func Grid(rows, cols int, pitch float64) []geom.Point {
+	pts := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, geom.Point{X: float64(c) * pitch, Y: float64(r) * pitch})
+		}
+	}
+	return pts
+}
+
+// PerturbedGrid returns a rows×cols lattice where every site is displaced
+// by a uniform offset of magnitude at most jitter·pitch. It breaks the
+// angular ties of an exact lattice while preserving its structure.
+func PerturbedGrid(rng *rand.Rand, rows, cols int, pitch, jitter float64) []geom.Point {
+	pts := Grid(rows, cols, pitch)
+	for i := range pts {
+		pts[i].X += (rng.Float64()*2 - 1) * jitter * pitch
+		pts[i].Y += (rng.Float64()*2 - 1) * jitter * pitch
+	}
+	return dedupe(pts)
+}
+
+// Ring places n points evenly on a circle of the given radius, each
+// perturbed radially and angularly by up to jitter (fraction of spacing).
+func Ring(rng *rand.Rand, n int, radius, jitter float64) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		theta := geom.TwoPi*float64(i)/float64(n) + (rng.Float64()*2-1)*jitter*geom.TwoPi/float64(n)
+		r := radius * (1 + (rng.Float64()*2-1)*jitter*0.2)
+		pts = append(pts, geom.Polar(geom.Point{}, theta, r))
+	}
+	return dedupe(pts)
+}
+
+// RegularPolygonStar returns the Lemma-1 necessity witness: a center point
+// surrounded by d points forming a regular d-gon at the given radius. The
+// center is the last point in the slice.
+func RegularPolygonStar(d int, radius float64) []geom.Point {
+	pts := make([]geom.Point, 0, d+1)
+	for i := 0; i < d; i++ {
+		pts = append(pts, geom.Polar(geom.Point{}, geom.TwoPi*float64(i)/float64(d), radius))
+	}
+	pts = append(pts, geom.Point{})
+	return pts
+}
+
+// Line places n points along the x-axis with the given pitch and vertical
+// jitter — the "corridor monitoring" deployment (pipelines, roadways).
+func Line(rng *rand.Rand, n int, pitch, jitter float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: float64(i)*pitch + (rng.Float64()*2-1)*jitter*pitch,
+			Y: (rng.Float64()*2 - 1) * jitter * pitch,
+		}
+	}
+	return dedupe(pts)
+}
+
+// Annulus samples n points uniformly from the annulus with the given inner
+// and outer radii — the "perimeter surveillance" deployment.
+func Annulus(rng *rand.Rand, n int, inner, outer float64) []geom.Point {
+	if outer < inner {
+		inner, outer = outer, inner
+	}
+	return rejectionFill(rng, n, func() geom.Point {
+		// Area-uniform radius.
+		u := rng.Float64()
+		r := math.Sqrt(inner*inner + u*(outer*outer-inner*inner))
+		return geom.Polar(geom.Point{}, rng.Float64()*geom.TwoPi, r)
+	})
+}
+
+// rejectionFill draws points until n pairwise-separated samples exist.
+func rejectionFill(rng *rand.Rand, n int, draw func() geom.Point) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	attempts := 0
+	for len(pts) < n && attempts < 100*n+1000 {
+		attempts++
+		p := draw()
+		ok := true
+		for _, q := range pts {
+			if p.Dist(q) < MinSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func dedupe(pts []geom.Point) []geom.Point {
+	out := pts[:0]
+	for _, p := range pts {
+		ok := true
+		for _, q := range out {
+			if p.Dist(q) < MinSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NearestNeighborDists returns the distance from each point to its nearest
+// neighbor. Useful for characterizing workloads in experiment reports.
+func NearestNeighborDists(pts []geom.Point) []float64 {
+	out := make([]float64, len(pts))
+	if len(pts) < 2 {
+		return out
+	}
+	g := spatial.NewGrid(pts, 0)
+	for i, p := range pts {
+		j := g.Nearest(p, i)
+		if j >= 0 {
+			out[i] = p.Dist(pts[j])
+		}
+	}
+	return out
+}
+
+// Rescale multiplies every coordinate by s.
+func Rescale(pts []geom.Point, s float64) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point{X: p.X * s, Y: p.Y * s}
+	}
+	return out
+}
+
+// Translate shifts every point by (dx, dy).
+func Translate(pts []geom.Point, dx, dy float64) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point{X: p.X + dx, Y: p.Y + dy}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package pointset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geom"
+)
+
+// WriteCSV emits one "x,y" row per point.
+func WriteCSV(w io.Writer, pts []geom.Point) error {
+	cw := csv.NewWriter(w)
+	for _, p := range pts {
+		rec := []string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses "x,y" rows into points.
+func ReadCSV(r io.Reader) ([]geom.Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var pts []geom.Point
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return pts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		x, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("pointset: bad x %q: %w", rec[0], err)
+		}
+		y, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("pointset: bad y %q: %w", rec[1], err)
+		}
+		pts = append(pts, geom.Point{X: x, Y: y})
+	}
+}
+
+// jsonPoint mirrors geom.Point with lowercase keys for stable JSON.
+type jsonPoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// WriteJSON emits the points as a JSON array of {x, y} objects.
+func WriteJSON(w io.Writer, pts []geom.Point) error {
+	out := make([]jsonPoint, len(pts))
+	for i, p := range pts {
+		out[i] = jsonPoint{p.X, p.Y}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a JSON array of {x, y} objects.
+func ReadJSON(r io.Reader) ([]geom.Point, error) {
+	var in []jsonPoint
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, len(in))
+	for i, p := range in {
+		pts[i] = geom.Point{X: p.X, Y: p.Y}
+	}
+	return pts, nil
+}

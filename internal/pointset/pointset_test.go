@@ -1,0 +1,224 @@
+package pointset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func minPairDist(pts []geom.Point) float64 {
+	best := math.Inf(1)
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := Uniform(rng, 200, 10)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("point out of square: %v", p)
+		}
+	}
+	if minPairDist(pts) < MinSep {
+		t.Fatal("separation violated")
+	}
+}
+
+func TestClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := Clusters(rng, 150, 5, 20, 0.5)
+	if len(pts) != 150 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if minPairDist(pts) < MinSep {
+		t.Fatal("separation violated")
+	}
+	// c < 1 clamps to one cluster.
+	pts = Clusters(rng, 30, 0, 20, 0.5)
+	if len(pts) != 30 {
+		t.Fatalf("c=0 got %d points", len(pts))
+	}
+}
+
+func TestGridAndPerturbedGrid(t *testing.T) {
+	pts := Grid(3, 4, 2)
+	if len(pts) != 12 {
+		t.Fatalf("grid size = %d", len(pts))
+	}
+	if pts[0] != (geom.Point{X: 0, Y: 0}) || pts[11] != (geom.Point{X: 6, Y: 4}) {
+		t.Fatalf("grid corners wrong: %v %v", pts[0], pts[11])
+	}
+	rng := rand.New(rand.NewSource(3))
+	ppts := PerturbedGrid(rng, 5, 5, 1, 0.2)
+	if len(ppts) != 25 {
+		t.Fatalf("perturbed grid size = %d", len(ppts))
+	}
+	for i := range ppts {
+		if ppts[i].Dist(Grid(5, 5, 1)[i]) > 0.21*math.Sqrt2 {
+			t.Fatalf("jitter too large at %d", i)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := Ring(rng, 40, 5, 0.1)
+	if len(pts) != 40 {
+		t.Fatalf("ring size = %d", len(pts))
+	}
+	for _, p := range pts {
+		r := p.Dist(geom.Point{})
+		if r < 4 || r > 6 {
+			t.Fatalf("ring radius out of band: %v", r)
+		}
+	}
+}
+
+func TestRegularPolygonStar(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		pts := RegularPolygonStar(d, 1)
+		if len(pts) != d+1 {
+			t.Fatalf("star size = %d", len(pts))
+		}
+		ctr := pts[len(pts)-1]
+		if ctr != (geom.Point{}) {
+			t.Fatalf("center not at origin: %v", ctr)
+		}
+		for i := 0; i < d; i++ {
+			if math.Abs(pts[i].Dist(ctr)-1) > 1e-9 {
+				t.Fatalf("spoke %d not at radius 1", i)
+			}
+		}
+		// Consecutive spokes subtend exactly 2π/d.
+		for i := 0; i < d; i++ {
+			a := geom.CCWAngle(ctr, pts[i], pts[(i+1)%d])
+			if math.Abs(a-geom.TwoPi/float64(d)) > 1e-9 {
+				t.Fatalf("spoke angle = %v, want %v", a, geom.TwoPi/float64(d))
+			}
+		}
+	}
+}
+
+func TestLineAndAnnulus(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := Line(rng, 30, 1, 0.1)
+	if len(pts) != 30 {
+		t.Fatalf("line size = %d", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Y) > 0.1 {
+			t.Fatalf("line point strayed: %v", p)
+		}
+	}
+	ann := Annulus(rng, 100, 2, 4)
+	if len(ann) != 100 {
+		t.Fatalf("annulus size = %d", len(ann))
+	}
+	for _, p := range ann {
+		r := p.Dist(geom.Point{})
+		if r < 2-1e-9 || r > 4+1e-9 {
+			t.Fatalf("annulus radius out of band: %v", r)
+		}
+	}
+	// Swapped radii are fixed up.
+	ann = Annulus(rng, 10, 4, 2)
+	for _, p := range ann {
+		r := p.Dist(geom.Point{})
+		if r < 2-1e-9 || r > 4+1e-9 {
+			t.Fatalf("swapped annulus radius out of band: %v", r)
+		}
+	}
+}
+
+func TestRescaleTranslate(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 2}}
+	if got := Rescale(pts, 2)[0]; got != (geom.Point{X: 2, Y: 4}) {
+		t.Fatalf("Rescale = %v", got)
+	}
+	if got := Translate(pts, -1, 1)[0]; got != (geom.Point{X: 0, Y: 3}) {
+		t.Fatalf("Translate = %v", got)
+	}
+}
+
+func TestNearestNeighborDists(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 5, Y: 0}}
+	d := NearestNeighborDists(pts)
+	if math.Abs(d[0]-1) > 1e-9 || math.Abs(d[1]-1) > 1e-9 || math.Abs(d[2]-4) > 1e-9 {
+		t.Fatalf("NN dists = %v", d)
+	}
+	if got := NearestNeighborDists([]geom.Point{{X: 1, Y: 1}}); got[0] != 0 {
+		t.Fatal("single point NN dist should be 0")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := Uniform(rng, 50, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip size %d != %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if !pts[i].Eq(got[i]) {
+			t.Fatalf("point %d mismatch: %v vs %v", i, pts[i], got[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("expected parse error for non-numeric x")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,b\n")); err == nil {
+		t.Fatal("expected parse error for non-numeric y")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Fatal("expected field count error")
+	}
+	pts, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty read = %v, %v", pts, err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	pts := []geom.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 0}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"x":1.5`) {
+		t.Fatalf("unexpected JSON: %s", buf.String())
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pts[0] || got[1] != pts[1] {
+		t.Fatalf("round trip = %v", got)
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+}

@@ -1,0 +1,165 @@
+package pointset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Star generators: adversarial deployments whose Euclidean MSTs contain
+// degree-5 vertices. Random uniform fields essentially never produce
+// degree-5 MST vertices, yet the paper's hardest proof cases (Figures 3
+// (d,e) and 4(c–f)) only arise there, so the test suite and the
+// case-coverage experiments (E-F3/E-F4) rely on these.
+//
+// Geometry that keeps a hub's degree at 5 in the EMST: spokes of length
+// within [0.75, 1] and consecutive angular gaps > 68.5° ≈ 1.196 rad make
+// every tip-tip distance exceed both adjacent spoke lengths, so each tip's
+// cheapest connection is the hub.
+
+const (
+	starSpokeMin = 0.75
+	starSpokeMax = 1.0
+	starGapMin   = 1.20
+	starGapMax   = 1.45
+)
+
+// starGaps samples `n` cyclic gaps in [starGapMin, starGapMax] summing to
+// 2π. Falls back to the regular spacing when rejection fails.
+func starGaps(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for attempt := 0; attempt < 100; attempt++ {
+		var sum float64
+		for i := range out {
+			out[i] = starGapMin + rng.Float64()*(starGapMax-starGapMin)
+			sum += out[i]
+		}
+		scale := geom.TwoPi / sum
+		ok := true
+		for i := range out {
+			out[i] *= scale
+			if out[i] < starGapMin-1e-9 || out[i] > starGapMax+1e-9 {
+				ok = false
+			}
+		}
+		if ok {
+			return out
+		}
+	}
+	for i := range out {
+		out[i] = geom.TwoPi / float64(n)
+	}
+	return out
+}
+
+// appendStar appends a degree-5 star around hub: 5 spokes with safe gaps,
+// starting at a random base angle. Returns the spoke tips.
+func appendStar(rng *rand.Rand, pts []geom.Point, hub geom.Point) ([]geom.Point, []geom.Point) {
+	gaps := starGaps(rng, 5)
+	angle := rng.Float64() * geom.TwoPi
+	tips := make([]geom.Point, 0, 5)
+	for j := 0; j < 5; j++ {
+		l := starSpokeMin + rng.Float64()*(starSpokeMax-starSpokeMin)
+		tip := geom.Polar(hub, angle, l)
+		pts = append(pts, tip)
+		tips = append(tips, tip)
+		angle += gaps[j]
+	}
+	return pts, tips
+}
+
+// StarField places `hubs` degree-5 stars along a line, 6 units apart, and
+// joins consecutive stars with chains of points spaced ≤ 0.95 so the whole
+// set is one component whose EMST keeps every hub at degree 5. The result
+// exercises the paper's degree-5 cases with parent targets.
+func StarField(rng *rand.Rand, hubs int) []geom.Point {
+	if hubs < 1 {
+		hubs = 1
+	}
+	var pts []geom.Point
+	var prevTips []geom.Point
+	for h := 0; h < hubs; h++ {
+		hub := geom.Point{X: float64(h) * 6, Y: 0}
+		pts = append(pts, hub)
+		var tips []geom.Point
+		pts, tips = appendStar(rng, pts, hub)
+		if h > 0 {
+			// Bridge the tip of the previous star nearest to this hub to
+			// the tip of this star nearest to the previous hub.
+			a := nearestPoint(prevTips, hub)
+			b := nearestPoint(tips, geom.Point{X: float64(h-1) * 6, Y: 0})
+			pts = appendBridge(pts, a, b, 0.95)
+		}
+		prevTips = tips
+	}
+	return dedupe(pts)
+}
+
+// NestedStar builds a degree-5 hub one of whose spoke tips is itself a
+// degree-5 hub with short sub-spokes, plus a tail path that provides a
+// leaf to root at. When the outer hub bridges two children through a
+// sibling edge, the inner hub receives a *sibling* target, driving the
+// "p(u) outside the p-sector" cases of Theorem 3.
+func NestedStar(rng *rand.Rand) []geom.Point {
+	var pts []geom.Point
+	hub := geom.Point{}
+	pts = append(pts, hub)
+	gaps := starGaps(rng, 5)
+	angle := rng.Float64() * geom.TwoPi
+	var firstTip geom.Point
+	for j := 0; j < 5; j++ {
+		l := starSpokeMin + rng.Float64()*(starSpokeMax-starSpokeMin)
+		tip := geom.Polar(hub, angle, l)
+		pts = append(pts, tip)
+		if j == 0 {
+			firstTip = tip
+			// The first tip becomes an inner hub: four sub-spokes of
+			// length ≈ 0.4 spread over the side facing away from the
+			// outer hub, with gaps ≥ 1.2 rad around the inner hub
+			// including the ray back to the outer hub.
+			back := geom.Dir(tip, hub)
+			sub := back + 1.25
+			for s := 0; s < 4; s++ {
+				pts = append(pts, geom.Polar(tip, sub, 0.35+0.08*rng.Float64()))
+				sub += 1.21 + rng.Float64()*0.05
+			}
+		}
+		angle += gaps[j]
+	}
+	// Tail path from the last-added outer tip, heading away from
+	// everything, to give the tree a distant leaf root.
+	tail := pts[len(pts)-1]
+	dir := geom.Dir(hub, tail)
+	for s := 1; s <= 3; s++ {
+		pts = append(pts, geom.Polar(tail, dir, 0.9*float64(s)))
+	}
+	_ = firstTip
+	return dedupe(pts)
+}
+
+func nearestPoint(cands []geom.Point, to geom.Point) geom.Point {
+	best := cands[0]
+	bestD := best.Dist(to)
+	for _, c := range cands[1:] {
+		if d := c.Dist(to); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// appendBridge appends interior chain points between a and b spaced at
+// most `step` apart (excludes the endpoints themselves).
+func appendBridge(pts []geom.Point, a, b geom.Point, step float64) []geom.Point {
+	d := a.Dist(b)
+	if d <= step {
+		return pts
+	}
+	n := int(math.Ceil(d/step)) - 1
+	for i := 1; i <= n; i++ {
+		t := float64(i) / float64(n+1)
+		pts = append(pts, geom.Point{X: a.X + (b.X-a.X)*t, Y: a.Y + (b.Y-a.Y)*t})
+	}
+	return pts
+}

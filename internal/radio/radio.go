@@ -1,0 +1,200 @@
+// Package radio simulates communication over an oriented antenna network:
+// synchronous-round broadcast (flooding) over the induced transmission
+// digraph, and the directional-interference metric the paper's
+// introduction motivates (Yi–Pei–Kalyanaraman [19]: the number of
+// unintended receivers inside a transmission zone). It turns the
+// orientation algorithms from geometric artifacts into a running sensor
+// network substrate.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/antenna"
+	"repro/internal/graph"
+	"repro/internal/spatial"
+)
+
+// BroadcastResult summarizes a flooding run from a source sensor.
+type BroadcastResult struct {
+	Source     int
+	Rounds     int   // rounds until no new sensor was informed
+	Informed   int   // total informed (== n iff strongly reachable)
+	PerRound   []int // newly informed per round (round 0 = source)
+	Complete   bool  // every sensor informed
+	Deliveries int   // total message receptions (including duplicates)
+}
+
+// Broadcast floods a message from src: in each synchronous round every
+// informed sensor transmits once, reaching all out-neighbors in the
+// induced digraph.
+func Broadcast(g *graph.Digraph, src int) BroadcastResult {
+	n := g.N
+	res := BroadcastResult{Source: src}
+	if n == 0 || src < 0 || src >= n {
+		return res
+	}
+	informed := make([]bool, n)
+	informed[src] = true
+	frontier := []int{src}
+	res.Informed = 1
+	res.PerRound = append(res.PerRound, 1)
+	for len(frontier) > 0 {
+		var next []int
+		newly := 0
+		// Classic flooding: a sensor transmits once, in the round after
+		// it is first informed; deliveries count duplicates for the
+		// energy accounting.
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				res.Deliveries++
+				if !informed[v] {
+					informed[v] = true
+					newly++
+					next = append(next, v)
+				}
+			}
+		}
+		if newly == 0 {
+			break
+		}
+		res.Rounds++
+		res.PerRound = append(res.PerRound, newly)
+		res.Informed += newly
+		frontier = next
+	}
+	res.Complete = res.Informed == n
+	return res
+}
+
+// BroadcastAll returns the worst-case (max) and mean rounds for flooding
+// from every source. Infinite/incomplete floods report complete=false.
+func BroadcastAll(g *graph.Digraph) (maxRounds int, meanRounds float64, allComplete bool) {
+	n := g.N
+	if n == 0 {
+		return 0, 0, true
+	}
+	allComplete = true
+	total := 0
+	for s := 0; s < n; s++ {
+		r := Broadcast(g, s)
+		if !r.Complete {
+			allComplete = false
+		}
+		if r.Rounds > maxRounds {
+			maxRounds = r.Rounds
+		}
+		total += r.Rounds
+	}
+	return maxRounds, float64(total) / float64(n), allComplete
+}
+
+// InterferenceStats quantifies unintended receivers per transmission
+// ([19]-style): for every activated sector, the sensors inside it beyond
+// the one intended target overhear the transmission.
+type InterferenceStats struct {
+	Sectors        int     // sectors with at least one receiver
+	Edges          int     // total receptions (digraph edges)
+	TotalOverhear  int     // Σ over sectors of (receivers − 1)
+	MeanOverhear   float64 // TotalOverhear / Sectors
+	MaxOverhear    int
+	MeanSectorArea float64 // proxy for transmission energy
+}
+
+// Interference measures the overhearing induced by an assignment. For
+// each sensor u and each of its sectors, every sensor inside the sector
+// other than u is a receiver; an edge's unintended receivers are the
+// receivers minus one intended target. (With zero-spread antennae the
+// count is almost always zero — the fundamental advantage of directional
+// antennae the paper's introduction cites.)
+func Interference(asg *antenna.Assignment) InterferenceStats {
+	var st InterferenceStats
+	n := asg.N()
+	if n == 0 {
+		return st
+	}
+	maxR := asg.MaxRadius()
+	grid := spatial.NewGrid(asg.Pts, maxR/2+1e-12)
+	var buf []int
+	var areas float64
+	var sectors int
+	for u := 0; u < n; u++ {
+		for _, s := range asg.Sectors[u] {
+			sectors++
+			areas += s.Area()
+			buf = grid.Within(asg.Pts[u], s.Radius, buf[:0])
+			receivers := 0
+			for _, v := range buf {
+				if v != u && s.Contains(asg.Pts[u], asg.Pts[v]) {
+					receivers++
+				}
+			}
+			if receivers == 0 {
+				continue
+			}
+			// One receiver is the intended target; the rest overhear.
+			st.Sectors++
+			st.Edges += receivers
+			over := receivers - 1
+			st.TotalOverhear += over
+			if over > st.MaxOverhear {
+				st.MaxOverhear = over
+			}
+		}
+	}
+	if st.Sectors > 0 {
+		st.MeanOverhear = float64(st.TotalOverhear) / float64(st.Sectors)
+	}
+	if sectors > 0 {
+		st.MeanSectorArea = areas / float64(sectors)
+	}
+	return st
+}
+
+// GossipResult reports a randomized gossip dissemination run.
+type GossipResult struct {
+	Rounds   int
+	Complete bool
+}
+
+// Gossip simulates push gossip over the induced digraph: each round every
+// informed sensor forwards to one uniformly random out-neighbor. Returns
+// the rounds until all sensors are informed, capped at maxRounds.
+func Gossip(g *graph.Digraph, src int, rng *rand.Rand, maxRounds int) GossipResult {
+	n := g.N
+	if n == 0 || src < 0 || src >= n {
+		return GossipResult{}
+	}
+	informed := make([]bool, n)
+	informed[src] = true
+	count := 1
+	for round := 1; round <= maxRounds; round++ {
+		var newly []int
+		for u := 0; u < n; u++ {
+			if !informed[u] || len(g.Adj[u]) == 0 {
+				continue
+			}
+			v := g.Adj[u][rng.Intn(len(g.Adj[u]))]
+			if !informed[v] {
+				newly = append(newly, v)
+			}
+		}
+		for _, v := range newly {
+			if !informed[v] {
+				informed[v] = true
+				count++
+			}
+		}
+		if count == n {
+			return GossipResult{Rounds: round, Complete: true}
+		}
+	}
+	return GossipResult{Rounds: maxRounds, Complete: count == n}
+}
+
+// String renders interference stats compactly.
+func (st InterferenceStats) String() string {
+	return fmt.Sprintf("edges=%d overhear(mean=%.3f max=%d) meanArea=%.4f",
+		st.Edges, st.MeanOverhear, st.MaxOverhear, st.MeanSectorArea)
+}

@@ -1,0 +1,160 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointset"
+)
+
+func ringDigraph(n int) *graph.Digraph {
+	g := graph.NewDigraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestBroadcastRing(t *testing.T) {
+	g := ringDigraph(8)
+	r := Broadcast(g, 0)
+	if !r.Complete || r.Informed != 8 {
+		t.Fatalf("flood incomplete: %+v", r)
+	}
+	if r.Rounds != 7 {
+		t.Fatalf("rounds = %d, want 7", r.Rounds)
+	}
+	if len(r.PerRound) != 8 || r.PerRound[0] != 1 {
+		t.Fatalf("per-round = %v", r.PerRound)
+	}
+}
+
+func TestBroadcastIncomplete(t *testing.T) {
+	g := graph.NewDigraph(4)
+	g.AddEdge(0, 1)
+	r := Broadcast(g, 0)
+	if r.Complete || r.Informed != 2 {
+		t.Fatalf("expected partial flood: %+v", r)
+	}
+	// Unreachable source.
+	if got := Broadcast(g, -1); got.Informed != 0 {
+		t.Fatal("invalid source informed someone")
+	}
+	if got := Broadcast(graph.NewDigraph(0), 0); got.Informed != 0 {
+		t.Fatal("empty graph informed someone")
+	}
+}
+
+func TestBroadcastAll(t *testing.T) {
+	g := ringDigraph(6)
+	maxR, meanR, all := BroadcastAll(g)
+	if !all || maxR != 5 || math.Abs(meanR-5) > 1e-9 {
+		t.Fatalf("max=%d mean=%v all=%v", maxR, meanR, all)
+	}
+	if maxR, _, all := BroadcastAll(graph.NewDigraph(0)); maxR != 0 || !all {
+		t.Fatal("empty BroadcastAll wrong")
+	}
+}
+
+func TestBroadcastMatchesEccentricity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := pointset.Uniform(rng, 120, 10)
+	asg, _, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := asg.InducedDigraph()
+	for src := 0; src < 10; src++ {
+		r := Broadcast(g, src)
+		ecc, all := g.Eccentricity(src)
+		if !all || !r.Complete {
+			t.Fatalf("src %d: incomplete flood over a strongly connected digraph", src)
+		}
+		if r.Rounds != ecc {
+			t.Fatalf("src %d: rounds %d != eccentricity %d", src, r.Rounds, ecc)
+		}
+	}
+}
+
+func TestInterferenceZeroSpreadIsQuiet(t *testing.T) {
+	// Zero-spread tour antennae: essentially no overhearing.
+	rng := rand.New(rand.NewSource(10))
+	pts := pointset.Uniform(rng, 100, 10)
+	asgTour, _, err := core.Orient(pts, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tourStats := Interference(asgTour)
+	// Omnidirectional baseline: full-circle sectors with ample radius.
+	omni := antenna.New(pts)
+	for i := range pts {
+		omni.Add(i, geom.NewSector(0, geom.TwoPi, 3))
+	}
+	omniStats := Interference(omni)
+	if tourStats.MeanOverhear >= omniStats.MeanOverhear {
+		t.Fatalf("directional overhear %.3f not below omni %.3f",
+			tourStats.MeanOverhear, omniStats.MeanOverhear)
+	}
+	if omniStats.MaxOverhear == 0 {
+		t.Fatal("omni baseline should overhear")
+	}
+	if !strings.Contains(tourStats.String(), "overhear") {
+		t.Fatalf("String = %q", tourStats.String())
+	}
+}
+
+func TestInterferenceEmpty(t *testing.T) {
+	st := Interference(antenna.New(nil))
+	if st.Edges != 0 || st.MeanOverhear != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestGossip(t *testing.T) {
+	g := ringDigraph(12)
+	rng := rand.New(rand.NewSource(11))
+	r := Gossip(g, 0, rng, 1000)
+	if !r.Complete {
+		t.Fatalf("gossip incomplete: %+v", r)
+	}
+	// On a directed ring, push gossip needs exactly n-1 rounds.
+	if r.Rounds != 11 {
+		t.Fatalf("ring gossip rounds = %d, want 11", r.Rounds)
+	}
+	// Capped runs terminate.
+	r = Gossip(g, 0, rng, 3)
+	if r.Complete || r.Rounds != 3 {
+		t.Fatalf("capped gossip = %+v", r)
+	}
+	if got := Gossip(graph.NewDigraph(0), 0, rng, 5); got.Complete || got.Rounds != 0 {
+		t.Fatalf("empty gossip = %+v", got)
+	}
+}
+
+func TestInterferenceDecreasesWithK(t *testing.T) {
+	// The paper's motivation: more antennae with smaller spread each =>
+	// less interference than fewer wide antennae at the same strong
+	// connectivity. Compare k=1 (spread 8π/5) against k=5 (spread 0).
+	rng := rand.New(rand.NewSource(12))
+	pts := pointset.Uniform(rng, 150, 10)
+	wide, _, err := core.Orient(pts, 1, core.Phi1Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, _, err := core.Orient(pts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideStats := Interference(wide)
+	narrowStats := Interference(narrow)
+	if narrowStats.MeanOverhear >= wideStats.MeanOverhear {
+		t.Fatalf("k=5 overhear %.3f not below k=1 %.3f",
+			narrowStats.MeanOverhear, wideStats.MeanOverhear)
+	}
+}

@@ -1,0 +1,115 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one polyline of an XY chart.
+type Series struct {
+	Label string
+	Color string
+	X, Y  []float64
+}
+
+// Chart renders simple XY line charts as SVG — enough to reproduce the
+// paper's trade-off curves (E-S1/E-S2) graphically without any plotting
+// dependency.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+}
+
+// NewChart returns a chart with sensible defaults.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 720, Height: 480}
+}
+
+// Add appends a series.
+func (c *Chart) Add(label, color string, xs, ys []float64) {
+	c.Series = append(c.Series, Series{Label: label, Color: color, X: xs, Y: ys})
+}
+
+// WriteTo renders the chart.
+func (c *Chart) WriteTo(w io.Writer) (int64, error) {
+	const margin = 60.0
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	pad := (maxY - minY) * 0.08
+	minY -= pad
+	maxY += pad
+
+	W, H := float64(c.Width), float64(c.Height)
+	px := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*(W-2*margin) }
+	py := func(y float64) float64 { return H - margin - (y-minY)/(maxY-minY)*(H-2*margin) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", c.Width, c.Height, c.Width, c.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%f" y="24" font-size="16">%s</text>`+"\n", margin, xmlEscape(c.Title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n", margin, H-margin, W-margin, H-margin)
+	fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n", margin, margin, margin, H-margin)
+	fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="12">%s</text>`+"\n", W/2, H-margin/3, xmlEscape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="12" transform="rotate(-90 14 %f)">%s</text>`+"\n", 14.0, H/2, H/2, xmlEscape(c.YLabel))
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		x := minX + (maxX-minX)*float64(i)/5
+		y := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n", px(x), H-margin, px(x), H-margin+5)
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="10" text-anchor="middle">%.3g</text>`+"\n", px(x), H-margin+18, x)
+		fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n", margin-5, py(y), margin, py(y))
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="10" text-anchor="end">%.3g</text>`+"\n", margin-8, py(y)+4, y)
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd"}[si%4]
+		}
+		var pb strings.Builder
+		for i := range s.X {
+			if i == 0 {
+				pb.WriteString("M ")
+			} else {
+				pb.WriteString(" L ")
+			}
+			fmt.Fprintf(&pb, "%.2f %.2f", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", pb.String(), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2.5" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend.
+		ly := margin + float64(si)*18
+		fmt.Fprintf(&b, `<line x1="%f" y1="%f" x2="%f" y2="%f" stroke="%s" stroke-width="2"/>`+"\n", W-margin-120, ly, W-margin-90, ly, color)
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="11">%s</text>`+"\n", W-margin-84, ly+4, xmlEscape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

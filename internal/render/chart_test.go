@@ -1,0 +1,56 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	c := NewChart("bound vs measured", "phi", "radius/l_max")
+	c.Add("bound", "", []float64{1, 2, 3}, []float64{1.7, 1.5, 1.0})
+	c.Add("measured", "#d62728", []float64{1, 2, 3}, []float64{1.2, 1.1, 1.0})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatal("not a complete SVG")
+	}
+	if strings.Count(s, "<path") != 2 {
+		t.Fatalf("expected 2 polylines, got %d", strings.Count(s, "<path"))
+	}
+	if !strings.Contains(s, "bound vs measured") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(s, "measured") {
+		t.Fatal("legend missing")
+	}
+	// 6 data points.
+	if strings.Count(s, "<circle") != 6 {
+		t.Fatalf("expected 6 markers, got %d", strings.Count(s, "<circle"))
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	// No series at all: axes still render.
+	c := NewChart("empty", "x", "y")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<line") {
+		t.Fatal("axes missing")
+	}
+	// Constant series: ranges are padded, no division by zero.
+	c = NewChart("flat", "x", "y")
+	c.Add("s", "", []float64{1, 1, 1}, []float64{2, 2, 2})
+	buf.Reset()
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}

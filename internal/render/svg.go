@@ -1,0 +1,219 @@
+// Package render draws point sets, spanning trees, antenna sectors, and
+// induced digraphs as standalone SVG documents. It regenerates the
+// paper's figures (1–6) from live data structures using only the standard
+// library (SVG is plain XML).
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mst"
+)
+
+// Style configures the canvas.
+type Style struct {
+	Width, Height int     // pixel dimensions
+	Margin        float64 // world-units margin around the bounding box
+	PointRadius   float64 // pixel radius of sensor dots
+	SectorOpacity float64
+	Title         string
+}
+
+// DefaultStyle returns a reasonable canvas.
+func DefaultStyle() Style {
+	return Style{Width: 800, Height: 800, Margin: 1.0, PointRadius: 3, SectorOpacity: 0.18}
+}
+
+// Canvas accumulates SVG elements over a world-to-pixel transform.
+type Canvas struct {
+	style Style
+	sb    strings.Builder
+	// transform
+	sx, sy, tx, ty float64
+}
+
+// NewCanvas builds a canvas fitted to the given points.
+func NewCanvas(pts []geom.Point, style Style) *Canvas {
+	c := &Canvas{style: style}
+	min, max := geom.BoundingBox(pts)
+	min.X -= style.Margin
+	min.Y -= style.Margin
+	max.X += style.Margin
+	max.Y += style.Margin
+	w := max.X - min.X
+	h := max.Y - min.Y
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	c.sx = float64(style.Width) / w
+	c.sy = float64(style.Height) / h
+	if c.sx < c.sy {
+		c.sy = c.sx
+	} else {
+		c.sx = c.sy
+	}
+	c.tx = -min.X
+	// SVG y grows downward; flip.
+	c.ty = max.Y
+	return c
+}
+
+// xy maps world coordinates to pixels.
+func (c *Canvas) xy(p geom.Point) (float64, float64) {
+	return (p.X + c.tx) * c.sx, (c.ty - p.Y) * c.sy
+}
+
+// Line draws a segment.
+func (c *Canvas) Line(a, b geom.Point, color string, width float64) {
+	x1, y1 := c.xy(a)
+	x2, y2 := c.xy(b)
+	fmt.Fprintf(&c.sb, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, color, width)
+}
+
+// Arrow draws a directed segment with a small arrowhead.
+func (c *Canvas) Arrow(a, b geom.Point, color string, width float64) {
+	c.Line(a, b, color, width)
+	// Arrowhead at 85% of the way.
+	dir := geom.Dir(a, b)
+	tip := geom.Polar(a, dir, a.Dist(b)*0.85)
+	left := geom.Polar(tip, dir+2.6, 0.15)
+	right := geom.Polar(tip, dir-2.6, 0.15)
+	c.Line(tip, left, color, width)
+	c.Line(tip, right, color, width)
+}
+
+// Dot draws a sensor.
+func (c *Canvas) Dot(p geom.Point, color string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.sb, `<circle cx="%.2f" cy="%.2f" r="%.1f" fill="%s"/>`+"\n",
+		x, y, c.style.PointRadius, color)
+}
+
+// Label places text next to a point.
+func (c *Canvas) Label(p geom.Point, text, color string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.sb, `<text x="%.2f" y="%.2f" font-size="12" fill="%s">%s</text>`+"\n",
+		x+5, y-5, color, xmlEscape(text))
+}
+
+// Sector draws a filled antenna wedge at apex.
+func (c *Canvas) Sector(apex geom.Point, s geom.Sector, color string) {
+	if s.Radius <= 0 {
+		return
+	}
+	if s.Spread < 1e-3 {
+		// Zero-spread antennae render as rays.
+		c.Line(apex, geom.Polar(apex, s.Start, s.Radius), color, 1.0)
+		return
+	}
+	x0, y0 := c.xy(apex)
+	p1 := geom.Polar(apex, s.Start, s.Radius)
+	p2 := geom.Polar(apex, s.Start+s.Spread, s.Radius)
+	x1, y1 := c.xy(p1)
+	x2, y2 := c.xy(p2)
+	largeArc := 0
+	if s.Spread > math.Pi {
+		largeArc = 1
+	}
+	r := s.Radius * c.sx
+	// Sweep flag 1: SVG y-axis is flipped, so CCW world arcs are CW pixel
+	// arcs.
+	fmt.Fprintf(&c.sb,
+		`<path d="M %.2f %.2f L %.2f %.2f A %.2f %.2f 0 %d 0 %.2f %.2f Z" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="0.5"/>`+"\n",
+		x0, y0, x1, y1, r, r, largeArc, x2, y2, color, c.style.SectorOpacity, color)
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var head strings.Builder
+	fmt.Fprintf(&head, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.style.Width, c.style.Height, c.style.Width, c.style.Height)
+	head.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.style.Title != "" {
+		fmt.Fprintf(&head, `<text x="10" y="20" font-size="16" fill="black">%s</text>`+"\n", xmlEscape(c.style.Title))
+	}
+	n1, err := io.WriteString(w, head.String())
+	if err != nil {
+		return int64(n1), err
+	}
+	n2, err := io.WriteString(w, c.sb.String())
+	if err != nil {
+		return int64(n1 + n2), err
+	}
+	n3, err := io.WriteString(w, "</svg>\n")
+	return int64(n1 + n2 + n3), err
+}
+
+// Assignment renders a full scene: sectors, induced edges, MST edges, and
+// sensors.
+func Assignment(w io.Writer, asg *antenna.Assignment, style Style) error {
+	c := NewCanvas(asg.Pts, style)
+	// Sectors first (underneath).
+	for u := range asg.Sectors {
+		for _, s := range asg.Sectors[u] {
+			c.Sector(asg.Pts[u], s, "#1f77b4")
+		}
+	}
+	// MST edges for reference.
+	if asg.N() > 1 {
+		tree := mst.Euclidean(asg.Pts)
+		for _, e := range tree.Edges() {
+			c.Line(asg.Pts[e[0]], asg.Pts[e[1]], "#bbbbbb", 1)
+		}
+	}
+	// Induced digraph.
+	g := asg.InducedDigraph()
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[u] {
+			c.Arrow(asg.Pts[u], asg.Pts[v], "#d62728", 0.8)
+		}
+	}
+	for _, p := range asg.Pts {
+		c.Dot(p, "black")
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// Digraph renders a plain induced digraph over the points.
+func Digraph(w io.Writer, pts []geom.Point, g *graph.Digraph, style Style) error {
+	c := NewCanvas(pts, style)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Adj[u] {
+			c.Arrow(pts[u], pts[v], "#2ca02c", 0.8)
+		}
+	}
+	for _, p := range pts {
+		c.Dot(p, "black")
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// Tree renders a spanning tree.
+func Tree(w io.Writer, t *mst.Tree, style Style) error {
+	c := NewCanvas(t.Pts, style)
+	for _, e := range t.Edges() {
+		c.Line(t.Pts[e[0]], t.Pts[e[1]], "#1f77b4", 1.2)
+	}
+	for _, p := range t.Pts {
+		c.Dot(p, "black")
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,116 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+)
+
+func TestCanvasTransformPreservesGeometry(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	c := NewCanvas(pts, DefaultStyle())
+	x0, y0 := c.xy(pts[0])
+	x1, y1 := c.xy(pts[1])
+	if x1 <= x0 {
+		t.Fatal("x axis not increasing")
+	}
+	if y1 >= y0 {
+		t.Fatal("y axis must be flipped (SVG grows downward)")
+	}
+	// Aspect ratio preserved: equal world spans map to equal pixel spans.
+	if math.Abs((x1-x0)-(y0-y1)) > 1e-9 {
+		t.Fatalf("anisotropic scaling: dx=%v dy=%v", x1-x0, y0-y1)
+	}
+}
+
+func TestAssignmentSVGWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := pointset.Uniform(rng, 40, 8)
+	asg, _, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	style := DefaultStyle()
+	style.Title = "theorem 3 <part 1> & friends"
+	if err := Assignment(&buf, asg, style); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if !strings.Contains(s, "&lt;part 1&gt; &amp;") {
+		t.Fatal("title not escaped")
+	}
+	if strings.Count(s, "<circle") != 40 {
+		t.Fatalf("expected 40 sensor dots, got %d", strings.Count(s, "<circle"))
+	}
+	if !strings.Contains(s, "<path") {
+		t.Fatal("no sector wedges rendered for wide antennae")
+	}
+	if !strings.Contains(s, "<line") {
+		t.Fatal("no lines rendered")
+	}
+}
+
+func TestTreeAndDigraphSVG(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := pointset.Uniform(rng, 25, 5)
+	tree := mst.Euclidean(pts)
+	var buf bytes.Buffer
+	if err := Tree(&buf, tree, DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<line") != len(tree.Edges()) {
+		t.Fatalf("tree rendered %d lines for %d edges",
+			strings.Count(buf.String(), "<line"), len(tree.Edges()))
+	}
+	asg, _, err := core.Orient(pts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Digraph(&buf, pts, asg.InducedDigraph(), DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<line") {
+		t.Fatal("digraph rendered no edges")
+	}
+}
+
+func TestSectorRendering(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}}
+	c := NewCanvas(pts, DefaultStyle())
+	// Zero-radius sector is skipped.
+	c.Sector(pts[0], geom.NewSector(0, 1, 0), "red")
+	// Zero-spread becomes a ray (line).
+	c.Sector(pts[0], geom.NewSector(0, 0, 2), "red")
+	// Reflex sector uses the large-arc flag.
+	c.Sector(pts[0], geom.NewSector(0, 4.5, 2), "red")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "<line") != 1 {
+		t.Fatalf("expected 1 ray line, got %d", strings.Count(s, "<line"))
+	}
+	if !strings.Contains(s, " 1 0 ") {
+		t.Fatal("large-arc flag missing for reflex sector")
+	}
+	// Degenerate canvas: identical points still render.
+	c2 := NewCanvas([]geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}, DefaultStyle())
+	c2.Dot(geom.Point{X: 1, Y: 1}, "black")
+	buf.Reset()
+	if _, err := c2.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package route implements position-based (geographic) routing over
+// oriented antenna networks: greedy forwarding (always towards the
+// neighbor closest to the destination) and compass routing (smallest
+// angular deviation). On *directed* transmission graphs these classical
+// protocols can dead-end even when a path exists — quantifying how
+// antenna-induced asymmetry hurts local routing, versus the global
+// strong-connectivity guarantee the paper provides (BFS always
+// succeeds).
+package route
+
+import (
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Outcome of a routing attempt.
+type Outcome int
+
+const (
+	// Delivered: the packet reached the destination.
+	Delivered Outcome = iota
+	// Stuck: no out-neighbor made progress (greedy local minimum).
+	Stuck
+	// Loop: the hop budget was exhausted (routing cycle).
+	Loop
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Stuck:
+		return "stuck"
+	default:
+		return "loop"
+	}
+}
+
+// Result reports one routing attempt.
+type Result struct {
+	Outcome Outcome
+	Hops    int
+	Path    []int
+}
+
+// Greedy routes from src to dst: each hop forwards to the out-neighbor
+// strictly closest to the destination (closer than the current holder);
+// if none exists the packet is stuck. maxHops bounds the walk.
+func Greedy(pts []geom.Point, g *graph.Digraph, src, dst, maxHops int) Result {
+	return walk(pts, g, src, dst, maxHops, func(cur int) int {
+		best := -1
+		bestD := pts[cur].Dist2(pts[dst])
+		for _, v := range g.Adj[cur] {
+			if d := pts[v].Dist2(pts[dst]); d < bestD {
+				bestD = d
+				best = v
+			}
+		}
+		return best
+	})
+}
+
+// Compass routes by smallest angular deviation from the straight line to
+// the destination, breaking ties by distance. Unlike Greedy it may move
+// away from the destination, so it loops rather than sticks.
+func Compass(pts []geom.Point, g *graph.Digraph, src, dst, maxHops int) Result {
+	return walk(pts, g, src, dst, maxHops, func(cur int) int {
+		ref := geom.Dir(pts[cur], pts[dst])
+		best := -1
+		bestDev := geom.TwoPi
+		for _, v := range g.Adj[cur] {
+			dev := geom.CCW(ref, geom.Dir(pts[cur], pts[v]))
+			if dev > 3.141592653589793 {
+				dev = geom.TwoPi - dev
+			}
+			if dev < bestDev {
+				bestDev = dev
+				best = v
+			}
+		}
+		return best
+	})
+}
+
+func walk(pts []geom.Point, g *graph.Digraph, src, dst, maxHops int, next func(int) int) Result {
+	if src < 0 || src >= g.N || dst < 0 || dst >= g.N {
+		return Result{Outcome: Stuck}
+	}
+	if maxHops <= 0 {
+		maxHops = 4 * g.N
+	}
+	res := Result{Path: []int{src}}
+	cur := src
+	for hop := 0; hop < maxHops; hop++ {
+		if cur == dst {
+			res.Outcome = Delivered
+			return res
+		}
+		if g.HasEdge(cur, dst) {
+			res.Path = append(res.Path, dst)
+			res.Hops++
+			res.Outcome = Delivered
+			return res
+		}
+		v := next(cur)
+		if v < 0 {
+			res.Outcome = Stuck
+			return res
+		}
+		res.Path = append(res.Path, v)
+		res.Hops++
+		cur = v
+	}
+	if cur == dst {
+		res.Outcome = Delivered
+		return res
+	}
+	res.Outcome = Loop
+	return res
+}
+
+// SuccessStats aggregates routing attempts over sampled pairs.
+type SuccessStats struct {
+	Attempts  int
+	Delivered int
+	Stuck     int
+	Loops     int
+	MeanHops  float64 // over delivered packets
+	Stretch   float64 // mean hops / BFS hops over delivered packets
+}
+
+// Rate returns the delivery fraction.
+func (s SuccessStats) Rate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Attempts)
+}
+
+// Evaluate runs the protocol over all ordered pairs (or a stride-sampled
+// subset for large n) and compares against BFS shortest paths.
+func Evaluate(pts []geom.Point, g *graph.Digraph, proto func(pts []geom.Point, g *graph.Digraph, src, dst, maxHops int) Result, stride int) SuccessStats {
+	var st SuccessStats
+	if stride < 1 {
+		stride = 1
+	}
+	var hops, stretch float64
+	for src := 0; src < g.N; src += stride {
+		bfs := g.BFSFrom(src)
+		for dst := 0; dst < g.N; dst += stride {
+			if src == dst || bfs[dst] < 0 {
+				continue
+			}
+			st.Attempts++
+			r := proto(pts, g, src, dst, 0)
+			switch r.Outcome {
+			case Delivered:
+				st.Delivered++
+				hops += float64(r.Hops)
+				stretch += float64(r.Hops) / float64(bfs[dst])
+			case Stuck:
+				st.Stuck++
+			default:
+				st.Loops++
+			}
+		}
+	}
+	if st.Delivered > 0 {
+		st.MeanHops = hops / float64(st.Delivered)
+		st.Stretch = stretch / float64(st.Delivered)
+	}
+	return st
+}

@@ -1,0 +1,127 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointset"
+)
+
+func lineDigraph(pts []geom.Point) *graph.Digraph {
+	g := graph.NewDigraph(len(pts))
+	for i := 0; i+1 < len(pts); i++ {
+		g.AddEdge(i, i+1)
+		g.AddEdge(i+1, i)
+	}
+	return g
+}
+
+func TestGreedyOnPath(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	g := lineDigraph(pts)
+	r := Greedy(pts, g, 0, 3, 0)
+	if r.Outcome != Delivered || r.Hops != 3 {
+		t.Fatalf("greedy on path: %+v", r)
+	}
+	if len(r.Path) != 4 || r.Path[0] != 0 || r.Path[3] != 3 {
+		t.Fatalf("path = %v", r.Path)
+	}
+	// Already there.
+	r = Greedy(pts, g, 2, 2, 0)
+	if r.Outcome != Delivered || r.Hops != 0 {
+		t.Fatalf("self delivery: %+v", r)
+	}
+	// Invalid endpoints.
+	if Greedy(pts, g, -1, 2, 0).Outcome != Stuck {
+		t.Fatal("invalid src should stick")
+	}
+}
+
+func TestGreedyLocalMinimum(t *testing.T) {
+	// A directed detour: 0 can only send to 1 which is FARTHER from dst 2
+	// than 0 is; greedy refuses to move backwards and sticks.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: -5, Y: 0}, {X: 1, Y: 0}}
+	g := graph.NewDigraph(3)
+	g.AddEdge(0, 1) // away from destination
+	g.AddEdge(1, 2) // long hop to destination
+	r := Greedy(pts, g, 0, 2, 10)
+	if r.Outcome != Stuck {
+		t.Fatalf("expected stuck, got %+v", r)
+	}
+	// Compass is allowed to move away and delivers.
+	rc := Compass(pts, g, 0, 2, 10)
+	if rc.Outcome != Delivered {
+		t.Fatalf("compass should deliver: %+v", rc)
+	}
+}
+
+func TestCompassLoop(t *testing.T) {
+	// Two nodes pointing at each other, destination elsewhere and
+	// unreachable except through a missing edge: compass loops.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 10, Y: 10}}
+	g := graph.NewDigraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	r := Compass(pts, g, 0, 2, 8)
+	if r.Outcome != Loop {
+		t.Fatalf("expected loop, got %+v", r)
+	}
+	if r.Outcome.String() != "loop" {
+		t.Fatalf("String = %q", r.Outcome.String())
+	}
+}
+
+func TestEvaluateOnOrientedNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := pointset.Uniform(rng, 90, 9)
+	// Theorem-2 network (wide beams, bidirected MST): greedy over it
+	// behaves like greedy over an undirected tree — high delivery.
+	asgWide, _, err := core.Orient(pts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gWide := asgWide.InducedDigraph()
+	stWide := Evaluate(pts, gWide, Greedy, 2)
+	if stWide.Attempts == 0 {
+		t.Fatal("no attempts")
+	}
+	// The k=1 tour network is a directed cycle: greedy must often stick
+	// (the only out-edge frequently moves away from the destination).
+	asgTour, _, err := core.Orient(pts, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stTour := Evaluate(pts, asgTour.InducedDigraph(), Greedy, 2)
+	if stTour.Rate() >= stWide.Rate() {
+		t.Fatalf("tour delivery %.3f should be below MST delivery %.3f",
+			stTour.Rate(), stWide.Rate())
+	}
+	// Delivered packets never beat BFS.
+	if stWide.Delivered > 0 && stWide.Stretch < 1-1e-9 {
+		t.Fatalf("stretch %.3f below 1", stWide.Stretch)
+	}
+}
+
+func TestEvaluateCompassVsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pts := pointset.Clusters(rng, 70, 3, 8, 0.5)
+	asg, _, err := core.Orient(pts, 2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := asg.InducedDigraph()
+	sg := Evaluate(pts, g, Greedy, 2)
+	sc := Evaluate(pts, g, Compass, 2)
+	if sg.Attempts != sc.Attempts {
+		t.Fatal("attempt counts differ")
+	}
+	// Sanity only: both must deliver something on a strongly connected
+	// network.
+	if sg.Delivered == 0 || sc.Delivered == 0 {
+		t.Fatalf("greedy=%d compass=%d deliveries", sg.Delivered, sc.Delivered)
+	}
+}

@@ -1,0 +1,181 @@
+// Package spatial provides a uniform grid index over planar points used to
+// answer radius queries (all points within distance r) and nearest-neighbor
+// queries in near-constant expected time. It is the workhorse behind
+// induced-transmission-graph construction and Kruskal candidate filtering
+// at large n.
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Grid is an immutable uniform bucket grid over a point set.
+type Grid struct {
+	pts     []geom.Point
+	cell    float64
+	minX    float64
+	minY    float64
+	nx, ny  int
+	buckets map[uint64][]int32
+}
+
+// NewGrid indexes pts with the given cell size. A non-positive cell size is
+// replaced by a heuristic (side of bounding-box area / n, clamped to a
+// positive value).
+func NewGrid(pts []geom.Point, cell float64) *Grid {
+	g := &Grid{pts: pts, buckets: make(map[uint64][]int32, len(pts))}
+	min, max := geom.BoundingBox(pts)
+	g.minX, g.minY = min.X, min.Y
+	w := max.X - min.X
+	h := max.Y - min.Y
+	if cell <= 0 {
+		if len(pts) > 0 && w*h > 0 {
+			cell = math.Sqrt(w * h / float64(len(pts)))
+		}
+		if cell <= 0 {
+			cell = 1
+		}
+	}
+	g.cell = cell
+	g.nx = int(w/cell) + 1
+	g.ny = int(h/cell) + 1
+	for i, p := range pts {
+		cx, cy := g.cellOf(p)
+		k := g.key(cx, cy)
+		g.buckets[k] = append(g.buckets[k], int32(i))
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// CellSize returns the grid cell edge length.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+func (g *Grid) cellOf(p geom.Point) (int, int) {
+	cx := int(math.Floor((p.X - g.minX) / g.cell))
+	cy := int(math.Floor((p.Y - g.minY) / g.cell))
+	return cx, cy
+}
+
+func (g *Grid) key(cx, cy int) uint64 {
+	return uint64(uint32(int32(cx)))<<32 | uint64(uint32(int32(cy)))
+}
+
+// Within appends to dst the indices of all points within distance r of q
+// (including any point coincident with q; callers filter self-hits by
+// index). Results are in no particular order.
+func (g *Grid) Within(q geom.Point, r float64, dst []int) []int {
+	if r < 0 || len(g.pts) == 0 {
+		return dst
+	}
+	cx0, cy0 := g.cellOf(geom.Point{X: q.X - r, Y: q.Y - r})
+	cx1, cy1 := g.cellOf(geom.Point{X: q.X + r, Y: q.Y + r})
+	r2 := r*r + geom.Eps
+	for cx := cx0; cx <= cx1; cx++ {
+		for cy := cy0; cy <= cy1; cy++ {
+			for _, i := range g.buckets[g.key(cx, cy)] {
+				if g.pts[i].Dist2(q) <= r2 {
+					dst = append(dst, int(i))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the index of the point nearest to q, excluding the point
+// with index `exclude` (pass -1 to exclude nothing). Returns -1 when no
+// eligible point exists. It scans concentric cell rings outward and stops
+// once no closer point can exist.
+func (g *Grid) Nearest(q geom.Point, exclude int) int {
+	best := -1
+	bestD2 := math.Inf(1)
+	if len(g.pts) == 0 {
+		return -1
+	}
+	cx, cy := g.cellOf(q)
+	maxRing := g.nx + g.ny + 2
+	for ring := 0; ring <= maxRing; ring++ {
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				if absInt(dx) != ring && absInt(dy) != ring {
+					continue // interior already scanned
+				}
+				for _, i := range g.buckets[g.key(cx+dx, cy+dy)] {
+					if int(i) == exclude {
+						continue
+					}
+					if d2 := g.pts[i].Dist2(q); d2 < bestD2 {
+						bestD2 = d2
+						best = int(i)
+					}
+				}
+			}
+		}
+		if best >= 0 {
+			// Points in rings beyond this bound are provably farther.
+			safeRing := int(math.Sqrt(bestD2)/g.cell) + 1
+			if ring >= safeRing {
+				return best
+			}
+		}
+	}
+	return best
+}
+
+// KNearest returns the indices of up to k nearest points to q (excluding
+// index `exclude`), ordered by increasing distance. It collects candidates
+// within doubling radii, so it is simple and correct rather than optimal.
+func (g *Grid) KNearest(q geom.Point, k, exclude int) []int {
+	if k <= 0 || len(g.pts) == 0 {
+		return nil
+	}
+	span := g.cell * float64(g.nx+g.ny+4)
+	r := g.cell
+	for {
+		cand := g.Within(q, r, nil)
+		kept := cand[:0]
+		for _, i := range cand {
+			if i != exclude {
+				kept = append(kept, i)
+			}
+		}
+		if len(kept) >= k || r > span {
+			sort.Slice(kept, func(a, b int) bool {
+				return g.pts[kept[a]].Dist2(q) < g.pts[kept[b]].Dist2(q)
+			})
+			if len(kept) > k {
+				kept = kept[:k]
+			}
+			return append([]int(nil), kept...)
+		}
+		r *= 2
+	}
+}
+
+// Pairs invokes fn for every unordered pair (i, j), i < j, of points within
+// distance r of each other. Used to enumerate candidate edges for
+// geometric graphs without the O(n²) blowup on clustered instances.
+func (g *Grid) Pairs(r float64, fn func(i, j int)) {
+	var buf []int
+	for i, p := range g.pts {
+		buf = g.Within(p, r, buf[:0])
+		for _, j := range buf {
+			if j > i {
+				fn(i, j)
+			}
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

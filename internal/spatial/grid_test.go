@@ -1,0 +1,190 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randPoints(rng *rand.Rand, n int, scale float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * scale, Y: rng.Float64() * scale}
+	}
+	return pts
+}
+
+func bruteWithin(pts []geom.Point, q geom.Point, r float64) []int {
+	var out []int
+	for i, p := range pts {
+		if p.Dist(q) <= r+geom.Eps {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := randPoints(rng, n, 10)
+		g := NewGrid(pts, 0)
+		for probe := 0; probe < 20; probe++ {
+			q := geom.Point{X: rng.Float64()*12 - 1, Y: rng.Float64()*12 - 1}
+			r := rng.Float64() * 3
+			got := g.Within(q, r, nil)
+			want := bruteWithin(pts, q, r)
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Within size %d, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: Within = %v, want %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinEdgeCases(t *testing.T) {
+	g := NewGrid(nil, 1)
+	if got := g.Within(geom.Point{}, 5, nil); len(got) != 0 {
+		t.Fatal("empty grid should return nothing")
+	}
+	pts := []geom.Point{{X: 0, Y: 0}}
+	g = NewGrid(pts, 1)
+	if got := g.Within(geom.Point{}, -1, nil); len(got) != 0 {
+		t.Fatal("negative radius should return nothing")
+	}
+	if got := g.Within(geom.Point{}, 0, nil); len(got) != 1 {
+		t.Fatal("zero radius should self-hit")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(150)
+		pts := randPoints(rng, n, 5)
+		g := NewGrid(pts, 0)
+		for probe := 0; probe < 10; probe++ {
+			qi := rng.Intn(n)
+			q := pts[qi]
+			got := g.Nearest(q, qi)
+			bestD := -1.0
+			best := -1
+			for i, p := range pts {
+				if i == qi {
+					continue
+				}
+				if d := p.Dist(q); best < 0 || d < bestD {
+					best, bestD = i, d
+				}
+			}
+			if got < 0 {
+				t.Fatalf("Nearest returned -1 with %d points", n)
+			}
+			if pts[got].Dist(q) > bestD+1e-9 {
+				t.Fatalf("Nearest = %d (d=%v), brute = %d (d=%v)", got, pts[got].Dist(q), best, bestD)
+			}
+		}
+	}
+}
+
+func TestNearestEmptyAndSingle(t *testing.T) {
+	g := NewGrid(nil, 1)
+	if g.Nearest(geom.Point{}, -1) != -1 {
+		t.Fatal("empty grid must return -1")
+	}
+	g = NewGrid([]geom.Point{{X: 1, Y: 1}}, 1)
+	if g.Nearest(geom.Point{}, 0) != -1 {
+		t.Fatal("grid with only the excluded point must return -1")
+	}
+	if g.Nearest(geom.Point{}, -1) != 0 {
+		t.Fatal("single point should be found")
+	}
+}
+
+func TestKNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 100, 3)
+	g := NewGrid(pts, 0)
+	q := geom.Point{X: 1.5, Y: 1.5}
+	got := g.KNearest(q, 5, -1)
+	if len(got) != 5 {
+		t.Fatalf("KNearest returned %d results", len(got))
+	}
+	// Verify ordering and optimality against brute force.
+	type di struct {
+		d float64
+		i int
+	}
+	all := make([]di, len(pts))
+	for i, p := range pts {
+		all[i] = di{p.Dist(q), i}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	for rank, idx := range got {
+		if pts[idx].Dist(q) > all[rank].d+1e-9 {
+			t.Fatalf("rank %d: got dist %v, optimal %v", rank, pts[idx].Dist(q), all[rank].d)
+		}
+	}
+	if kn := g.KNearest(q, 0, -1); kn != nil {
+		t.Fatal("k=0 should be nil")
+	}
+	if kn := g.KNearest(q, 1000, -1); len(kn) != len(pts) {
+		t.Fatalf("oversized k should return all points, got %d", len(kn))
+	}
+}
+
+func TestPairsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(rng, 120, 4)
+	g := NewGrid(pts, 0)
+	r := 0.7
+	got := map[[2]int]bool{}
+	g.Pairs(r, func(i, j int) {
+		if i >= j {
+			t.Fatalf("Pairs emitted unordered pair (%d,%d)", i, j)
+		}
+		if got[[2]int{i, j}] {
+			t.Fatalf("Pairs emitted duplicate (%d,%d)", i, j)
+		}
+		got[[2]int{i, j}] = true
+	})
+	want := 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) <= r+geom.Eps {
+				want++
+				if !got[[2]int{i, j}] {
+					t.Fatalf("Pairs missed (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Pairs emitted %d pairs, want %d", len(got), want)
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(6)), 10, 1)
+	g := NewGrid(pts, 0.25)
+	if g.Len() != 10 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.CellSize() != 0.25 {
+		t.Fatalf("CellSize = %v", g.CellSize())
+	}
+	// Degenerate: all points identical still works.
+	same := make([]geom.Point, 5)
+	g2 := NewGrid(same, 0)
+	if got := g2.Within(geom.Point{}, 0.1, nil); len(got) != 5 {
+		t.Fatalf("identical points Within = %d", len(got))
+	}
+}

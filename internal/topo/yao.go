@@ -1,0 +1,182 @@
+// Package topo builds classical topology-control structures for
+// directional antenna networks: Yao graphs (each sensor links to its
+// nearest neighbor in each of k equal cones — exactly the structure a
+// sensor with k narrow steerable antennae induces), Theta graphs, and
+// k-nearest-neighbor digraphs. The paper's related work ([8], [10], [11])
+// studies these as the alternative road to connectivity; here they serve
+// as comparison baselines: Yao graphs get strong connectivity with ≥ 6
+// cones but unbounded radius on adversarial instances, while the paper's
+// algorithms bound the radius at fixed antenna counts.
+package topo
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/spatial"
+)
+
+// YaoGraph returns the Yao digraph with k cones per sensor, the cones of
+// sensor u starting at angle offset. Edge u→v iff v is the nearest sensor
+// to u within one of u's cones. The second return value is the largest
+// edge length used (the radius a k-antenna sensor would need to realize
+// the graph).
+func YaoGraph(pts []geom.Point, k int, offset float64) (*graph.Digraph, float64) {
+	n := len(pts)
+	g := graph.NewDigraph(n)
+	if n == 0 || k < 1 {
+		return g, 0
+	}
+	var maxLen float64
+	cone := geom.TwoPi / float64(k)
+	for u := 0; u < n; u++ {
+		best := make([]int, k)
+		bestD := make([]float64, k)
+		for i := range best {
+			best[i] = -1
+			bestD[i] = math.Inf(1)
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			c := int(geom.CCW(offset, geom.Dir(pts[u], pts[v])) / cone)
+			if c >= k {
+				c = k - 1
+			}
+			if d := pts[u].Dist2(pts[v]); d < bestD[c] {
+				bestD[c] = d
+				best[c] = v
+			}
+		}
+		for c, v := range best {
+			if v < 0 {
+				continue
+			}
+			g.AddEdge(u, v)
+			if d := math.Sqrt(bestD[c]); d > maxLen {
+				maxLen = d
+			}
+		}
+	}
+	return g, maxLen
+}
+
+// ThetaGraph is the Theta-graph variant: within each cone the neighbor
+// minimizing the projection onto the cone's bisector is chosen instead of
+// the true nearest.
+func ThetaGraph(pts []geom.Point, k int, offset float64) (*graph.Digraph, float64) {
+	n := len(pts)
+	g := graph.NewDigraph(n)
+	if n == 0 || k < 1 {
+		return g, 0
+	}
+	var maxLen float64
+	cone := geom.TwoPi / float64(k)
+	for u := 0; u < n; u++ {
+		best := make([]int, k)
+		bestProj := make([]float64, k)
+		for i := range best {
+			best[i] = -1
+			bestProj[i] = math.Inf(1)
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			theta := geom.CCW(offset, geom.Dir(pts[u], pts[v]))
+			c := int(theta / cone)
+			if c >= k {
+				c = k - 1
+			}
+			// Projection onto the cone bisector (unsigned deviation).
+			bisector := offset + (float64(c)+0.5)*cone
+			dev := geom.CCW(bisector, geom.Dir(pts[u], pts[v]))
+			if dev > math.Pi {
+				dev = geom.TwoPi - dev
+			}
+			proj := pts[u].Dist(pts[v]) * math.Cos(dev)
+			if proj < bestProj[c] {
+				bestProj[c] = proj
+				best[c] = v
+			}
+		}
+		for _, v := range best {
+			if v < 0 {
+				continue
+			}
+			g.AddEdge(u, v)
+			if d := pts[u].Dist(pts[v]); d > maxLen {
+				maxLen = d
+			}
+		}
+	}
+	return g, maxLen
+}
+
+// KNNGraph links each sensor to its k nearest neighbors (directed).
+// Returns the digraph and the largest edge used.
+func KNNGraph(pts []geom.Point, k int) (*graph.Digraph, float64) {
+	n := len(pts)
+	g := graph.NewDigraph(n)
+	if n == 0 || k < 1 {
+		return g, 0
+	}
+	grid := spatial.NewGrid(pts, 0)
+	var maxLen float64
+	for u := 0; u < n; u++ {
+		for _, v := range grid.KNearest(pts[u], k, u) {
+			g.AddEdge(u, v)
+			if d := pts[u].Dist(pts[v]); d > maxLen {
+				maxLen = d
+			}
+		}
+	}
+	return g, maxLen
+}
+
+// UnitDiskGraph links every pair within radius r (bidirectionally) — the
+// omnidirectional baseline of the paper's model.
+func UnitDiskGraph(pts []geom.Point, r float64) *graph.Digraph {
+	n := len(pts)
+	g := graph.NewDigraph(n)
+	if n == 0 {
+		return g
+	}
+	grid := spatial.NewGrid(pts, r/2+1e-12)
+	grid.Pairs(r, func(i, j int) {
+		g.AddEdge(i, j)
+		g.AddEdge(j, i)
+	})
+	return g
+}
+
+// CriticalRadius returns the smallest radius at which the unit-disk graph
+// over pts is (strongly) connected: the EMST bottleneck, computed here by
+// binary search over pairwise distances to stay independent of package
+// mst (it cross-checks l_max in tests).
+func CriticalRadius(pts []geom.Point) float64 {
+	n := len(pts)
+	if n <= 1 {
+		return 0
+	}
+	var dists []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dists = append(dists, pts[i].Dist(pts[j]))
+		}
+	}
+	sort.Float64s(dists)
+	lo, hi := 0, len(dists)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if graph.StronglyConnected(UnitDiskGraph(pts, dists[mid])) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return dists[lo]
+}

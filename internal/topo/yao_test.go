@@ -1,0 +1,146 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+)
+
+func TestYaoGraphConnectivity(t *testing.T) {
+	// The classical result: Yao graphs with k ≥ 6 cones are strongly
+	// connected (each cone is < π/3, so the nearest-in-cone choice is a
+	// greedy spanner step).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		pts := pointset.Uniform(rng, 30+rng.Intn(150), 10)
+		for _, k := range []int{6, 7, 9} {
+			g, maxLen := YaoGraph(pts, k, rng.Float64())
+			if !graph.StronglyConnected(g) {
+				t.Fatalf("trial %d: Yao_%d not strongly connected", trial, k)
+			}
+			if maxLen <= 0 {
+				t.Fatal("no edges")
+			}
+		}
+	}
+}
+
+func TestYaoGraphDegreeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := pointset.Uniform(rng, 120, 10)
+	for _, k := range []int{4, 6, 8} {
+		g, _ := YaoGraph(pts, k, 0)
+		if g.MaxOutDegree() > k {
+			t.Fatalf("Yao_%d out-degree %d exceeds cone count", k, g.MaxOutDegree())
+		}
+	}
+	// Degenerates.
+	if g, _ := YaoGraph(nil, 6, 0); g.NumEdges() != 0 {
+		t.Fatal("empty Yao has edges")
+	}
+	if g, _ := YaoGraph(pts, 0, 0); g.NumEdges() != 0 {
+		t.Fatal("k=0 Yao has edges")
+	}
+}
+
+func TestYaoRadiusAtLeastLMax(t *testing.T) {
+	// The Yao radius can never beat the EMST bottleneck (no structure
+	// can), and for k ≥ 6 on uniform instances it should stay within a
+	// small factor of it.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		pts := pointset.Uniform(rng, 80, 10)
+		lmax := mst.Euclidean(pts).LMax()
+		_, maxLen := YaoGraph(pts, 6, 0)
+		if maxLen < lmax-1e-9 {
+			t.Fatalf("Yao radius %.4f below l_max %.4f — impossible", maxLen, lmax)
+		}
+	}
+}
+
+func TestThetaGraphConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		pts := pointset.Uniform(rng, 40+rng.Intn(120), 10)
+		g, _ := ThetaGraph(pts, 8, 0.3)
+		if !graph.StronglyConnected(g) {
+			t.Fatalf("trial %d: Theta_8 not strongly connected", trial)
+		}
+	}
+	if g, _ := ThetaGraph(nil, 6, 0); g.NumEdges() != 0 {
+		t.Fatal("empty theta")
+	}
+}
+
+func TestKNNGraphNotAlwaysConnected(t *testing.T) {
+	// Two distant cliques: 3-NN graph cannot bridge them — the classical
+	// failure that motivates MST-based constructions.
+	rng := rand.New(rand.NewSource(5))
+	a := pointset.Uniform(rng, 10, 1)
+	b := pointset.Translate(pointset.Uniform(rng, 10, 1), 100, 0)
+	pts := append(a, b...)
+	g, _ := KNNGraph(pts, 3)
+	if graph.StronglyConnected(g) {
+		t.Fatal("3-NN graph bridged distant cliques?")
+	}
+	// But with k = n-1 it is complete, hence strongly connected.
+	g, _ = KNNGraph(pts, len(pts)-1)
+	if !graph.StronglyConnected(g) {
+		t.Fatal("complete KNN not strongly connected")
+	}
+	if g, _ := KNNGraph(nil, 2); g.NumEdges() != 0 {
+		t.Fatal("empty knn")
+	}
+}
+
+func TestUnitDiskAndCriticalRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		pts := pointset.Uniform(rng, 20+rng.Intn(80), 8)
+		// The critical radius equals the EMST bottleneck.
+		want := mst.Euclidean(pts).LMax()
+		got := CriticalRadius(pts)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: critical radius %.6f != l_max %.6f", trial, got, want)
+		}
+		// Just below the critical radius the UDG disconnects.
+		if graph.StronglyConnected(UnitDiskGraph(pts, got*0.999)) {
+			t.Fatalf("trial %d: UDG connected below critical radius", trial)
+		}
+		if !graph.StronglyConnected(UnitDiskGraph(pts, got)) {
+			t.Fatalf("trial %d: UDG disconnected at critical radius", trial)
+		}
+	}
+	if CriticalRadius(nil) != 0 || CriticalRadius([]geom.Point{{X: 1, Y: 1}}) != 0 {
+		t.Fatal("degenerate critical radius")
+	}
+}
+
+// TestYaoVsPaperRadius contrasts the baselines: on adversarial star
+// fields the paper's k=5 orientation uses radius exactly l_max, while the
+// Yao graph with 5 cones may disconnect — the reason the paper's MST
+// constructions exist.
+func TestYaoVsPaperRadius(t *testing.T) {
+	disconnected := 0
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := pointset.StarField(rng, 2)
+		g, _ := YaoGraph(pts, 5, 0)
+		if !graph.StronglyConnected(g) {
+			disconnected++
+		}
+	}
+	if disconnected == 0 {
+		t.Skip("Yao_5 happened to connect all star fields; property is probabilistic")
+	}
+	// The paper's construction never fails on the same instances (already
+	// asserted in core tests); here we just record the contrast.
+	if disconnected < 0 {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,84 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointset"
+)
+
+// TestCorruptionDetected is the verifier's own failure-injection suite:
+// start from a provably good orientation, corrupt it in a targeted way,
+// and demand the verifier (or the connectivity check) notices. This
+// guards against the verifier silently passing broken assignments — the
+// worst failure mode for a reproduction.
+func TestCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := pointset.Uniform(rng, 80, 9)
+	budgets := func(k int, phi, bound float64) Budgets {
+		return Budgets{K: k, Phi: phi, RadiusBound: bound}
+	}
+	fresh := func() (*Budgets, *antenna.Assignment) {
+		asg, res, err := core.Orient(pts, 2, math.Pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := budgets(2, math.Pi, res.Guarantee)
+		return &b, asg
+	}
+
+	corruptions := []struct {
+		name    string
+		corrupt func(a *antenna.Assignment)
+	}{
+		{"drop-all-antennae-of-one-sensor", func(a *antenna.Assignment) {
+			a.Sectors[13] = nil
+		}},
+		{"shrink-one-radius-to-zero", func(a *antenna.Assignment) {
+			for u := range a.Sectors {
+				if len(a.Sectors[u]) > 0 {
+					a.Sectors[u][0].Radius = 0
+					return
+				}
+			}
+		}},
+		{"rotate-a-zero-spread-antenna-away", func(a *antenna.Assignment) {
+			for u := range a.Sectors {
+				for i := range a.Sectors[u] {
+					if a.Sectors[u][i].Spread < 1e-6 {
+						a.Sectors[u][i].Start = geom.NormAngle(a.Sectors[u][i].Start + math.Pi)
+						return
+					}
+				}
+			}
+		}},
+		{"excess-antennae", func(a *antenna.Assignment) {
+			a.Sectors[5] = append(a.Sectors[5], a.Sectors[5]...)
+			a.Sectors[5] = append(a.Sectors[5], geom.NewSector(0, 0, 1))
+		}},
+		{"blow-spread-budget", func(a *antenna.Assignment) {
+			a.Sectors[9] = append(a.Sectors[9][:0], geom.NewSector(0, 2*math.Pi, 2))
+		}},
+	}
+	for _, c := range corruptions {
+		b, a := fresh()
+		// Sanity: pristine passes.
+		if rep := Check(a, *b); !rep.OK() {
+			t.Fatalf("%s: pristine assignment failed: %s", c.name, rep)
+		}
+		c.corrupt(a)
+		rep := Check(a, *b)
+		strongStill := graph.StronglyConnected(a.InducedDigraph())
+		if rep.OK() && strongStill {
+			// Some corruptions may coincidentally preserve all checked
+			// properties (e.g. rotating an antenna onto another sensor);
+			// they must at least change the digraph or hit a budget.
+			t.Fatalf("%s: corruption invisible to the verifier", c.name)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package verify is the independent ground truth for orientation
+// algorithms: given only the point set, the antenna assignment, and the
+// claimed budgets (k, φ, radius bound), it rebuilds the induced
+// transmission digraph and checks every property the paper promises. It
+// deliberately shares no logic with the constructions in package core.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/antenna"
+	"repro/internal/graph"
+	"repro/internal/mst"
+)
+
+// Budgets are the claims to verify.
+type Budgets struct {
+	K           int     // max antennae per sensor
+	Phi         float64 // max total spread per sensor (radians)
+	RadiusBound float64 // max antenna radius in units of l_max (≤ 0 disables the check)
+	StrongC     int     // strong c-connectivity to check (≤ 1 means plain)
+}
+
+// Report is the outcome of verification.
+type Report struct {
+	Strong      bool
+	SCCCount    int
+	LargestSCC  int
+	LMax        float64
+	MaxRadius   float64
+	MaxSpread   float64
+	MaxAntennas int
+	RadiusRatio float64 // MaxRadius / LMax
+	Edges       int
+	CConnected  bool // only meaningful when Budgets.StrongC > 1
+	Errors      []string
+}
+
+// OK reports whether every requested property held.
+func (r *Report) OK() bool { return len(r.Errors) == 0 }
+
+// String renders the report compactly.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strong=%v sccs=%d radius=%.4f (ratio %.4f) spread=%.4f antennas=%d edges=%d",
+		r.Strong, r.SCCCount, r.MaxRadius, r.RadiusRatio, r.MaxSpread, r.MaxAntennas, r.Edges)
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "\n  ERROR: %s", e)
+	}
+	return b.String()
+}
+
+func (r *Report) errorf(format string, args ...any) {
+	r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+}
+
+// Check verifies the assignment against the budgets.
+func Check(asg *antenna.Assignment, b Budgets) *Report {
+	rep := &Report{}
+	if err := asg.Validate(); err != nil {
+		rep.errorf("invalid assignment: %v", err)
+		return rep
+	}
+	n := asg.N()
+	g := asg.InducedDigraph()
+	rep.Edges = g.NumEdges()
+	comp, ncomp := graph.TarjanSCC(g)
+	rep.SCCCount = ncomp
+	sizes := make(map[int]int)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	for _, s := range sizes {
+		if s > rep.LargestSCC {
+			rep.LargestSCC = s
+		}
+	}
+	rep.Strong = n <= 1 || ncomp == 1
+	if !rep.Strong {
+		rep.errorf("induced digraph has %d strongly connected components (n=%d)", ncomp, n)
+	}
+
+	rep.MaxAntennas = asg.MaxAntennas()
+	if b.K > 0 && rep.MaxAntennas > b.K {
+		rep.errorf("a sensor uses %d antennae, budget %d", rep.MaxAntennas, b.K)
+	}
+	rep.MaxSpread = asg.MaxSpread()
+	if rep.MaxSpread > b.Phi+1e-7 {
+		rep.errorf("a sensor uses spread %.6f, budget %.6f", rep.MaxSpread, b.Phi)
+	}
+	rep.MaxRadius = asg.MaxRadius()
+	if n > 1 {
+		rep.LMax = mst.Euclidean(asg.Pts).LMax()
+		if rep.LMax > 0 {
+			rep.RadiusRatio = rep.MaxRadius / rep.LMax
+		}
+		if b.RadiusBound > 0 && rep.RadiusRatio > b.RadiusBound+1e-7 {
+			rep.errorf("radius ratio %.6f exceeds bound %.6f", rep.RadiusRatio, b.RadiusBound)
+		}
+	}
+	if b.StrongC > 1 {
+		rep.CConnected = graph.StronglyCConnected(g, b.StrongC)
+	}
+	return rep
+}
+
+// CheckStrong is the minimal check: the induced digraph is strongly
+// connected.
+func CheckStrong(asg *antenna.Assignment) bool {
+	return graph.StronglyConnected(asg.InducedDigraph())
+}

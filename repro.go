@@ -1,0 +1,109 @@
+// Package repro is the public facade of the reproduction of
+// "Sensor Network Connectivity with Multiple Directional Antennae of a
+// Given Angular Sum" (Bhattacharya, Hu, Shi, Kranakis, Krizanc,
+// IPDPS 2009).
+//
+// The facade covers the common workflow — generate or load sensors,
+// orient k antennae with a spread budget, verify strong connectivity, and
+// inspect the radius actually used:
+//
+//	pts := repro.UniformSensors(rand.New(rand.NewSource(1)), 200, 10)
+//	net, err := repro.Orient(pts, 2, math.Pi) // Theorem 3.1
+//	if err != nil { ... }
+//	fmt.Println(net.Strong(), net.RadiusRatio(), net.Bound)
+//
+// The full machinery (individual algorithms, the exact optimizer, the
+// broadcast simulator, SVG rendering, the experiment harness) lives in
+// the internal packages; examples/ and cmd/ show how everything fits
+// together.
+package repro
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+	"repro/internal/radio"
+	"repro/internal/render"
+	"repro/internal/verify"
+)
+
+// Point is a sensor location in the plane.
+type Point = geom.Point
+
+// Network is an oriented antenna network: the assignment plus the
+// algorithm's self-report.
+type Network struct {
+	Assignment *antenna.Assignment
+	Result     *core.Result
+	// Bound is the paper's Table-1 radius bound (units of l_max) for the
+	// requested (k, φ).
+	Bound float64
+}
+
+// Orient orients k antennae per sensor with total spread budget phi
+// (radians), choosing the strongest Table-1 algorithm for the regime.
+func Orient(pts []Point, k int, phi float64) (*Network, error) {
+	asg, res, err := core.Orient(pts, k, phi)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Assignment: asg, Result: res, Bound: res.Bound}, nil
+}
+
+// Strong reports whether the induced transmission digraph is strongly
+// connected (independently verified, not the algorithm's claim).
+func (n *Network) Strong() bool {
+	return verify.CheckStrong(n.Assignment)
+}
+
+// Verify runs the full verification battery against the paper's budgets.
+func (n *Network) Verify() *verify.Report {
+	return verify.Check(n.Assignment, verify.Budgets{
+		K:           n.Result.K,
+		Phi:         n.Result.Phi,
+		RadiusBound: n.Result.Guarantee,
+	})
+}
+
+// RadiusRatio is the maximum antenna radius used, in units of l_max — the
+// quantity Table 1 bounds.
+func (n *Network) RadiusRatio() float64 { return n.Result.RadiusRatio() }
+
+// Digraph returns the induced transmission digraph.
+func (n *Network) Digraph() *graph.Digraph { return n.Assignment.InducedDigraph() }
+
+// Broadcast floods a message from the given sensor and reports the rounds
+// needed and whether everyone was informed.
+func (n *Network) Broadcast(src int) (rounds int, complete bool) {
+	r := radio.Broadcast(n.Digraph(), src)
+	return r.Rounds, r.Complete
+}
+
+// WriteSVG renders the network (sectors, induced edges, MST) as SVG.
+func (n *Network) WriteSVG(w io.Writer) error {
+	return render.Assignment(w, n.Assignment, render.DefaultStyle())
+}
+
+// Bound returns the paper's Table-1 radius bound (in units of l_max) and
+// its source row for k antennae with total spread phi.
+func Bound(k int, phi float64) (float64, string) { return core.Bound(k, phi) }
+
+// LMax returns the bottleneck edge of a Euclidean MST of pts — the
+// normalization unit for every bound in the paper.
+func LMax(pts []Point) float64 { return mst.Euclidean(pts).LMax() }
+
+// UniformSensors samples n sensors uniformly from a side×side square.
+func UniformSensors(rng *rand.Rand, n int, side float64) []Point {
+	return pointset.Uniform(rng, n, side)
+}
+
+// ClusteredSensors samples n sensors from c Gaussian clusters.
+func ClusteredSensors(rng *rand.Rand, n, c int, side, sigma float64) []Point {
+	return pointset.Clusters(rng, n, c, side, sigma)
+}

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadeWorkflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := UniformSensors(rng, 80, 10)
+	net, err := Orient(pts, 2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Strong() {
+		t.Fatal("network not strongly connected")
+	}
+	if rep := net.Verify(); !rep.OK() {
+		t.Fatalf("verification failed: %s", rep)
+	}
+	want, src := Bound(2, math.Pi)
+	if net.Bound != want || src != "Theorem 3.1" {
+		t.Fatalf("bound = %v (%s)", net.Bound, src)
+	}
+	if net.RadiusRatio() > net.Bound+1e-7 {
+		t.Fatalf("ratio %v above bound %v", net.RadiusRatio(), net.Bound)
+	}
+	rounds, complete := net.Broadcast(0)
+	if !complete || rounds <= 0 {
+		t.Fatalf("broadcast rounds=%d complete=%v", rounds, complete)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG output")
+	}
+	if LMax(pts) <= 0 {
+		t.Fatal("LMax must be positive")
+	}
+}
+
+func TestFacadeClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := ClusteredSensors(rng, 60, 4, 12, 0.5)
+	for k := 1; k <= 5; k++ {
+		phi, _ := regimeFor(k)
+		net, err := Orient(pts, k, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.Strong() {
+			t.Fatalf("k=%d not strong", k)
+		}
+	}
+	if _, err := Orient(pts, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// regimeFor picks a representative spread for each k.
+func regimeFor(k int) (float64, string) {
+	switch k {
+	case 1:
+		return math.Pi, "anchored"
+	case 2:
+		return math.Pi, "theorem3"
+	default:
+		return 0, "chains"
+	}
+}
