@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/antenna"
 	"repro/internal/core"
+	"repro/internal/delaunay"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -78,6 +79,26 @@ func BenchmarkMST(b *testing.B) {
 		b.Run(fmt.Sprintf("kruskal/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				mst.Kruskal(pts)
+			}
+		})
+	}
+}
+
+// BenchmarkDelaunayScaling measures the incremental triangulation across
+// decades of n: near-linear (sub-quadratic) growth here is the acceptance
+// bar for the O(n log n) geometry substrate.
+func BenchmarkDelaunayScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tri, err := delaunay.Build(pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tri.NumEdges() == 0 {
+					b.Fatal("empty triangulation")
+				}
 			}
 		})
 	}

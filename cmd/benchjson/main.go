@@ -1,0 +1,147 @@
+// Command benchjson runs the tier-1 substrate benchmarks in-process (via
+// testing.Benchmark, no go-test subprocess) and writes the results as
+// JSON, establishing the perf trajectory future PRs are measured against.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_baseline.json] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+)
+
+// benchPoints mirrors the deterministic workload generator of the root
+// bench suite (same seed formula), so numbers here are comparable with
+// `go test -bench`.
+func benchPoints(n int) []geom.Point {
+	rng := rand.New(rand.NewSource(int64(n) + 4242))
+	return pointset.Uniform(rng, n, math.Sqrt(float64(n)))
+}
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Iters    int     `json:"iterations"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+}
+
+// Baseline is the file layout of BENCH_baseline.json.
+type Baseline struct {
+	GoOS      string  `json:"goos"`
+	GoArch    string  `json:"goarch"`
+	GoMaxProc int     `json:"gomaxprocs"`
+	Timestamp string  `json:"timestamp"`
+	Benches   []Entry `json:"benches"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so the benchtime budget is settable
+	out := flag.String("o", "BENCH_baseline.json", "output file")
+	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	type bench struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	benches := []bench{
+		{"BenchmarkMST/prim/n=4000", func(b *testing.B) {
+			pts := benchPoints(4000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mst.Prim(pts)
+			}
+		}},
+		{"BenchmarkMST/kruskal/n=4000", func(b *testing.B) {
+			pts := benchPoints(4000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mst.Kruskal(pts)
+			}
+		}},
+		{"BenchmarkMST/delaunay/n=4000", func(b *testing.B) {
+			pts := benchPoints(4000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mst.Delaunay(pts)
+			}
+		}},
+		{"BenchmarkInducedDigraph/n=2000", func(b *testing.B) {
+			pts := benchPoints(2000)
+			asg, _, err := core.Orient(pts, 2, math.Pi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				asg.InducedDigraph()
+			}
+		}},
+	}
+	for _, n := range []int{1000, 10000, 100000} {
+		n := n
+		benches = append(benches, bench{
+			fmt.Sprintf("BenchmarkDelaunayScaling/n=%d", n),
+			func(b *testing.B) {
+				pts := benchPoints(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := delaunay.Build(pts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+
+	base := Baseline{
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, bn := range benches {
+		res := testing.Benchmark(bn.fn)
+		e := Entry{
+			Name:     bn.name,
+			NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+			Iters:    res.N,
+			AllocsOp: res.AllocsPerOp(),
+			BytesOp:  res.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-42s %12.0f ns/op  %8d iters\n", e.Name, e.NsPerOp, e.Iters)
+		base.Benches = append(base.Benches, e)
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

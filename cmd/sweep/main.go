@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sweep -mode phi2|k|btsp|exact|interference|energy|cconn|topo [-seeds N] [-steps N] [-csv]
+//	sweep -mode phi2|k|btsp|exact|interference|energy|cconn|topo [-seeds N] [-steps N] [-csv] [-workers N]
 package main
 
 import (
@@ -25,12 +25,14 @@ func main() {
 	n := flag.Int("n", 0, "instance size for exact/interference modes")
 	csvOut := flag.Bool("csv", false, "emit CSV for series output")
 	svgOut := flag.String("svg", "", "also render the series as an SVG chart (phi2/k modes)")
+	workers := flag.Int("workers", 0, "parallel instances; 0 = GOMAXPROCS")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *seeds > 0 {
 		cfg.Seeds = *seeds
 	}
+	cfg.Workers = *workers
 	var err error
 	switch *mode {
 	case "phi2":

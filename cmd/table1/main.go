@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	table1 [-seeds N] [-sizes 60,150,400] [-csv] [-full]
+//	table1 [-seeds N] [-sizes 60,150,400] [-csv] [-full] [-workers N]
 package main
 
 import (
@@ -23,12 +23,14 @@ func main() {
 	sizes := flag.String("sizes", "", "comma-separated instance sizes")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	full := flag.Bool("full", false, "also run E-F1, E-F2, E-A1 and case coverage")
+	workers := flag.Int("workers", 0, "parallel instances; 0 = GOMAXPROCS")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *seeds > 0 {
 		cfg.Seeds = *seeds
 	}
+	cfg.Workers = *workers
 	if *sizes != "" {
 		cfg.Sizes = nil
 		for _, s := range strings.Split(*sizes, ",") {

@@ -7,6 +7,8 @@ package antenna
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -89,8 +91,9 @@ func (a *Assignment) MaxRadius() float64 {
 
 // Covers reports whether some antenna of u covers the point q.
 func (a *Assignment) Covers(u int, q geom.Point) bool {
-	for _, s := range a.Sectors[u] {
-		if s.Contains(a.Pts[u], q) {
+	secs := a.Sectors[u]
+	for i := range secs {
+		if secs[i].Contains(a.Pts[u], q) {
 			return true
 		}
 	}
@@ -103,36 +106,118 @@ func (a *Assignment) CoversVertex(u, v int) bool {
 }
 
 // InducedDigraph builds the transmission digraph: edge u→v iff v lies in
-// some sector of u. A spatial grid restricts candidate pairs to the
-// maximum radius in use, so construction is near-linear for bounded-range
-// assignments.
+// some sector of u. A spatial grid answers a radius query per sensor with
+// that sensor's own largest radius — the paper's constructions size each
+// antenna to its target, so per-sensor ranges are typically much smaller
+// than the global maximum and the candidate set stays near-linear even on
+// skewed assignments. Sector containment runs on the cached-vector fast
+// path of geom.Sector.Contains.
 func (a *Assignment) InducedDigraph() *graph.Digraph {
 	n := a.N()
 	g := graph.NewDigraph(n)
-	maxR := a.MaxRadius()
-	if n == 0 || maxR <= 0 {
+	hasRange := false
+	for _, secs := range a.Sectors {
+		if geom.MaxRadius(secs) > 0 {
+			hasRange = true
+			break
+		}
+	}
+	if n == 0 || !hasRange {
 		return g
 	}
-	idx := spatial.NewGrid(a.Pts, maxR/2+1e-12)
+	idx := spatial.NewGrid(a.Pts, 0)
+	var eu, ev []int32
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && n >= parallelDigraphMin {
+		// Deterministic fan-out: contiguous sensor ranges, per-worker edge
+		// buffers, concatenated in range order. The grid and sectors are
+		// read-only once built.
+		if workers > n/256 {
+			workers = n / 256
+		}
+		chunk := (n + workers - 1) / workers
+		eus := make([][]int32, workers)
+		evs := make([][]int32, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				eus[w], evs[w] = a.scanSensors(idx, lo, hi, nil, nil)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		total := 0
+		for w := range eus {
+			total += len(eus[w])
+		}
+		eu = make([]int32, 0, total)
+		ev = make([]int32, 0, total)
+		for w := range eus {
+			eu = append(eu, eus[w]...)
+			ev = append(ev, evs[w]...)
+		}
+	} else {
+		eu, ev = a.scanSensors(idx, 0, n, make([]int32, 0, 4*n), make([]int32, 0, 4*n))
+	}
+	// Build the adjacency in two counted passes sharing one backing array
+	// (no per-vertex append churn).
+	deg := make([]int, n)
+	for _, u := range eu {
+		deg[u]++
+	}
+	backing := make([]int, len(eu))
+	off := 0
+	for v := 0; v < n; v++ {
+		g.Adj[v] = backing[off : off : off+deg[v]]
+		off += deg[v]
+	}
+	for i, u := range eu {
+		g.Adj[u] = append(g.Adj[u], int(ev[i]))
+	}
+	return g
+}
+
+// parallelDigraphMin is the sensor count below which InducedDigraph stays
+// serial: fan-out overhead beats the win on small instances.
+const parallelDigraphMin = 1024
+
+// scanSensors appends the directed edges of sensors [lo, hi) to eu/ev and
+// returns the extended slices. It only reads shared state, so disjoint
+// ranges may run concurrently.
+func (a *Assignment) scanSensors(idx *spatial.Grid, lo, hi int, eu, ev []int32) ([]int32, []int32) {
+	pts := a.Pts
 	var buf []int
-	for u := 0; u < n; u++ {
-		if len(a.Sectors[u]) == 0 {
+	for u := lo; u < hi; u++ {
+		secs := a.Sectors[u]
+		if len(secs) == 0 {
 			continue
 		}
-		// Candidates within this sensor's own largest radius.
-		ru := geom.MaxRadius(a.Sectors[u])
-		buf = idx.Within(a.Pts[u], ru, buf[:0])
+		pu := pts[u]
+		buf = idx.Within(pu, geom.MaxRadius(secs), buf[:0])
+		// Sort the handful of candidates so adjacency lists come out
+		// sorted (the invariant Dedup used to establish); candidates are
+		// distinct by construction, so no dedup pass is needed.
+		graph.InsertionSort(buf)
 		for _, v := range buf {
 			if v == u {
 				continue
 			}
-			if a.CoversVertex(u, v) {
-				g.AddEdge(u, v)
+			for si := range secs {
+				if secs[si].Contains(pu, pts[v]) {
+					eu = append(eu, int32(u))
+					ev = append(ev, int32(v))
+					break
+				}
 			}
 		}
 	}
-	g.Dedup()
-	return g
+	return eu, ev
 }
 
 // Stats summarizes an assignment for reports.
@@ -184,12 +269,11 @@ func (a *Assignment) ShrinkRadii() {
 	if n == 0 {
 		return
 	}
-	maxR := a.MaxRadius()
-	idx := spatial.NewGrid(a.Pts, maxR/2+1e-12)
+	idx := spatial.NewGrid(a.Pts, 0)
 	var buf []int
 	for u := 0; u < n; u++ {
 		for si := range a.Sectors[u] {
-			s := a.Sectors[u][si]
+			s := &a.Sectors[u][si]
 			buf = idx.Within(a.Pts[u], s.Radius, buf[:0])
 			far := 0.0
 			for _, v := range buf {
@@ -202,7 +286,7 @@ func (a *Assignment) ShrinkRadii() {
 					}
 				}
 			}
-			a.Sectors[u][si].Radius = far
+			s.Radius = far
 		}
 	}
 }

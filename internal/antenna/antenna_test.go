@@ -3,6 +3,7 @@ package antenna
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -168,5 +169,40 @@ func TestSummarizeEmpty(t *testing.T) {
 	st := New(nil).Summarize()
 	if st.N != 0 || !st.Strong {
 		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+// TestInducedDigraphParallelParity pins the parallel fan-out against the
+// serial scan on an instance large enough to trigger it.
+func TestInducedDigraphParallelParity(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(77))
+	n := parallelDigraphMin + 200
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+	}
+	a := New(pts)
+	for u := 0; u < n; u++ {
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			a.Add(u, geom.NewSector(rng.Float64()*geom.TwoPi, rng.Float64()*2, 0.5+rng.Float64()*2))
+		}
+	}
+	par := a.InducedDigraph() // GOMAXPROCS(4): parallel path
+	runtime.GOMAXPROCS(1)
+	ser := a.InducedDigraph() // serial path
+	if par.NumEdges() != ser.NumEdges() {
+		t.Fatalf("parallel %d edges, serial %d", par.NumEdges(), ser.NumEdges())
+	}
+	for u := 0; u < n; u++ {
+		if len(par.Adj[u]) != len(ser.Adj[u]) {
+			t.Fatalf("vertex %d: parallel deg %d, serial %d", u, len(par.Adj[u]), len(ser.Adj[u]))
+		}
+		for i := range par.Adj[u] {
+			if par.Adj[u][i] != ser.Adj[u][i] {
+				t.Fatalf("vertex %d: adjacency diverges at %d", u, i)
+			}
+		}
 	}
 }

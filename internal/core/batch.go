@@ -1,0 +1,87 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+)
+
+// BatchItem is one orientation problem for OrientBatch: a point set and
+// the (k, φ) budget to orient it under.
+type BatchItem struct {
+	Pts []geom.Point
+	K   int
+	Phi float64
+}
+
+// BatchResult carries the outcome for the item at the same index.
+type BatchResult struct {
+	Asg *antenna.Assignment
+	Res *Result
+	Err error
+}
+
+// OrientBatch orients every item, fanning independent instances across a
+// worker pool. workers ≤ 0 selects GOMAXPROCS. Results are returned in
+// input order regardless of scheduling, and a single worker degenerates to
+// a plain loop with zero goroutine overhead, so output is deterministic at
+// every parallelism level. This is the batch entry point for Table-1
+// regeneration, parameter sweeps, and any caller orienting many
+// deployments at once.
+func OrientBatch(items []BatchItem, workers int) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	ParallelFor(len(items), workers, func(i int) {
+		it := items[i]
+		out[i].Asg, out[i].Res, out[i].Err = Orient(it.Pts, it.K, it.Phi)
+	})
+	return out
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) across a worker pool.
+// workers ≤ 0 selects GOMAXPROCS; a single worker degenerates to a plain
+// loop with no goroutine overhead. Each index must write only its own
+// result slot, which makes the output independent of scheduling — the
+// shared fan-out primitive behind OrientBatch and the experiment
+// harnesses.
+func ParallelFor(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

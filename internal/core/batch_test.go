@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pointset"
+)
+
+// TestOrientBatchMatchesSerial pins the worker pool against one-by-one
+// Orient calls: same assignments, same self-reports, input order
+// preserved at every worker count.
+func TestOrientBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var items []BatchItem
+	for i := 0; i < 12; i++ {
+		items = append(items, BatchItem{
+			Pts: pointset.Uniform(rng, 30+10*i, 8),
+			K:   1 + i%5,
+			Phi: float64(i%3) * math.Pi / 2,
+		})
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got := OrientBatch(items, workers)
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results for %d items", workers, len(got), len(items))
+		}
+		for i, it := range items {
+			asg, res, err := Orient(it.Pts, it.K, it.Phi)
+			if (err != nil) != (got[i].Err != nil) {
+				t.Fatalf("workers=%d item %d: err %v vs %v", workers, i, got[i].Err, err)
+			}
+			if err != nil {
+				continue
+			}
+			if got[i].Res.RadiusUsed != res.RadiusUsed || got[i].Res.SpreadUsed != res.SpreadUsed {
+				t.Fatalf("workers=%d item %d: result diverges from serial Orient", workers, i)
+			}
+			if got[i].Asg.N() != asg.N() || got[i].Asg.MaxAntennas() != asg.MaxAntennas() {
+				t.Fatalf("workers=%d item %d: assignment diverges", workers, i)
+			}
+		}
+	}
+	if out := OrientBatch(nil, 4); len(out) != 0 {
+		t.Fatal("empty batch must yield empty results")
+	}
+}

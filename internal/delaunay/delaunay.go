@@ -1,17 +1,30 @@
-// Package delaunay computes Delaunay triangulations with the
-// Bowyer–Watson incremental algorithm. Its role in this repository is the
-// classical one: the Delaunay triangulation contains the Euclidean MST,
-// so Kruskal over the O(n) Delaunay edges replaces the O(n²) candidate
-// set and the triangulation doubles as a planar communication overlay for
-// the topology-control experiments.
+// Package delaunay computes Delaunay triangulations with an incremental
+// Bowyer–Watson algorithm over an explicit triangle-adjacency mesh. Its
+// role in this repository is the classical one: the Delaunay triangulation
+// contains the Euclidean MST, so Kruskal over the O(n) Delaunay edges
+// replaces the O(n²) candidate set and the triangulation doubles as a
+// planar communication overlay for the topology-control experiments.
+//
+// The construction is expected O(n log n): points are inserted in a
+// biased-randomized order (shuffled rounds, Morton-sorted within each
+// round for locality), each insertion locates its triangle by
+// jump-and-walk from the previously created triangle, and the Bowyer–
+// Watson cavity is discovered by breadth-first search over triangle
+// neighbor links instead of a scan of every triangle. All mesh state
+// lives in flat index slices reused across insertions, so the hot path
+// is allocation-free.
 package delaunay
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
+	"slices"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/spatial"
 )
 
 // Triangulation is the result: triangles as index triples over the input
@@ -19,24 +32,23 @@ import (
 type Triangulation struct {
 	Pts       []geom.Point
 	Triangles [][3]int
-	edges     map[[2]int]struct{}
+	edges     [][2]int // sorted lexicographically, deduplicated, built once
 }
 
 // Edges returns the undirected Delaunay edges (u < v), sorted
-// lexicographically for determinism.
-func (t *Triangulation) Edges() [][2]int {
-	out := make([][2]int, 0, len(t.edges))
-	for e := range t.edges {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a][0] != out[b][0] {
-			return out[a][0] < out[b][0]
-		}
-		return out[a][1] < out[b][1]
-	})
-	return out
+// lexicographically for determinism. The slice is cached at Build time;
+// callers must not mutate it (use EdgesInto for a private copy).
+func (t *Triangulation) Edges() [][2]int { return t.edges }
+
+// EdgesInto appends the undirected Delaunay edges (u < v, sorted
+// lexicographically) to dst and returns it. It performs no allocation
+// when dst has sufficient capacity.
+func (t *Triangulation) EdgesInto(dst [][2]int) [][2]int {
+	return append(dst, t.edges...)
 }
+
+// NumEdges returns the number of undirected Delaunay edges.
+func (t *Triangulation) NumEdges() int { return len(t.edges) }
 
 // NumTriangles returns the triangle count.
 func (t *Triangulation) NumTriangles() int { return len(t.Triangles) }
@@ -59,18 +71,341 @@ func circumcircleContains(a, b, c, q geom.Point) bool {
 	return det > tol
 }
 
+// mesh is the mutable triangle-adjacency structure used during
+// construction. Triangles are slots in flat arrays; tv holds the three
+// CCW vertices of slot t at [3t:3t+3], and tn the neighbor slot across
+// edge (tv[3t+i], tv[3t+(i+1)%3]) or -1 on the outer boundary.
+type mesh struct {
+	all  []geom.Point // input points followed by the 3 super-triangle vertices
+	tv   []int32
+	tn   []int32
+	dead []bool
+	free []int32
+
+	hint int32 // alive triangle where the next walk starts
+
+	// Reusable per-insertion scratch.
+	isBad    []bool
+	badList  []int32
+	boundary []bedge
+	newTris  []int32
+}
+
+// bedge is one directed edge (a→b) of the cavity boundary, with the
+// surviving triangle on its far side (-1 on the mesh boundary).
+type bedge struct {
+	a, b  int32
+	outer int32
+}
+
+func (m *mesh) newTri(a, b, c int32) int32 {
+	var t int32
+	if k := len(m.free); k > 0 {
+		t = m.free[k-1]
+		m.free = m.free[:k-1]
+		m.dead[t] = false
+	} else {
+		t = int32(len(m.dead))
+		m.tv = append(m.tv, 0, 0, 0)
+		m.tn = append(m.tn, 0, 0, 0)
+		m.dead = append(m.dead, false)
+		m.isBad = append(m.isBad, false)
+	}
+	m.tv[3*t], m.tv[3*t+1], m.tv[3*t+2] = a, b, c
+	m.tn[3*t], m.tn[3*t+1], m.tn[3*t+2] = -1, -1, -1
+	return t
+}
+
+func (m *mesh) incircle(t int32, p geom.Point) bool {
+	base := 3 * int(t)
+	return circumcircleContains(m.all[m.tv[base]], m.all[m.tv[base+1]], m.all[m.tv[base+2]], p)
+}
+
+// locate walks from the hint triangle towards p, crossing at each step the
+// edge p lies strictly to the right of (the most violated one, which keeps
+// the walk from cycling on degenerate inputs). It returns a triangle whose
+// closed interior contains p, or -1 when even the fallback scan fails.
+func (m *mesh) locate(p geom.Point) int32 {
+	t := m.hint
+	if t < 0 || int(t) >= len(m.dead) || m.dead[t] {
+		t = m.anyAlive()
+		if t < 0 {
+			return -1
+		}
+	}
+	maxSteps := 2*len(m.dead) + 64
+	for step := 0; step < maxSteps; step++ {
+		base := 3 * int(t)
+		next := int32(-1)
+		worst := 0.0
+		for i := 0; i < 3; i++ {
+			a := m.all[m.tv[base+i]]
+			b := m.all[m.tv[base+(i+1)%3]]
+			cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+			if cross < worst {
+				if nb := m.tn[base+i]; nb >= 0 {
+					worst = cross
+					next = nb
+				}
+			}
+		}
+		if next < 0 {
+			return t
+		}
+		t = next
+	}
+	return m.locateScan(p)
+}
+
+// locateScan is the rare fallback when the walk exceeds its step budget:
+// scan every alive triangle for (closed) containment.
+func (m *mesh) locateScan(p geom.Point) int32 {
+	for t := int32(0); int(t) < len(m.dead); t++ {
+		if m.dead[t] {
+			continue
+		}
+		base := 3 * int(t)
+		inside := true
+		for i := 0; i < 3; i++ {
+			a := m.all[m.tv[base+i]]
+			b := m.all[m.tv[base+(i+1)%3]]
+			if (b.X-a.X)*(p.Y-a.Y)-(b.Y-a.Y)*(p.X-a.X) < -geom.Eps {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return t
+		}
+	}
+	return -1
+}
+
+func (m *mesh) anyAlive() int32 {
+	for t := int32(0); int(t) < len(m.dead); t++ {
+		if !m.dead[t] {
+			return t
+		}
+	}
+	return -1
+}
+
+// insert adds point index pi to the mesh. It returns false when the point
+// is degenerate (duplicate, exactly on a circumcircle tie, or numerically
+// inconsistent cavity); the mesh is left untouched in that case and the
+// caller patches connectivity afterwards.
+func (m *mesh) insert(pi int32) bool {
+	p := m.all[pi]
+	t0 := m.locate(p)
+	if t0 < 0 {
+		return false
+	}
+	// Duplicate guard: p coincides with a vertex of its triangle.
+	for i := 0; i < 3; i++ {
+		if m.all[m.tv[3*int(t0)+i]].Dist2(p) <= geom.Eps*geom.Eps {
+			return false
+		}
+	}
+	if !m.incircle(t0, p) {
+		return false // exactly-on-circle tie: skip, patched later
+	}
+
+	// Grow the bad region by BFS over neighbor links.
+	m.badList = m.badList[:0]
+	m.boundary = m.boundary[:0]
+	m.isBad[t0] = true
+	m.badList = append(m.badList, t0)
+	for qi := 0; qi < len(m.badList); qi++ {
+		t := m.badList[qi]
+		base := 3 * int(t)
+		for i := 0; i < 3; i++ {
+			nb := m.tn[base+i]
+			if nb >= 0 {
+				if m.isBad[nb] {
+					continue
+				}
+				if m.incircle(nb, p) {
+					m.isBad[nb] = true
+					m.badList = append(m.badList, nb)
+					continue
+				}
+			}
+			m.boundary = append(m.boundary, bedge{m.tv[base+i], m.tv[base+(i+1)%3], nb})
+		}
+	}
+
+	// The cavity must be a topological disk star-shaped around p: one
+	// simple boundary cycle (unique edge starts, Euler count |∂| = |bad|+2)
+	// with p strictly left of every boundary edge. Anything else is a
+	// floating-point degeneracy; skip the point rather than corrupt the
+	// mesh.
+	ok := len(m.boundary) >= 3 &&
+		len(m.boundary) == len(m.badList)+2 &&
+		m.boundaryIsSimple()
+	if ok {
+		for _, e := range m.boundary {
+			if geom.Orientation(m.all[e.a], m.all[e.b], p) <= 0 {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		for _, t := range m.badList {
+			m.isBad[t] = false
+		}
+		return false
+	}
+
+	// Carve the cavity and fan it from p.
+	for _, t := range m.badList {
+		m.isBad[t] = false
+		m.dead[t] = true
+		m.free = append(m.free, t)
+	}
+	m.newTris = m.newTris[:0]
+	for _, e := range m.boundary {
+		t := m.newTri(e.a, e.b, pi)
+		m.tn[3*t] = e.outer
+		if e.outer >= 0 {
+			ob := 3 * int(e.outer)
+			for k := 0; k < 3; k++ {
+				if m.tv[ob+k] == e.b && m.tv[ob+(k+1)%3] == e.a {
+					m.tn[ob+k] = t
+					break
+				}
+			}
+		}
+		m.newTris = append(m.newTris, t)
+	}
+	// Stitch the fan: the neighbor of (b, p) in triangle (a, b, p) is the
+	// new triangle whose boundary edge starts at b.
+	if len(m.boundary) <= 40 {
+		for i, t := range m.newTris {
+			b := m.boundary[i].b
+			for j := range m.boundary {
+				if m.boundary[j].a == b {
+					tj := m.newTris[j]
+					m.tn[3*t+1] = tj
+					m.tn[3*tj+2] = t
+					break
+				}
+			}
+		}
+	} else {
+		startOf := make(map[int32]int32, len(m.boundary))
+		for j := range m.boundary {
+			startOf[m.boundary[j].a] = m.newTris[j]
+		}
+		for i, t := range m.newTris {
+			tj := startOf[m.boundary[i].b]
+			m.tn[3*t+1] = tj
+			m.tn[3*tj+2] = t
+		}
+	}
+	m.hint = m.newTris[len(m.newTris)-1]
+	return true
+}
+
+func (m *mesh) boundaryIsSimple() bool {
+	k := len(m.boundary)
+	if k <= 40 {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if m.boundary[i].a == m.boundary[j].a {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	seen := make(map[int32]struct{}, k)
+	for _, e := range m.boundary {
+		if _, dup := seen[e.a]; dup {
+			return false
+		}
+		seen[e.a] = struct{}{}
+	}
+	return true
+}
+
+// mortonD interleaves two 16-bit cell coordinates into their Z-order
+// index: a branch-free spatial sort key for insertion locality.
+func mortonD(x, y uint32) uint64 {
+	return uint64(part1by1(x)) | uint64(part1by1(y))<<1
+}
+
+func part1by1(v uint32) uint32 {
+	v &= 0x0000ffff
+	v = (v | v<<8) & 0x00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f
+	v = (v | v<<2) & 0x33333333
+	v = (v | v<<1) & 0x55555555
+	return v
+}
+
+// insertionOrder returns a biased-randomized insertion order (BRIO):
+// a fixed-seed shuffle split into geometrically growing rounds, each round
+// sorted along a Morton curve. Randomization keeps the expected cavity
+// sizes constant; the in-round spatial sort keeps jump-and-walk short.
+func insertionOrder(pts []geom.Point, min, max geom.Point) []int32 {
+	n := len(pts)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(0x9E3779B9))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	w := max.X - min.X
+	h := max.Y - min.Y
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	keys := make([]uint64, n)
+	const side = 1 << 16
+	for i, p := range pts {
+		x := uint32((p.X - min.X) / w * (side - 1))
+		y := uint32((p.Y - min.Y) / h * (side - 1))
+		keys[i] = mortonD(x, y)
+	}
+	bounds := []int{n}
+	for m := n / 2; m > 16; m /= 2 {
+		bounds = append(bounds, m)
+	}
+	bounds = append(bounds, 0)
+	packed := make([]uint64, 0, n)
+	for i := 0; i+1 < len(bounds); i++ {
+		// Sort each round by packed (morton key, index): a plain uint64
+		// sort beats a comparison callback and stays deterministic.
+		seg := order[bounds[i+1]:bounds[i]]
+		packed = packed[:0]
+		for _, v := range seg {
+			packed = append(packed, keys[v]<<32|uint64(uint32(v)))
+		}
+		slices.Sort(packed)
+		for j, k := range packed {
+			seg[j] = int32(uint32(k))
+		}
+	}
+	return order
+}
+
 // Build triangulates the points. Inputs with fewer than 3 points, or all
 // collinear, yield a triangulation with no triangles but with the chain
 // edges (for collinear inputs the MST-relevant edges are the consecutive
 // pairs, which Build synthesizes so Kruskal stays correct).
 func Build(pts []geom.Point) (*Triangulation, error) {
 	n := len(pts)
-	t := &Triangulation{Pts: pts, edges: make(map[[2]int]struct{})}
+	t := &Triangulation{Pts: pts}
 	if n < 2 {
 		return t, nil
 	}
 	if n == 2 {
-		t.addEdge(0, 1)
+		t.edges = [][2]int{{0, 1}}
 		return t, nil
 	}
 	// Super-triangle comfortably containing everything.
@@ -83,74 +418,41 @@ func Build(pts []geom.Point) (*Triangulation, error) {
 	s0 := geom.Point{X: mid.X - 20*span, Y: mid.Y - 10*span}
 	s1 := geom.Point{X: mid.X + 20*span, Y: mid.Y - 10*span}
 	s2 := geom.Point{X: mid.X, Y: mid.Y + 20*span}
-	all := append(append([]geom.Point{}, pts...), s0, s1, s2)
-	si0, si1, si2 := n, n+1, n+2
 
-	type tri struct {
-		a, b, c int
-	}
-	ccw := func(x tri) tri {
-		if geom.Orientation(all[x.a], all[x.b], all[x.c]) < 0 {
-			return tri{x.a, x.c, x.b}
-		}
-		return x
-	}
-	tris := []tri{ccw(tri{si0, si1, si2})}
+	m := &mesh{all: append(append(make([]geom.Point, 0, n+3), pts...), s0, s1, s2)}
+	m.tv = make([]int32, 0, 6*n+12)
+	m.tn = make([]int32, 0, 6*n+12)
+	m.dead = make([]bool, 0, 2*n+4)
+	m.isBad = make([]bool, 0, 2*n+4)
+	m.hint = m.newTri(int32(n), int32(n+1), int32(n+2)) // CCW by construction
 
-	for p := 0; p < n; p++ {
-		// Bad triangles: circumcircle contains the new point.
-		var bad []int
-		for i, tr := range tris {
-			if circumcircleContains(all[tr.a], all[tr.b], all[tr.c], all[p]) {
-				bad = append(bad, i)
-			}
-		}
-		if len(bad) == 0 {
-			// Degenerate (duplicate or exactly-on-circle ties): skip the
-			// point; the edge synthesis below keeps the MST usable.
+	for _, pi := range insertionOrder(pts, min, max) {
+		m.insert(pi)
+	}
+
+	// Harvest triangles not touching the super-triangle. Every interior
+	// edge is shared by two alive triangles, so each edge is emitted
+	// exactly once: by the lower-numbered slot of the pair (or by the
+	// harvested side when the neighbor touches the super-triangle or the
+	// mesh boundary).
+	nn := int32(n)
+	isSuper := func(tr int32) bool {
+		return m.tv[3*tr] >= nn || m.tv[3*tr+1] >= nn || m.tv[3*tr+2] >= nn
+	}
+	keys := make([]uint64, 0, 3*len(m.dead)/2)
+	for tr := int32(0); int(tr) < len(m.dead); tr++ {
+		if m.dead[tr] || isSuper(tr) {
 			continue
 		}
-		// Boundary polygon: edges of bad triangles not shared by two bad
-		// triangles.
-		edgeCount := map[[2]int]int{}
-		keyOf := func(u, v int) [2]int {
-			if u > v {
-				u, v = v, u
+		base := 3 * int(tr)
+		t.Triangles = append(t.Triangles,
+			[3]int{int(m.tv[base]), int(m.tv[base+1]), int(m.tv[base+2])})
+		for i := 0; i < 3; i++ {
+			nb := m.tn[base+i]
+			if nb < 0 || nb > tr || isSuper(nb) {
+				keys = append(keys, packEdge(m.tv[base+i], m.tv[base+(i+1)%3]))
 			}
-			return [2]int{u, v}
 		}
-		for _, i := range bad {
-			tr := tris[i]
-			edgeCount[keyOf(tr.a, tr.b)]++
-			edgeCount[keyOf(tr.b, tr.c)]++
-			edgeCount[keyOf(tr.c, tr.a)]++
-		}
-		// Remove bad triangles (back to front).
-		sort.Sort(sort.Reverse(sort.IntSlice(bad)))
-		for _, i := range bad {
-			tris[i] = tris[len(tris)-1]
-			tris = tris[:len(tris)-1]
-		}
-		// Re-triangulate the cavity.
-		for e, cnt := range edgeCount {
-			if cnt != 1 {
-				continue
-			}
-			if geom.Orientation(all[e[0]], all[e[1]], all[p]) == 0 {
-				continue // collinear sliver; skip
-			}
-			tris = append(tris, ccw(tri{e[0], e[1], p}))
-		}
-	}
-	// Harvest triangles not touching the super-triangle.
-	for _, tr := range tris {
-		if tr.a >= n || tr.b >= n || tr.c >= n {
-			continue
-		}
-		t.Triangles = append(t.Triangles, [3]int{tr.a, tr.b, tr.c})
-		t.addEdge(tr.a, tr.b)
-		t.addEdge(tr.b, tr.c)
-		t.addEdge(tr.c, tr.a)
 	}
 	if len(t.Triangles) == 0 {
 		// Collinear (or otherwise degenerate) input: fall back to the
@@ -160,18 +462,49 @@ func Build(pts []geom.Point) (*Triangulation, error) {
 	}
 	// Points skipped as degenerate must still appear in the edge set for
 	// spanning purposes: hook each isolated point to its nearest neighbor.
-	t.attachIsolated()
+	keys = t.attachIsolated(keys)
+	t.edges = sortEdgeKeys(keys, n)
 	return t, nil
 }
 
-func (t *Triangulation) addEdge(u, v int) {
-	if u == v {
-		return
+// sortEdgeKeys orders packed (u<<32 | v) edge keys lexicographically with
+// a counting sort over u followed by tiny per-bucket insertion sorts over
+// v, deduplicating in place — O(E) overall, far cheaper than a general
+// sort on the ~3n Delaunay edges.
+func sortEdgeKeys(keys []uint64, n int) [][2]int {
+	cnt := make([]int32, n+1)
+	for _, k := range keys {
+		cnt[int(k>>32)+1]++
 	}
+	for u := 0; u < n; u++ {
+		cnt[u+1] += cnt[u]
+	}
+	byU := make([]int32, len(keys))
+	pos := make([]int32, n)
+	for _, k := range keys {
+		u := int(k >> 32)
+		byU[cnt[u]+pos[u]] = int32(uint32(k))
+		pos[u]++
+	}
+	edges := make([][2]int, 0, len(keys))
+	for u := 0; u < n; u++ {
+		bucket := byU[cnt[u]:cnt[u+1]]
+		graph.InsertionSort(bucket)
+		for i, v := range bucket {
+			if i > 0 && v == bucket[i-1] {
+				continue // duplicate (e.g. two isolated points attached to each other)
+			}
+			edges = append(edges, [2]int{u, int(v)})
+		}
+	}
+	return edges
+}
+
+func packEdge(u, v int32) uint64 {
 	if u > v {
 		u, v = v, u
 	}
-	t.edges[[2]int{u, v}] = struct{}{}
+	return uint64(u)<<32 | uint64(uint32(v))
 }
 
 // synthesizeChain connects collinear points in coordinate order.
@@ -187,38 +520,40 @@ func (t *Triangulation) synthesizeChain() {
 		}
 		return pa.Y < pb.Y
 	})
+	keys := make([]uint64, 0, len(idx))
 	for i := 1; i < len(idx); i++ {
-		t.addEdge(idx[i-1], idx[i])
+		keys = append(keys, packEdge(int32(idx[i-1]), int32(idx[i])))
+	}
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+	t.edges = make([][2]int, len(keys))
+	for i, k := range keys {
+		t.edges[i] = [2]int{int(k >> 32), int(k & 0xffffffff)}
 	}
 }
 
-// attachIsolated links any vertex absent from the edge set to its nearest
-// neighbor, preserving connectivity of the edge graph.
-func (t *Triangulation) attachIsolated() {
+// attachIsolated links any vertex absent from the harvested edge keys to
+// its nearest neighbor, preserving connectivity of the edge graph.
+func (t *Triangulation) attachIsolated(keys []uint64) []uint64 {
 	n := len(t.Pts)
 	seen := make([]bool, n)
-	for e := range t.edges {
-		seen[e[0]] = true
-		seen[e[1]] = true
+	for _, k := range keys {
+		seen[k>>32] = true
+		seen[uint32(k)] = true
 	}
+	var grid *spatial.Grid
 	for v := 0; v < n; v++ {
 		if seen[v] {
 			continue
 		}
-		best := -1
-		bestD := math.Inf(1)
-		for u := 0; u < n; u++ {
-			if u == v {
-				continue
-			}
-			if d := t.Pts[u].Dist2(t.Pts[v]); d < bestD {
-				best, bestD = u, d
-			}
+		if grid == nil {
+			grid = spatial.NewGrid(t.Pts, 0)
 		}
-		if best >= 0 {
-			t.addEdge(v, best)
+		if best := grid.Nearest(t.Pts[v], v); best >= 0 {
+			keys = append(keys, packEdge(int32(v), int32(best)))
 		}
 	}
+	return keys
 }
 
 // Validate checks the Delaunay empty-circumcircle property on every

@@ -279,3 +279,35 @@ func TestWriteTableAndCSV(t *testing.T) {
 		t.Fatalf("csv: %q", buf.String())
 	}
 }
+
+// TestWorkersDeterminism pins the parallel experiment harness: any worker
+// count must reproduce the serial results bit for bit.
+func TestWorkersDeterminism(t *testing.T) {
+	cfg := Config{Seeds: 2, Sizes: []int{40}, Workloads: []string{"uniform", "grid"}, BaseSeed: 5}
+	serial := cfg
+	serial.Workers = 1
+	parallel := cfg
+	parallel.Workers = 8
+
+	t1s, t1p := RunTable1(serial), RunTable1(parallel)
+	if len(t1s) != len(t1p) {
+		t.Fatalf("RunTable1 row counts differ: %d vs %d", len(t1s), len(t1p))
+	}
+	for i := range t1s {
+		if t1s[i] != t1p[i] {
+			t.Fatalf("RunTable1 row %d differs between 1 and 8 workers:\n%+v\n%+v", i, t1s[i], t1p[i])
+		}
+	}
+	ps, pp := PhiSweep(serial, 4), PhiSweep(parallel, 4)
+	for i := range ps {
+		if ps[i] != pp[i] {
+			t.Fatalf("PhiSweep point %d differs: %+v vs %+v", i, ps[i], pp[i])
+		}
+	}
+	ks, kp := KSweep(serial), KSweep(parallel)
+	for i := range ks {
+		if ks[i] != kp[i] {
+			t.Fatalf("KSweep point %d differs: %+v vs %+v", i, ks[i], kp[i])
+		}
+	}
+}

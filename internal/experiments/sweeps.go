@@ -25,9 +25,55 @@ type SweepPoint struct {
 	Instances int
 }
 
+// sweepInstance is the unit of work a sweep fans out: orient one seeded
+// workload at (k, φ) and record the verdict.
+type sweepInstance struct {
+	ran     bool // Orient succeeded
+	success bool
+	ratio   float64
+}
+
+// runSweepInstance orients one instance for a sweep sample.
+func runSweepInstance(cfg Config, seed int64, s, k int, phi float64) sweepInstance {
+	rng := rand.New(rand.NewSource(seed))
+	pts := MakeWorkload(cfg.Workloads[s%len(cfg.Workloads)], rng, cfg.Sizes[s%len(cfg.Sizes)])
+	asg, res, err := core.Orient(pts, k, phi)
+	if err != nil {
+		return sweepInstance{}
+	}
+	return sweepInstance{
+		ran:     true,
+		success: verify.CheckStrong(asg) && len(res.Violations) == 0,
+		ratio:   res.RadiusRatio(),
+	}
+}
+
+// foldSweep aggregates one sample's instances (in seed order) into p.
+func foldSweep(p *SweepPoint, insts []sweepInstance) {
+	var sum float64
+	for _, in := range insts {
+		if !in.ran {
+			continue
+		}
+		p.Instances++
+		if in.success {
+			p.Successes++
+		}
+		sum += in.ratio
+		if in.ratio > p.MaxRatio {
+			p.MaxRatio = in.ratio
+		}
+	}
+	if p.Instances > 0 {
+		p.MeanRatio = sum / float64(p.Instances)
+	}
+}
+
 // PhiSweep traces the k=2 radius/spread trade-off (experiment E-S1): φ₂
 // from 2π/3 to 6π/5, the paper's Theorem 3 curve 2·sin(π/2 − φ₂/4)
-// dropping to 2·sin(2π/9) at π and to 1 at 6π/5.
+// dropping to 2·sin(2π/9) at π and to 1 at 6π/5. Instances fan out across
+// cfg.Workers goroutines with deterministic per-instance seeds and are
+// folded in seed order.
 func PhiSweep(cfg Config, steps int) []SweepPoint {
 	cfg = cfg.orDefault()
 	if steps < 2 {
@@ -35,66 +81,37 @@ func PhiSweep(cfg Config, steps int) []SweepPoint {
 	}
 	lo := core.Phi2Min
 	hi := core.Phi2Full
-	var out []SweepPoint
+	insts := make([]sweepInstance, (steps+1)*cfg.Seeds)
+	core.ParallelFor(len(insts), cfg.Workers, func(idx int) {
+		i, s := idx/cfg.Seeds, idx%cfg.Seeds
+		phi := lo + (hi-lo)*float64(i)/float64(steps)
+		insts[idx] = runSweepInstance(cfg, cfg.BaseSeed+int64(i*1000+s), s, 2, phi)
+	})
+	out := make([]SweepPoint, 0, steps+1)
 	for i := 0; i <= steps; i++ {
 		phi := lo + (hi-lo)*float64(i)/float64(steps)
 		bound, _ := core.Bound(2, phi)
 		p := SweepPoint{X: phi, Bound: bound}
-		var sum float64
-		for s := 0; s < cfg.Seeds; s++ {
-			rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(i*1000+s)))
-			pts := MakeWorkload(cfg.Workloads[s%len(cfg.Workloads)], rng, cfg.Sizes[s%len(cfg.Sizes)])
-			asg, res, err := core.Orient(pts, 2, phi)
-			if err != nil {
-				continue
-			}
-			p.Instances++
-			if verify.CheckStrong(asg) && len(res.Violations) == 0 {
-				p.Successes++
-			}
-			r := res.RadiusRatio()
-			sum += r
-			if r > p.MaxRatio {
-				p.MaxRatio = r
-			}
-		}
-		if p.Instances > 0 {
-			p.MeanRatio = sum / float64(p.Instances)
-		}
+		foldSweep(&p, insts[i*cfg.Seeds:(i+1)*cfg.Seeds])
 		out = append(out, p)
 	}
 	return out
 }
 
 // KSweep traces the φ=0 column of Table 1 (experiment E-S2): radius as a
-// function of the antenna count k.
+// function of the antenna count k, fanned out like PhiSweep.
 func KSweep(cfg Config) []SweepPoint {
 	cfg = cfg.orDefault()
-	var out []SweepPoint
+	insts := make([]sweepInstance, 5*cfg.Seeds)
+	core.ParallelFor(len(insts), cfg.Workers, func(idx int) {
+		k, s := idx/cfg.Seeds+1, idx%cfg.Seeds
+		insts[idx] = runSweepInstance(cfg, cfg.BaseSeed+int64(k*1000+s), s, k, 0)
+	})
+	out := make([]SweepPoint, 0, 5)
 	for k := 1; k <= 5; k++ {
 		bound, _ := core.Bound(k, 0)
 		p := SweepPoint{X: float64(k), Bound: bound}
-		var sum float64
-		for s := 0; s < cfg.Seeds; s++ {
-			rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(k*1000+s)))
-			pts := MakeWorkload(cfg.Workloads[s%len(cfg.Workloads)], rng, cfg.Sizes[s%len(cfg.Sizes)])
-			asg, res, err := core.Orient(pts, k, 0)
-			if err != nil {
-				continue
-			}
-			p.Instances++
-			if verify.CheckStrong(asg) && len(res.Violations) == 0 {
-				p.Successes++
-			}
-			r := res.RadiusRatio()
-			sum += r
-			if r > p.MaxRatio {
-				p.MaxRatio = r
-			}
-		}
-		if p.Instances > 0 {
-			p.MeanRatio = sum / float64(p.Instances)
-		}
+		foldSweep(&p, insts[(k-1)*cfg.Seeds:k*cfg.Seeds])
 		out = append(out, p)
 	}
 	return out

@@ -18,6 +18,7 @@ type Config struct {
 	Sizes     []int // instance sizes cycled across seeds
 	Workloads []string
 	BaseSeed  int64
+	Workers   int // parallel instances; ≤ 0 selects GOMAXPROCS
 }
 
 // DefaultConfig is the scale used by cmd/table1 and the committed
@@ -83,44 +84,90 @@ type RowResult struct {
 
 // RunTable1 reproduces Table 1: every row run across the configured
 // workloads, verified independently. The radius ratios are measured
-// against l_max exactly as the paper normalizes them.
+// against l_max exactly as the paper normalizes them. Instances fan out
+// across cfg.Workers goroutines (each draws its own seeded rng and writes
+// only its slot) and are aggregated sequentially in instance order, so the
+// results are identical at every parallelism level.
 func RunTable1(cfg Config) []RowResult {
 	cfg = cfg.orDefault()
 	rows := core.Table1Rows()
-	out := make([]RowResult, 0, len(rows))
-	for _, row := range rows {
-		rr := RowResult{Row: row, Guarantee: row.Bound}
-		var ratioSum float64
+
+	type instSpec struct {
+		row  int
+		wl   string
+		n    int
+		seed int64
+	}
+	specs := make([]instSpec, 0, len(rows)*len(cfg.Workloads)*cfg.Seeds)
+	for ri := range rows {
 		instance := 0
 		for _, wl := range cfg.Workloads {
 			for s := 0; s < cfg.Seeds; s++ {
 				n := cfg.Sizes[instance%len(cfg.Sizes)]
-				rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(instance)*7919 + int64(len(wl))))
-				pts := MakeWorkload(wl, rng, n)
-				asg, res, err := core.Orient(pts, row.K, row.Phi)
-				instance++
-				rr.Instances++
-				if err != nil {
-					rr.Violations++
-					continue
-				}
-				if res.Guarantee > rr.Guarantee {
-					rr.Guarantee = res.Guarantee
-				}
-				rr.Violations += len(res.Violations)
-				rep := verify.Check(asg, verify.Budgets{
-					K:           row.K,
-					Phi:         row.Phi,
-					RadiusBound: res.Guarantee,
+				specs = append(specs, instSpec{
+					row:  ri,
+					wl:   wl,
+					n:    n,
+					seed: cfg.BaseSeed + int64(instance)*7919 + int64(len(wl)),
 				})
-				if rep.OK() && len(res.Violations) == 0 {
-					rr.Successes++
-				}
-				ratio := res.RadiusRatio()
-				ratioSum += ratio
-				if ratio > rr.MaxRatio {
-					rr.MaxRatio = ratio
-				}
+				instance++
+			}
+		}
+	}
+
+	type instResult struct {
+		orientErr  bool
+		guarantee  float64
+		violations int
+		success    bool
+		ratio      float64
+	}
+	results := make([]instResult, len(specs))
+	core.ParallelFor(len(specs), cfg.Workers, func(i int) {
+		sp := specs[i]
+		row := rows[sp.row]
+		rng := rand.New(rand.NewSource(sp.seed))
+		pts := MakeWorkload(sp.wl, rng, sp.n)
+		asg, res, err := core.Orient(pts, row.K, row.Phi)
+		if err != nil {
+			results[i] = instResult{orientErr: true}
+			return
+		}
+		rep := verify.Check(asg, verify.Budgets{
+			K:           row.K,
+			Phi:         row.Phi,
+			RadiusBound: res.Guarantee,
+		})
+		results[i] = instResult{
+			guarantee:  res.Guarantee,
+			violations: len(res.Violations),
+			success:    rep.OK() && len(res.Violations) == 0,
+			ratio:      res.RadiusRatio(),
+		}
+	})
+
+	out := make([]RowResult, 0, len(rows))
+	perRow := len(cfg.Workloads) * cfg.Seeds
+	for ri, row := range rows {
+		rr := RowResult{Row: row, Guarantee: row.Bound}
+		var ratioSum float64
+		for k := 0; k < perRow; k++ {
+			r := results[ri*perRow+k]
+			rr.Instances++
+			if r.orientErr {
+				rr.Violations++
+				continue
+			}
+			if r.guarantee > rr.Guarantee {
+				rr.Guarantee = r.guarantee
+			}
+			rr.Violations += r.violations
+			if r.success {
+				rr.Successes++
+			}
+			ratioSum += r.ratio
+			if r.ratio > rr.MaxRatio {
+				rr.MaxRatio = r.ratio
 			}
 		}
 		if rr.Instances > 0 {

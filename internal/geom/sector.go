@@ -12,10 +12,23 @@ import (
 // A zero-spread sector is a single ray; containment still succeeds for
 // points within AngleEps of the ray so that "antenna of angle 0 pointed at
 // v" (the paper's favourite construction) is numerically robust.
+//
+// Sectors built through NewSector carry cached unit vectors of their two
+// boundary rays, which lets Contains answer with two cross products
+// instead of an atan2 and a modulo per query. Zero-value literals still
+// work — they take the trigonometric slow path.
 type Sector struct {
 	Start  float64 // first bounding ray, normalized to [0, 2π)
 	Spread float64 // CCW opening in radians, in [0, 2π]
 	Radius float64 // range; non-negative
+
+	// Cached boundary ray unit vectors (NewSector); both zero when unset.
+	// cStart/cSpread record the angles the cache was computed for, so a
+	// caller mutating Start or Spread in place simply falls back to the
+	// trigonometric path instead of reading stale vectors.
+	sx, sy          float64
+	ex, ey          float64
+	cStart, cSpread float64
 }
 
 // NewSector builds a normalized sector.
@@ -26,7 +39,15 @@ func NewSector(start, spread, radius float64) Sector {
 	if spread > TwoPi {
 		spread = TwoPi
 	}
-	return Sector{Start: NormAngle(start), Spread: spread, Radius: radius}
+	s := Sector{Start: NormAngle(start), Spread: spread, Radius: radius}
+	s.sy, s.sx = math.Sincos(s.Start)
+	if spread == 0 {
+		s.ex, s.ey = s.sx, s.sy
+	} else {
+		s.ey, s.ex = math.Sincos(s.Start + spread)
+	}
+	s.cStart, s.cSpread = s.Start, s.Spread
+	return s
 }
 
 // RaySector builds the zero-spread sector pointing from apex towards
@@ -55,10 +76,90 @@ func (s Sector) ContainsDir(theta float64) bool {
 	return InCCWInterval(theta, s.Start, s.Spread)
 }
 
+// probeBand is the angular half-width (radians) of the boundary band in
+// which Contains switches from plain cross-product signs to small-angle
+// tolerance comparisons; it comfortably covers AngleEps plus
+// floating-point slack.
+const probeBand = 1e-8
+
+// sinBand2 is sin²(probeBand); sinAngleEps is sin(AngleEps). Both are
+// effectively the angles themselves at this magnitude, spelled as sines so
+// the comparisons below are exact small-angle statements.
+var (
+	sinBand2    = math.Sin(probeBand) * math.Sin(probeBand)
+	sinAngleEps = math.Sin(AngleEps)
+)
+
 // Contains reports whether point q is covered by the sector anchored at
 // apex: within Radius (plus Eps) and inside the angular interval. The apex
 // itself is always covered.
-func (s Sector) Contains(apex, q Point) bool {
+//
+// Sectors built by NewSector answer through cached boundary-ray vectors:
+// two cross products in the common case, direct sin(AngleEps) comparisons
+// inside a hair-thin band (probeBand) around the boundary rays — where the
+// angular tolerance decides, and where the paper's constructions
+// deliberately place their targets. Verdicts match the trigonometric
+// definition up to floating-point noise millions of times smaller than the
+// AngleEps tolerance itself. Zero-value literals take containsSlow.
+func (s *Sector) Contains(apex, q Point) bool {
+	if (s.sx == 0 && s.sy == 0) || s.cStart != s.Start || s.cSpread != s.Spread {
+		return s.containsSlow(apex, q) // no cached vectors, or mutated angles
+	}
+	wx := q.X - apex.X
+	wy := q.Y - apex.Y
+	d2 := wx*wx + wy*wy
+	if d2 <= Eps*Eps {
+		return true
+	}
+	// Mirror the slow path's hypot-based radius comparison: outside a
+	// razor-thin shell the squared comparison is decisive; inside it, sqrt
+	// rounding could differ from hypot, so defer.
+	rr := s.Radius + Eps
+	r2 := rr * rr
+	if d2 > r2*(1+1e-12) {
+		return false
+	}
+	if d2 > r2*(1-1e-12) {
+		return s.containsSlow(apex, q)
+	}
+	if s.Spread >= TwoPi-AngleEps {
+		return true
+	}
+	if s.Spread > TwoPi-2*probeBand {
+		// Within 2·probeBand of full circle the band algebra below would
+		// have to wrap; unreachable by the paper's constructions.
+		return s.containsSlow(apex, q)
+	}
+	crossS := s.sx*wy - s.sy*wx
+	crossE := s.ex*wy - s.ey*wx
+	band := sinBand2 * d2
+	tiny := s.Spread < probeBand
+	// Within probeBand of the opening ray (and on its forward side), the
+	// closed interval [−AngleEps, Spread+AngleEps] decides; δ ≤ Spread +
+	// AngleEps is automatic unless the whole sector fits inside the band.
+	if crossS*crossS <= band && s.sx*wx+s.sy*wy > 0 {
+		d := math.Sqrt(d2)
+		// sin(Spread+AngleEps) = Spread+AngleEps to within 1e-25 at
+		// sub-band magnitudes; spelled directly to keep sin off this path.
+		return crossS >= -d*sinAngleEps &&
+			(!tiny || crossS <= d*(s.Spread+AngleEps))
+	}
+	// Within probeBand of the closing ray: δ ≥ Spread + AngleEps rejects,
+	// with the same sub-band special case.
+	if crossE*crossE <= band && s.ex*wx+s.ey*wy > 0 {
+		d := math.Sqrt(d2)
+		return crossE <= d*sinAngleEps &&
+			(!tiny || crossS >= -d*sinAngleEps)
+	}
+	if s.Spread > math.Pi {
+		return crossS > 0 || crossE < 0
+	}
+	return crossS > 0 && crossE < 0
+}
+
+// containsSlow is the trigonometric containment definition; the reference
+// Contains answers against.
+func (s *Sector) containsSlow(apex, q Point) bool {
 	d := apex.Dist(q)
 	if d <= Eps {
 		return true
@@ -94,7 +195,9 @@ func SectorUnionSpread(sectors []Sector) float64 {
 func MaxRadius(sectors []Sector) float64 {
 	var r float64
 	for _, s := range sectors {
-		r = math.Max(r, s.Radius)
+		if s.Radius > r {
+			r = s.Radius
+		}
 	}
 	return r
 }

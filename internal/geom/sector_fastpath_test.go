@@ -1,0 +1,69 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestContainsFastMatchesSlow drives the cached-vector fast path of
+// Sector.Contains against the trigonometric definition on adversarial
+// queries: random points, points exactly on boundary rays (the paper's
+// constructions aim antennas at their targets), points on the radius
+// circle, and points nudged across the AngleEps tolerance.
+func TestContainsFastMatchesSlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4000; trial++ {
+		apex := Point{X: rng.Float64()*20 - 10, Y: rng.Float64()*20 - 10}
+		spread := 0.0
+		switch trial % 5 {
+		case 1:
+			spread = rng.Float64() * math.Pi
+		case 2:
+			spread = math.Pi + rng.Float64()*math.Pi
+		case 3:
+			spread = math.Pi
+		case 4:
+			spread = TwoPi * rng.Float64()
+		}
+		radius := 0.1 + rng.Float64()*3
+		s := NewSector(rng.Float64()*TwoPi, spread, radius)
+
+		queries := []Point{
+			{X: apex.X + rng.Float64()*8 - 4, Y: apex.Y + rng.Float64()*8 - 4},
+			Polar(apex, s.Start, radius*rng.Float64()),          // on opening ray
+			Polar(apex, s.Start+s.Spread, radius*rng.Float64()), // on closing ray
+			Polar(apex, rng.Float64()*TwoPi, radius),            // on radius circle
+			Polar(apex, s.Start-3*AngleEps, radius/2),           // just outside tolerance
+			Polar(apex, s.Start+s.Spread+3*AngleEps, radius/2),  // just past the end
+			Polar(apex, s.Start+s.Spread/2, radius/2),           // mid-sector
+			apex, // apex always covered
+		}
+		for qi, q := range queries {
+			fast := s.Contains(apex, q)
+			slow := s.containsSlow(apex, q)
+			if fast != slow {
+				t.Fatalf("trial %d query %d: fast=%v slow=%v (sector %v, apex %v, q %v)",
+					trial, qi, fast, slow, s, apex, q)
+			}
+		}
+	}
+}
+
+// TestContainsMutatedSectorFallsBack pins the staleness guard: mutating
+// Start or Spread in place must not read stale cached vectors.
+func TestContainsMutatedSectorFallsBack(t *testing.T) {
+	apex := Point{}
+	s := NewSector(0, 0, 2)
+	target := Point{X: 1, Y: 0}
+	if !s.Contains(apex, target) {
+		t.Fatal("ray must cover its aim")
+	}
+	s.Start = math.Pi // rotated away, bypassing NewSector
+	if s.Contains(apex, target) {
+		t.Fatal("mutated sector still covers the old aim: stale cache")
+	}
+	if !s.Contains(apex, Point{X: -1, Y: 0}) {
+		t.Fatal("mutated sector must cover the new aim")
+	}
+}

@@ -7,9 +7,21 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 )
+
+// InsertionSort orders a in place; intended for the handful-sized slices
+// (adjacency lists, grid candidate buffers, edge buckets) where it beats
+// the general sort's overhead.
+func InsertionSort[T cmp.Ordered](a []T) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
 
 // Digraph is a directed graph over vertices 0..N-1 with adjacency lists.
 type Digraph struct {
@@ -65,11 +77,17 @@ func (g *Digraph) MaxOutDegree() int {
 	return best
 }
 
-// Dedup sorts each adjacency list and removes duplicate edges.
+// Dedup sorts each adjacency list and removes duplicate edges. Typical
+// lists are a handful of entries, so short lists use an insertion sort
+// instead of paying sort.Ints overhead per vertex.
 func (g *Digraph) Dedup() {
 	for u := range g.Adj {
 		a := g.Adj[u]
-		sort.Ints(a)
+		if len(a) <= 16 {
+			InsertionSort(a)
+		} else {
+			sort.Ints(a)
+		}
 		out := a[:0]
 		for i, v := range a {
 			if i == 0 || v != a[i-1] {

@@ -1,7 +1,9 @@
 package mst
 
 import (
-	"sort"
+	"math"
+	"math/bits"
+	"slices"
 
 	"repro/internal/delaunay"
 	"repro/internal/geom"
@@ -9,8 +11,10 @@ import (
 )
 
 // Delaunay computes an exact Euclidean MST by running Kruskal over the
-// Delaunay triangulation's edges (a classical superset of the EMST). With
-// O(n) candidate edges this is the preferred path at scale; it falls back
+// Delaunay triangulation's edges (a classical superset of the EMST). The
+// triangulation exposes its edges as a cached, pre-sorted slice, so this
+// path is O(n log n) end to end: no per-edge map bookkeeping, and the
+// weight ordering is a flat uint64 sort over packed keys. It falls back
 // to Prim when the triangulation degenerates.
 func Delaunay(pts []geom.Point) *Tree {
 	n := len(pts)
@@ -21,24 +25,83 @@ func Delaunay(pts []geom.Point) *Tree {
 	if err != nil {
 		return Prim(pts)
 	}
-	type we struct {
-		w    float64
-		u, v int32
+	es := tri.Edges()
+	if len(es) == 0 {
+		return Prim(pts)
 	}
-	cand := make([]we, 0, len(tri.Edges()))
-	for _, e := range tri.Edges() {
-		cand = append(cand, we{pts[e[0]].Dist(pts[e[1]]), int32(e[0]), int32(e[1])})
-	}
-	sort.Slice(cand, func(a, b int) bool { return cand[a].w < cand[b].w })
 	dsu := graph.NewDSU(n)
 	edges := make([][2]int, 0, n-1)
-	for _, c := range cand {
-		if dsu.Union(int(c.u), int(c.v)) {
-			edges = append(edges, [2]int{int(c.u), int(c.v)})
+	for _, k := range sortedByWeight(pts, es) {
+		e := es[k]
+		if dsu.Union(e[0], e[1]) {
+			edges = append(edges, e)
 		}
 	}
 	if dsu.Sets() != 1 {
 		return Prim(pts)
 	}
 	return newTree(pts, edges)
+}
+
+// sortedByWeight returns the indices of es ordered by increasing edge
+// length. The ordering key packs the squared weight's float bits with the
+// edge index in the low bits, so a single primitive uint64 sort suffices;
+// the few mantissa bits sacrificed (log2 |es|) are far below the 1e-9
+// geometric tolerances used everywhere else, and ties break by index,
+// keeping the result deterministic.
+func sortedByWeight(pts []geom.Point, es [][2]int) []int {
+	b := bits.Len(uint(len(es)))
+	mask := uint64(1)<<b - 1
+	keys := make([]uint64, len(es))
+	for i, e := range es {
+		w := pts[e[0]].Dist2(pts[e[1]]) // squared: same order, no sqrt
+		keys[i] = math.Float64bits(w)&^mask | uint64(i)
+	}
+	radixSortU64(keys, make([]uint64, len(keys)))
+	order := make([]int, len(keys))
+	for i, k := range keys {
+		order[i] = int(k & mask)
+	}
+	return order
+}
+
+// radixSortU64 sorts keys ascending with an 8-bit LSD radix sort using the
+// provided scratch buffer (same length as keys). It produces exactly the
+// order of slices.Sort but in O(8·n) — the candidate-edge sorts are the
+// hottest part of the MST paths. Passes whose byte is constant across all
+// keys (common: weight exponents span a narrow range) are skipped.
+func radixSortU64(keys, buf []uint64) {
+	n := len(keys)
+	if n < 128 {
+		slices.Sort(keys)
+		return
+	}
+	src, dst := keys, buf[:n]
+	var cnt [256]int32
+	for shift := 0; shift < 64; shift += 8 {
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, k := range src {
+			cnt[(k>>shift)&0xff]++
+		}
+		if cnt[(src[0]>>shift)&0xff] == int32(n) {
+			continue
+		}
+		sum := int32(0)
+		for i := range cnt {
+			c := cnt[i]
+			cnt[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			b := (k >> shift) & 0xff
+			dst[cnt[b]] = k
+			cnt[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
 }

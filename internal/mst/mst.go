@@ -9,6 +9,7 @@ package mst
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/geom"
@@ -25,9 +26,27 @@ type Tree struct {
 
 // newTree builds a Tree from an edge list. Out-of-range edges are kept in
 // the edge list (so Validate reports them) but skipped in the adjacency.
+// The adjacency lists share one counted backing array, so construction is
+// two passes with a single allocation instead of per-vertex append churn.
 func newTree(pts []geom.Point, edges [][2]int) *Tree {
-	t := &Tree{Pts: pts, Adj: make([][]int, len(pts)), edges: edges}
 	n := len(pts)
+	t := &Tree{Pts: pts, Adj: make([][]int, n), edges: edges}
+	deg := make([]int, n)
+	valid := 0
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			continue
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+		valid++
+	}
+	backing := make([]int, 2*valid)
+	off := 0
+	for v := 0; v < n; v++ {
+		t.Adj[v] = backing[off : off : off+deg[v]]
+		off += deg[v]
+	}
 	for _, e := range edges {
 		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
 			continue
@@ -172,46 +191,122 @@ func Prim(pts []geom.Point) *Tree {
 // Kruskal computes a Euclidean MST using grid-filtered candidate edges:
 // it sorts all pairs within an adaptively doubled radius and unions them,
 // growing the radius until the forest spans. On uniformly spread inputs
-// the candidate set is near-linear. Falls back to all pairs if needed.
+// the candidate set is near-linear. The per-round ordering is a primitive
+// uint64 sort over packed (weight bits, candidate index) keys — see
+// sortedByWeight for the precision argument. Falls back to Prim if the
+// radius doubling degenerates (e.g. coincident points).
 func Kruskal(pts []geom.Point) *Tree {
 	n := len(pts)
 	if n <= 1 {
 		return newTree(pts, nil)
 	}
 	g := spatial.NewGrid(pts, 0)
-	type cand struct {
-		d    float64
-		u, v int32
-	}
 	dsu := graph.NewDSU(n)
 	edges := make([][2]int, 0, n-1)
-	_, maxP := geom.BoundingBox(pts)
-	minP, _ := geom.BoundingBox(pts)
+	minP, maxP := geom.BoundingBox(pts)
 	span := math.Hypot(maxP.X-minP.X, maxP.Y-minP.Y)
 	if span == 0 {
 		span = 1
 	}
 	r := g.CellSize() * 2
 	prevR := 0.0
+	cu := make([]int32, 0, 8*n)
+	cv := make([]int32, 0, 8*n)
+	d2s := make([]float64, 0, 8*n)
+	var keys, buf []uint64
+	var minority []int32
+	var sizes []int32
+	var isMin []bool
+	var within []int
 	for {
-		var cands []cand
-		g.Pairs(r, func(i, j int) {
-			d := pts[i].Dist(pts[j])
-			if d > prevR { // skip pairs already processed in earlier rounds
-				cands = append(cands, cand{d, int32(i), int32(j)})
+		cu, cv, d2s = cu[:0], cv[:0], d2s[:0]
+		prev2 := prevR * prevR
+		if prevR == 0 {
+			// First round: admit zero-length pairs too, or coincident
+			// points would only ever connect through paid detours.
+			prev2 = -1
+		}
+		add := func(i, j int) {
+			d2 := pts[i].Dist2(pts[j])
+			if d2 > prev2 { // skip pairs already processed in earlier rounds
+				cu = append(cu, int32(i))
+				cv = append(cv, int32(j))
+				d2s = append(d2s, d2)
 			}
-		})
-		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		}
+		if prevR == 0 {
+			g.Pairs(r, add)
+		} else {
+			// Later rounds: every useful candidate joins two components, so
+			// it has an endpoint outside the largest one. Pairs internal to
+			// the largest component can never enter the MST (their
+			// endpoints are already connected by strictly shorter edges),
+			// so only the minority points' neighborhoods need scanning —
+			// the doubled radius is never swept over the whole point set
+			// again.
+			for _, ui := range minority {
+				u := int(ui)
+				within = g.Within(pts[u], r, within[:0])
+				for _, v := range within {
+					if v == u || (isMin[v] && v < u) {
+						continue // self, or minority pair seen from v's side
+					}
+					add(u, v)
+				}
+			}
+		}
+		b := bits.Len(uint(len(d2s)))
+		mask := uint64(1)<<b - 1
+		keys = keys[:0]
+		for i, d2 := range d2s {
+			keys = append(keys, math.Float64bits(d2)&^mask|uint64(i))
+		}
+		if cap(buf) < len(keys) {
+			buf = make([]uint64, len(keys))
+		}
+		radixSortU64(keys, buf[:cap(buf)])
 		// Every candidate in this round is longer than every edge already
-		// processed (d > prevR), so rounds preserve the global Kruskal
+		// processed (d² > prevR²), so rounds preserve the global Kruskal
 		// order and the result is an exact MST.
-		for _, c := range cands {
-			if c.d <= r && dsu.Union(int(c.u), int(c.v)) {
-				edges = append(edges, [2]int{int(c.u), int(c.v)})
+		r2 := r * r
+		for _, k := range keys {
+			i := int(k & mask)
+			if d2s[i] <= r2 && dsu.Union(int(cu[i]), int(cv[i])) {
+				edges = append(edges, [2]int{int(cu[i]), int(cv[i])})
 			}
 		}
 		if dsu.Sets() == 1 || r > 2*span {
 			break
+		}
+		// Identify the points outside the largest component for the next
+		// round's restricted scan. Roots are vertex ids, so a flat counts
+		// slice replaces a map; ascending iteration breaks size ties to
+		// the smallest root, keeping the minority set — and with it
+		// equal-weight candidate ordering — deterministic.
+		if sizes == nil {
+			sizes = make([]int32, n)
+			isMin = make([]bool, n)
+		} else {
+			for i := range sizes {
+				sizes[i] = 0
+			}
+		}
+		for v := 0; v < n; v++ {
+			sizes[dsu.Find(v)]++
+		}
+		giant := -1
+		for root := range sizes {
+			if giant < 0 || sizes[root] > sizes[giant] {
+				giant = root
+			}
+		}
+		minority = minority[:0]
+		for v := 0; v < n; v++ {
+			m := dsu.Find(v) != giant
+			isMin[v] = m
+			if m {
+				minority = append(minority, int32(v))
+			}
 		}
 		prevR = r
 		r *= 2
@@ -223,17 +318,11 @@ func Kruskal(pts []geom.Point) *Tree {
 	return newTree(pts, edges)
 }
 
-// Euclidean computes a max-degree-5 Euclidean MST: Prim for small inputs,
-// the Delaunay-filtered Kruskal beyond that, followed by degree repair.
-// This is the tree every orientation algorithm in the paper starts from.
+// Euclidean computes a max-degree-5 Euclidean MST: the Delaunay-filtered
+// Kruskal (O(n log n)) at every size, followed by degree repair. This is
+// the tree every orientation algorithm in the paper starts from.
 func Euclidean(pts []geom.Point) *Tree {
-	var t *Tree
-	if len(pts) > 1200 {
-		t = Delaunay(pts)
-	} else {
-		t = Prim(pts)
-	}
-	return RepairDegree(t, 5)
+	return RepairDegree(Delaunay(pts), 5)
 }
 
 // RepairDegree rewires a Euclidean spanning tree so no vertex exceeds

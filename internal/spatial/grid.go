@@ -1,8 +1,14 @@
 // Package spatial provides a uniform grid index over planar points used to
 // answer radius queries (all points within distance r) and nearest-neighbor
 // queries in near-constant expected time. It is the workhorse behind
-// induced-transmission-graph construction and Kruskal candidate filtering
-// at large n.
+// induced-transmission-graph construction and candidate filtering at
+// large n.
+//
+// The index is laid out as a flat counting-sort (CSR-style) bucket array
+// rather than a hash map: one pass counts points per cell, a prefix sum
+// assigns bucket offsets, and a second pass scatters point indices. Radius
+// queries then touch only contiguous slices, with no hashing or per-bucket
+// allocation on the hot path.
 package spatial
 
 import (
@@ -16,17 +22,20 @@ import (
 type Grid struct {
 	pts     []geom.Point
 	cell    float64
+	invCell float64 // 1/cell: multiply instead of divide on query paths
 	minX    float64
 	minY    float64
 	nx, ny  int
-	buckets map[uint64][]int32
+	start   []int32 // CSR offsets: bucket c occupies idx[start[c]:start[c+1]]
+	idx     []int32 // point indices grouped by cell, increasing within a cell
 }
 
 // NewGrid indexes pts with the given cell size. A non-positive cell size is
 // replaced by a heuristic (side of bounding-box area / n, clamped to a
-// positive value).
+// positive value). A requested cell size that would allocate far more cells
+// than points is coarsened so the bucket array stays O(n).
 func NewGrid(pts []geom.Point, cell float64) *Grid {
-	g := &Grid{pts: pts, buckets: make(map[uint64][]int32, len(pts))}
+	g := &Grid{pts: pts}
 	min, max := geom.BoundingBox(pts)
 	g.minX, g.minY = min.X, min.Y
 	w := max.X - min.X
@@ -39,13 +48,32 @@ func NewGrid(pts []geom.Point, cell float64) *Grid {
 			cell = 1
 		}
 	}
+	// Keep the dense bucket array proportional to n: a tiny cell over a
+	// huge span would otherwise allocate (w/cell)·(h/cell) buckets. The
+	// cap test runs in float space so extreme spans cannot overflow int.
+	maxCells := 4*len(pts) + 64
+	for (w/cell+1)*(h/cell+1) > float64(maxCells) {
+		cell *= 2
+	}
 	g.cell = cell
+	g.invCell = 1 / cell
 	g.nx = int(w/cell) + 1
 	g.ny = int(h/cell) + 1
+
+	nCells := g.nx * g.ny
+	g.start = make([]int32, nCells+1)
+	g.idx = make([]int32, len(pts))
+	for _, p := range pts {
+		g.start[g.cellIndex(p)+1]++
+	}
+	for c := 0; c < nCells; c++ {
+		g.start[c+1] += g.start[c]
+	}
+	fill := make([]int32, nCells)
 	for i, p := range pts {
-		cx, cy := g.cellOf(p)
-		k := g.key(cx, cy)
-		g.buckets[k] = append(g.buckets[k], int32(i))
+		c := g.cellIndex(p)
+		g.idx[g.start[c]+fill[c]] = int32(i)
+		fill[c]++
 	}
 	return g
 }
@@ -53,17 +81,35 @@ func NewGrid(pts []geom.Point, cell float64) *Grid {
 // Len returns the number of indexed points.
 func (g *Grid) Len() int { return len(g.pts) }
 
-// CellSize returns the grid cell edge length.
+// CellSize returns the grid cell edge length (possibly coarsened from the
+// requested size, see NewGrid).
 func (g *Grid) CellSize() float64 { return g.cell }
 
+// cellOf returns the (possibly out-of-range) cell coordinates of p. The
+// int conversion truncates toward zero rather than flooring, which is
+// equivalent for every caller because results are always clamped into
+// [0, nx)×[0, ny) before use (negative arguments clamp to 0 either way).
 func (g *Grid) cellOf(p geom.Point) (int, int) {
-	cx := int(math.Floor((p.X - g.minX) / g.cell))
-	cy := int(math.Floor((p.Y - g.minY) / g.cell))
+	cx := int((p.X - g.minX) * g.invCell)
+	cy := int((p.Y - g.minY) * g.invCell)
 	return cx, cy
 }
 
-func (g *Grid) key(cx, cy int) uint64 {
-	return uint64(uint32(int32(cx)))<<32 | uint64(uint32(int32(cy)))
+// cellIndex returns the flat bucket index of p, clamped into range (only
+// indexed points call this, and those are inside the bounding box up to
+// floating-point rounding).
+func (g *Grid) cellIndex(p geom.Point) int {
+	cx, cy := g.cellOf(p)
+	cx = clamp(cx, 0, g.nx-1)
+	cy = clamp(cy, 0, g.ny-1)
+	return cy*g.nx + cx
+}
+
+// bucket returns the point indices stored in cell (cx, cy), which must be
+// in range.
+func (g *Grid) bucket(cx, cy int) []int32 {
+	c := cy*g.nx + cx
+	return g.idx[g.start[c]:g.start[c+1]]
 }
 
 // Within appends to dst the indices of all points within distance r of q
@@ -75,13 +121,18 @@ func (g *Grid) Within(q geom.Point, r float64, dst []int) []int {
 	}
 	cx0, cy0 := g.cellOf(geom.Point{X: q.X - r, Y: q.Y - r})
 	cx1, cy1 := g.cellOf(geom.Point{X: q.X + r, Y: q.Y + r})
+	cx0 = clamp(cx0, 0, g.nx-1)
+	cy0 = clamp(cy0, 0, g.ny-1)
+	cx1 = clamp(cx1, 0, g.nx-1)
+	cy1 = clamp(cy1, 0, g.ny-1)
 	r2 := r*r + geom.Eps
-	for cx := cx0; cx <= cx1; cx++ {
-		for cy := cy0; cy <= cy1; cy++ {
-			for _, i := range g.buckets[g.key(cx, cy)] {
-				if g.pts[i].Dist2(q) <= r2 {
-					dst = append(dst, int(i))
-				}
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.nx
+		lo := g.start[row+cx0]
+		hi := g.start[row+cx1+1]
+		for _, i := range g.idx[lo:hi] {
+			if g.pts[i].Dist2(q) <= r2 {
+				dst = append(dst, int(i))
 			}
 		}
 	}
@@ -99,14 +150,24 @@ func (g *Grid) Nearest(q geom.Point, exclude int) int {
 		return -1
 	}
 	cx, cy := g.cellOf(q)
+	cx = clamp(cx, 0, g.nx-1)
+	cy = clamp(cy, 0, g.ny-1)
 	maxRing := g.nx + g.ny + 2
 	for ring := 0; ring <= maxRing; ring++ {
 		for dx := -ring; dx <= ring; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.nx {
+				continue
+			}
 			for dy := -ring; dy <= ring; dy++ {
 				if absInt(dx) != ring && absInt(dy) != ring {
 					continue // interior already scanned
 				}
-				for _, i := range g.buckets[g.key(cx+dx, cy+dy)] {
+				y := cy + dy
+				if y < 0 || y >= g.ny {
+					continue
+				}
+				for _, i := range g.bucket(x, y) {
 					if int(i) == exclude {
 						continue
 					}
@@ -159,15 +220,61 @@ func (g *Grid) KNearest(q geom.Point, k, exclude int) []int {
 }
 
 // Pairs invokes fn for every unordered pair (i, j), i < j, of points within
-// distance r of each other. Used to enumerate candidate edges for
-// geometric graphs without the O(n²) blowup on clustered instances.
+// distance r of each other. It walks cells and compares each cell against
+// its forward half-plane of neighbor cells; because buckets of one row are
+// contiguous in the CSR layout, each neighbor row is visited as a single
+// slice, so every unordered pair is considered exactly once with almost no
+// per-cell overhead.
 func (g *Grid) Pairs(r float64, fn func(i, j int)) {
-	var buf []int
-	for i, p := range g.pts {
-		buf = g.Within(p, r, buf[:0])
-		for _, j := range buf {
-			if j > i {
-				fn(i, j)
+	if r < 0 || len(g.pts) == 0 {
+		return
+	}
+	r2 := r*r + geom.Eps
+	reach := int(math.Ceil(r / g.cell))
+	for cy := 0; cy < g.ny; cy++ {
+		rowBase := cy * g.nx
+		for cx := 0; cx < g.nx; cx++ {
+			a := g.idx[g.start[rowBase+cx]:g.start[rowBase+cx+1]]
+			if len(a) == 0 {
+				continue
+			}
+			// Pairs inside the cell; bucket order is increasing, so ii < jj
+			// implies a[ii] < a[jj].
+			for ii := 0; ii < len(a); ii++ {
+				pi := g.pts[a[ii]]
+				for jj := ii + 1; jj < len(a); jj++ {
+					if pi.Dist2(g.pts[a[jj]]) <= r2 {
+						fn(int(a[ii]), int(a[jj]))
+					}
+				}
+			}
+			x0 := clamp(cx-reach, 0, g.nx-1)
+			x1 := clamp(cx+reach, 0, g.nx-1)
+			// Same row, cells strictly to the right (one contiguous slice).
+			if cx < x1 {
+				g.crossPairs(a, g.idx[g.start[rowBase+cx+1]:g.start[rowBase+x1+1]], r2, fn)
+			}
+			// Rows below, full dx range (one contiguous slice per row).
+			for y := cy + 1; y <= cy+reach && y < g.ny; y++ {
+				rb := y * g.nx
+				g.crossPairs(a, g.idx[g.start[rb+x0]:g.start[rb+x1+1]], r2, fn)
+			}
+		}
+	}
+}
+
+// crossPairs emits all pairs (one point from a, one from b) within the
+// squared radius, normalized to increasing index order.
+func (g *Grid) crossPairs(a, b []int32, r2 float64, fn func(i, j int)) {
+	for _, i := range a {
+		pi := g.pts[i]
+		for _, j := range b {
+			if pi.Dist2(g.pts[j]) <= r2 {
+				u, v := int(i), int(j)
+				if u > v {
+					u, v = v, u
+				}
+				fn(u, v)
 			}
 		}
 	}
@@ -176,6 +283,16 @@ func (g *Grid) Pairs(r float64, fn func(i, j int)) {
 func absInt(x int) int {
 	if x < 0 {
 		return -x
+	}
+	return x
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
 	}
 	return x
 }

@@ -1,0 +1,23 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func TestCriticalRadiusDuplicateClusters(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1},
+		{X: 500, Y: 500}, {X: 500, Y: 500},
+		{X: 2000, Y: 2000}, {X: 2000, Y: 2000},
+	}
+	r := CriticalRadius(pts)
+	if !graph.StronglyConnected(UnitDiskGraph(pts, r)) {
+		t.Fatalf("UDG at critical radius %v not connected", r)
+	}
+	if r < 2121 || r > 2122 {
+		t.Fatalf("critical radius = %v, want ~2121.3", r)
+	}
+}

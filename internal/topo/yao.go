@@ -7,12 +7,18 @@
 // as comparison baselines: Yao graphs get strong connectivity with ≥ 6
 // cones but unbounded radius on adversarial instances, while the paper's
 // algorithms bound the radius at fixed antenna counts.
+//
+// All constructions are grid-backed: per-sensor cone minima come from
+// expanding-radius candidate queries (a cone is final once its best
+// candidate is provably closer than any unseen point), and the critical
+// radius is the Delaunay-Kruskal bottleneck — no all-pairs scans remain.
 package topo
 
 import (
 	"math"
 	"sort"
 
+	"repro/internal/delaunay"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/spatial"
@@ -20,35 +26,41 @@ import (
 
 // YaoGraph returns the Yao digraph with k cones per sensor, the cones of
 // sensor u starting at angle offset. Edge u→v iff v is the nearest sensor
-// to u within one of u's cones. The second return value is the largest
-// edge length used (the radius a k-antenna sensor would need to realize
-// the graph).
+// to u within one of u's cones (ties break to the lowest index). The
+// second return value is the largest edge length used (the radius a
+// k-antenna sensor would need to realize the graph).
 func YaoGraph(pts []geom.Point, k int, offset float64) (*graph.Digraph, float64) {
 	n := len(pts)
 	g := graph.NewDigraph(n)
 	if n == 0 || k < 1 {
 		return g, 0
 	}
-	var maxLen float64
+	grid := spatial.NewGrid(pts, 0)
+	span := searchSpan(pts)
 	cone := geom.TwoPi / float64(k)
+	var maxLen float64
+	best := make([]int, k)
+	bestD := make([]float64, k)
+	var buf []int
 	for u := 0; u < n; u++ {
-		best := make([]int, k)
-		bestD := make([]float64, k)
-		for i := range best {
-			best[i] = -1
-			bestD[i] = math.Inf(1)
-		}
-		for v := 0; v < n; v++ {
-			if v == u {
-				continue
+		for r := grid.CellSize(); ; r *= 2 {
+			for i := range best {
+				best[i] = -1
+				bestD[i] = math.Inf(1)
 			}
-			c := int(geom.CCW(offset, geom.Dir(pts[u], pts[v])) / cone)
-			if c >= k {
-				c = k - 1
+			buf = grid.Within(pts[u], r, buf[:0])
+			for _, v := range buf {
+				if v == u {
+					continue
+				}
+				c := coneOf(pts[u], pts[v], offset, cone, k)
+				if d := pts[u].Dist2(pts[v]); d < bestD[c] || (d == bestD[c] && v < best[c]) {
+					bestD[c] = d
+					best[c] = v
+				}
 			}
-			if d := pts[u].Dist2(pts[v]); d < bestD[c] {
-				bestD[c] = d
-				best[c] = v
+			if r > span || len(buf) == n || conesFinal(bestD, r*r) {
+				break // cones final, or the disk already held every point
 			}
 		}
 		for c, v := range best {
@@ -73,34 +85,43 @@ func ThetaGraph(pts []geom.Point, k int, offset float64) (*graph.Digraph, float6
 	if n == 0 || k < 1 {
 		return g, 0
 	}
-	var maxLen float64
+	grid := spatial.NewGrid(pts, 0)
+	span := searchSpan(pts)
 	cone := geom.TwoPi / float64(k)
+	// Any unseen point (distance > r) projects to more than r·cos(cone/2),
+	// so a cone is final once its best projection is below that — only
+	// meaningful when the cone half-angle is acute.
+	halfCos := math.Cos(cone / 2)
+	var maxLen float64
+	best := make([]int, k)
+	bestProj := make([]float64, k)
+	var buf []int
 	for u := 0; u < n; u++ {
-		best := make([]int, k)
-		bestProj := make([]float64, k)
-		for i := range best {
-			best[i] = -1
-			bestProj[i] = math.Inf(1)
-		}
-		for v := 0; v < n; v++ {
-			if v == u {
-				continue
+		for r := grid.CellSize(); ; r *= 2 {
+			for i := range best {
+				best[i] = -1
+				bestProj[i] = math.Inf(1)
 			}
-			theta := geom.CCW(offset, geom.Dir(pts[u], pts[v]))
-			c := int(theta / cone)
-			if c >= k {
-				c = k - 1
+			buf = grid.Within(pts[u], r, buf[:0])
+			for _, v := range buf {
+				if v == u {
+					continue
+				}
+				c := coneOf(pts[u], pts[v], offset, cone, k)
+				// Projection onto the cone bisector (unsigned deviation).
+				bisector := offset + (float64(c)+0.5)*cone
+				dev := geom.CCW(bisector, geom.Dir(pts[u], pts[v]))
+				if dev > math.Pi {
+					dev = geom.TwoPi - dev
+				}
+				proj := pts[u].Dist(pts[v]) * math.Cos(dev)
+				if proj < bestProj[c] || (proj == bestProj[c] && v < best[c]) {
+					bestProj[c] = proj
+					best[c] = v
+				}
 			}
-			// Projection onto the cone bisector (unsigned deviation).
-			bisector := offset + (float64(c)+0.5)*cone
-			dev := geom.CCW(bisector, geom.Dir(pts[u], pts[v]))
-			if dev > math.Pi {
-				dev = geom.TwoPi - dev
-			}
-			proj := pts[u].Dist(pts[v]) * math.Cos(dev)
-			if proj < bestProj[c] {
-				bestProj[c] = proj
-				best[c] = v
+			if r > span || len(buf) == n || (halfCos > 0 && conesFinal(bestProj, r*halfCos)) {
+				break // cones final, or the disk already held every point
 			}
 		}
 		for _, v := range best {
@@ -114,6 +135,35 @@ func ThetaGraph(pts []geom.Point, k int, offset float64) (*graph.Digraph, float6
 		}
 	}
 	return g, maxLen
+}
+
+// coneOf returns the cone index of v around u, offset by the cone fan's
+// start angle.
+func coneOf(u, v geom.Point, offset, cone float64, k int) int {
+	c := int(geom.CCW(offset, geom.Dir(u, v)) / cone)
+	if c >= k {
+		c = k - 1
+	}
+	return c
+}
+
+// conesFinal reports whether every cone holds a candidate at most bound
+// away (in the metric of the bests slice), making further radius doubling
+// unnecessary.
+func conesFinal(bests []float64, bound float64) bool {
+	for _, b := range bests {
+		if b > bound {
+			return false
+		}
+	}
+	return true
+}
+
+// searchSpan returns a radius guaranteed to cover every point from every
+// other: the bounding-box diagonal.
+func searchSpan(pts []geom.Point) float64 {
+	min, max := geom.BoundingBox(pts)
+	return math.Hypot(max.X-min.X, max.Y-min.Y)
 }
 
 // KNNGraph links each sensor to its k nearest neighbors (directed).
@@ -154,29 +204,79 @@ func UnitDiskGraph(pts []geom.Point, r float64) *graph.Digraph {
 }
 
 // CriticalRadius returns the smallest radius at which the unit-disk graph
-// over pts is (strongly) connected: the EMST bottleneck, computed here by
-// binary search over pairwise distances to stay independent of package
-// mst (it cross-checks l_max in tests).
+// over pts is (strongly) connected: the EMST bottleneck. It is computed as
+// the largest edge Kruskal accepts over the Delaunay edges (a superset of
+// the EMST) — O(n log n), and still independent of package mst, which it
+// cross-checks in tests.
 func CriticalRadius(pts []geom.Point) float64 {
 	n := len(pts)
 	if n <= 1 {
 		return 0
 	}
-	var dists []float64
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dists = append(dists, pts[i].Dist(pts[j]))
+	tri, err := delaunay.Build(pts)
+	if err != nil {
+		return densePrimBottleneck(pts)
+	}
+	es := tri.Edges()
+	type we struct {
+		d2   float64
+		u, v int32
+	}
+	cand := make([]we, len(es))
+	for i, e := range es {
+		cand[i] = we{pts[e[0]].Dist2(pts[e[1]]), int32(e[0]), int32(e[1])}
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a].d2 < cand[b].d2 })
+	dsu := graph.NewDSU(n)
+	var bottleneck float64
+	for _, c := range cand {
+		if dsu.Union(int(c.u), int(c.v)) {
+			if c.d2 > bottleneck {
+				bottleneck = c.d2
+			}
+			if dsu.Sets() == 1 {
+				break
+			}
 		}
 	}
-	sort.Float64s(dists)
-	lo, hi := 0, len(dists)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if graph.StronglyConnected(UnitDiskGraph(pts, dists[mid])) {
-			hi = mid
-		} else {
-			lo = mid + 1
+	if dsu.Sets() != 1 {
+		// Degenerate triangulation (e.g. clusters of coincident points
+		// attached to each other): the Delaunay edge set does not span, so
+		// fall back to the exact dense bottleneck.
+		return densePrimBottleneck(pts)
+	}
+	return math.Sqrt(bottleneck)
+}
+
+// densePrimBottleneck is the O(n²) EMST bottleneck, used only when the
+// Delaunay edge graph degenerates.
+func densePrimBottleneck(pts []geom.Point) float64 {
+	n := len(pts)
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	var bottleneck float64
+	for iter := 0; iter < n; iter++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (best < 0 || dist[v] < dist[best]) {
+				best = v
+			}
+		}
+		inTree[best] = true
+		if dist[best] > bottleneck {
+			bottleneck = dist[best]
+		}
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := pts[best].Dist2(pts[v]); d < dist[v] {
+					dist[v] = d
+				}
+			}
 		}
 	}
-	return dists[lo]
+	return math.Sqrt(bottleneck)
 }
