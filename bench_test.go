@@ -53,6 +53,37 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkOrienter measures every registered portfolio orienter at its
+// representative budget — one sub-benchmark per algorithm, each verified
+// once for strong connectivity so a silently broken orienter cannot post
+// numbers.
+func BenchmarkOrienter(b *testing.B) {
+	pts := benchPoints(2000)
+	for _, o := range core.Orienters() {
+		info := o.Info()
+		b.Run(info.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				asg, res, err := o.Orient(pts, info.RepK, info.RepPhi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					b.Fatalf("violations: %s", res.Violations[0])
+				}
+				if i == 0 {
+					// Untimed, so numbers stay comparable with the
+					// cmd/benchjson entries of the same name.
+					b.StopTimer()
+					if !verify.CheckStrong(asg) {
+						b.Fatal("not strongly connected")
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOrientScaling measures the main theorem's cost across n.
 func BenchmarkOrientScaling(b *testing.B) {
 	for _, n := range []int{100, 400, 1600, 6400} {

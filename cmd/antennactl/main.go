@@ -47,6 +47,8 @@ func main() {
 		err = cmdOrient(os.Args[2:], false)
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
+	case "algos":
+		err = cmdAlgos()
 	default:
 		usage()
 		os.Exit(2)
@@ -58,12 +60,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate|algos> [flags]
   gen      -workload uniform|clusters|grid|annulus|stars|line -n N -seed S [-o file.csv]
-  orient   -in file.csv -k K -phi PHI [-svg out.svg] [-shrink]
-  verify   -in file.csv -k K -phi PHI
+  orient   -in file.csv -k K -phi PHI [-algo NAME] [-svg out.svg] [-shrink]
+  verify   -in file.csv -k K -phi PHI [-algo NAME]
   render   -in file.csv -k K -phi PHI -svg out.svg
-  simulate -in file.csv -k K -phi PHI -sim broadcast|route|fail [-src N] [-fails N]`)
+  simulate -in file.csv -k K -phi PHI -sim broadcast|route|fail [-src N] [-fails N]
+  algos    list the registered orienters, their regions and guarantees`)
 }
 
 // parsePhi accepts plain radians or "Xpi" multiples.
@@ -128,6 +131,7 @@ func cmdOrient(args []string, verifyOnly bool) error {
 	phiStr := fs.String("phi", "1pi", "total spread budget (radians, or e.g. 0.8pi)")
 	svg := fs.String("svg", "", "write an SVG rendering to this path")
 	shrink := fs.Bool("shrink", false, "shrink antenna radii to the farthest covered sensor")
+	algo := fs.String("algo", "", "orienter to run (default table1); see `antennactl algos`")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,18 +143,39 @@ func cmdOrient(args []string, verifyOnly bool) error {
 	if err != nil {
 		return err
 	}
-	asg, res, err := core.Orient(pts, *k, phi)
+	name := *algo
+	if name == "" {
+		name = core.DefaultOrienterName
+	}
+	orienter, ok := core.LookupOrienter(name)
+	if !ok {
+		return fmt.Errorf("unknown orienter %q (have %s)", name, strings.Join(core.OrienterNames(), ", "))
+	}
+	if !orienter.Supports(*k, phi) {
+		return fmt.Errorf("orienter %q does not support k=%d phi=%.4f (region: %s)",
+			name, *k, phi, orienter.Info().Region)
+	}
+	asg, res, err := orienter.Orient(pts, *k, phi)
 	if err != nil {
 		return err
 	}
 	if *shrink {
 		asg.ShrinkRadii()
 	}
-	rep := verify.Check(asg, verify.Budgets{K: *k, Phi: phi, RadiusBound: res.Guarantee})
+	// Budgets come from the a-priori guarantee, never from the
+	// construction's self-report.
+	guar, _ := orienter.Guarantee(*k, phi)
+	rep := verify.Check(asg, experiments.GuaranteeBudgets(guar))
 	fmt.Printf("algorithm   %s\n", res.Algorithm)
+	fmt.Printf("guarantee   %s connectivity, radius <= %.4f x l_max, <= %d antennae\n",
+		guar.Conn, guar.Stretch, guar.Antennae)
 	fmt.Printf("sensors     %d\n", len(pts))
 	fmt.Printf("l_max       %.6f\n", res.LMax)
-	fmt.Printf("bound       %.6f x l_max (%s)\n", res.Bound, sourceOf(*k, phi))
+	src := orienter.Info().Source
+	if name == core.DefaultOrienterName {
+		src = sourceOf(*k, phi)
+	}
+	fmt.Printf("bound       %.6f x l_max (%s)\n", res.Bound, src)
 	fmt.Printf("radius used %.6f (ratio %.6f)\n", res.RadiusUsed, res.RadiusRatio())
 	fmt.Printf("spread used %.6f of budget %.6f\n", res.SpreadUsed, phi)
 	fmt.Printf("verified    %v (%s)\n", rep.OK(), rep.String())
@@ -184,4 +209,21 @@ func cmdOrient(args []string, verifyOnly bool) error {
 func sourceOf(k int, phi float64) string {
 	_, src := core.Bound(k, phi)
 	return src
+}
+
+// cmdAlgos prints the registered orienter portfolio: one row per
+// algorithm with its supported region and the guarantee at its
+// representative budget.
+func cmdAlgos() error {
+	fmt.Printf("%-8s %-24s %-10s %-22s %s\n", "name", "region", "conn", "guarantee@rep", "summary")
+	for _, o := range core.Orienters() {
+		info := o.Info()
+		g, ok := o.Guarantee(info.RepK, info.RepPhi)
+		if !ok {
+			return fmt.Errorf("orienter %q rejects its representative budget", info.Name)
+		}
+		fmt.Printf("%-8s %-24s %-10s k=%d stretch<=%-7.4f %s (%s)\n",
+			info.Name, info.Region, g.Conn.String(), info.RepK, g.Stretch, info.Summary, info.Source)
+	}
+	return nil
 }

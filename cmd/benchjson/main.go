@@ -114,6 +114,24 @@ func main() {
 			},
 		})
 	}
+	// One bench per registered orienter at its representative budget: the
+	// portfolio's perf trajectory.
+	for _, o := range core.Orienters() {
+		o := o
+		info := o.Info()
+		benches = append(benches, bench{
+			fmt.Sprintf("BenchmarkOrienter/%s/n=2000", info.Name),
+			func(b *testing.B) {
+				pts := benchPoints(2000)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := o.Orient(pts, info.RepK, info.RepPhi); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
 
 	base := Baseline{
 		GoOS:      runtime.GOOS,

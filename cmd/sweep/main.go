@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sweep -mode phi2|k|btsp|exact|interference|energy|cconn|topo [-seeds N] [-steps N] [-csv] [-workers N]
+//	sweep -mode phi2|k|portfolio|btsp|exact|interference|energy|cconn|topo [-seeds N] [-steps N] [-csv] [-workers N] [-algo NAME]
 package main
 
 import (
@@ -13,19 +13,22 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/render"
 )
 
 func main() {
-	mode := flag.String("mode", "phi2", "phi2|k|btsp|exact|interference|energy|cconn|topo")
+	mode := flag.String("mode", "phi2", "phi2|k|portfolio|btsp|exact|interference|energy|cconn|topo")
 	seeds := flag.Int("seeds", 0, "instances per point; 0 = default")
 	steps := flag.Int("steps", 12, "sweep steps (phi2 mode)")
 	n := flag.Int("n", 0, "instance size for exact/interference modes")
 	csvOut := flag.Bool("csv", false, "emit CSV for series output")
 	svgOut := flag.String("svg", "", "also render the series as an SVG chart (phi2/k modes)")
 	workers := flag.Int("workers", 0, "parallel instances; 0 = GOMAXPROCS")
+	algo := flag.String("algo", "", "orienter for phi2/k sweeps, filter for portfolio mode; one of "+strings.Join(core.OrienterNames(), "|"))
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -33,6 +36,13 @@ func main() {
 		cfg.Seeds = *seeds
 	}
 	cfg.Workers = *workers
+	if *algo != "" {
+		if _, ok := core.LookupOrienter(*algo); !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown orienter %q (have %s)\n", *algo, strings.Join(core.OrienterNames(), ", "))
+			os.Exit(2)
+		}
+		cfg.Algo = *algo
+	}
 	var err error
 	switch *mode {
 	case "phi2":
@@ -57,6 +67,8 @@ func main() {
 		if err == nil && *svgOut != "" {
 			err = renderSweepSVG(*svgOut, "E-S2: radius vs antenna count (spread 0)", "k", pts)
 		}
+	case "portfolio":
+		err = experiments.WritePortfolio(os.Stdout, experiments.RunPortfolio(cfg))
 	case "btsp":
 		err = experiments.WriteBTSP(os.Stdout, experiments.RunBTSP(cfg, nil))
 	case "exact":

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	table1 [-seeds N] [-sizes 60,150,400] [-csv] [-full] [-workers N]
+//	       [-algo table1|bats|cover|k1|tour|tworay] [-portfolio]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -24,6 +26,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	full := flag.Bool("full", false, "also run E-F1, E-F2, E-A1 and case coverage")
 	workers := flag.Int("workers", 0, "parallel instances; 0 = GOMAXPROCS")
+	algo := flag.String("algo", "", "orienter to run (default table1); one of "+strings.Join(core.OrienterNames(), "|"))
+	portfolio := flag.Bool("portfolio", false, "also run the cross-orienter portfolio comparison (-algo filters it, like sweep -mode portfolio)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -31,6 +35,13 @@ func main() {
 		cfg.Seeds = *seeds
 	}
 	cfg.Workers = *workers
+	if *algo != "" {
+		if _, ok := core.LookupOrienter(*algo); !ok {
+			fmt.Fprintf(os.Stderr, "table1: unknown orienter %q (have %s)\n", *algo, strings.Join(core.OrienterNames(), ", "))
+			os.Exit(2)
+		}
+		cfg.Algo = *algo
+	}
 	if *sizes != "" {
 		cfg.Sizes = nil
 		for _, s := range strings.Split(*sizes, ",") {
@@ -78,6 +89,13 @@ func main() {
 	fmt.Printf("\n%d/%d rows fully verified (strong connectivity + budgets on every instance)\n",
 		len(results)-bad, len(results))
 
+	if *portfolio {
+		fmt.Println()
+		if err := experiments.WritePortfolio(os.Stdout, experiments.RunPortfolio(cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+	}
 	if *full {
 		fmt.Println()
 		if err := experiments.WriteLemma1(os.Stdout, experiments.RunLemma1()); err != nil {

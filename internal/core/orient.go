@@ -29,28 +29,10 @@ func Orient(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result,
 	if phi < 0 || math.IsNaN(phi) {
 		return nil, nil, fmt.Errorf("core: invalid spread budget %v", phi)
 	}
-	eps := geom.AngleEps
-	var (
-		asg *antenna.Assignment
-		res *Result
-	)
-	switch {
-	case k >= 5 || phi >= theorem2Threshold(k)-eps:
-		asg, res = OrientFullCover(pts, k, phi, false)
-	case k == 4:
-		asg, res = OrientFourAntennae(pts, phi)
-	case k == 3:
-		asg, res = OrientThreeAntennae(pts, phi)
-	case k == 2 && phi >= Phi2Min-eps:
-		asg, res = OrientTwoAntennae(pts, phi)
-	case k == 1 && phi >= math.Pi-eps:
-		asg, res = OrientOneAntenna(pts, phi)
-	default:
-		// φ too small for the inductions: the bottleneck-tour rows.
-		tour, _ := BestTour(pts)
-		asg, res = OrientTour(pts, tour, k, phi)
-		res.Guarantee = 3 // Sekanina fallback (DESIGN.md §6)
-	}
+	// The branch table couples each construction with the guarantee it
+	// provides (see dispatchBranches); dispatchGuarantee reads the same
+	// table, so claim and construction cannot diverge.
+	asg, res := dispatchBranchFor(k, phi).run(pts, k, phi)
 	return asg, res, nil
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll produces the exact byte stream the table1 and sweep commands
+// print for a config: the Table-1 reproduction, both sweeps, and the
+// portfolio comparison.
+func renderAll(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, RunTable1(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweep(&buf, "phi2", "phi2", PhiSweep(cfg, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweep(&buf, "k", "k", KSweep(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePortfolio(&buf, RunPortfolio(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkerCountInvariance is the determinism golden test guarding the
+// parallel pipeline: the rendered output of every experiment must be
+// byte-identical between -workers=1 and -workers=8 on a fixed seed, for
+// the default orienter and for each new PR-2 orienter.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, algo := range []string{"", "bats", "tworay"} {
+		cfg := Config{
+			Seeds:     2,
+			Sizes:     []int{30, 70},
+			Workloads: []string{"uniform", "clusters"},
+			BaseSeed:  777,
+			Algo:      algo,
+		}
+		serial, parallel := cfg, cfg
+		serial.Workers = 1
+		parallel.Workers = 8
+		a := renderAll(t, serial)
+		b := renderAll(t, parallel)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("algo %q: output differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", algo, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("algo %q: empty output", algo)
+		}
+	}
+}

@@ -33,11 +33,17 @@ type sweepInstance struct {
 	ratio   float64
 }
 
-// runSweepInstance orients one instance for a sweep sample.
+// runSweepInstance orients one instance for a sweep sample with the
+// configured orienter; budgets outside its region yield a skipped
+// instance (ran = false).
 func runSweepInstance(cfg Config, seed int64, s, k int, phi float64) sweepInstance {
+	orienter := cfg.orienter()
+	if !orienter.Supports(k, phi) {
+		return sweepInstance{}
+	}
 	rng := rand.New(rand.NewSource(seed))
 	pts := MakeWorkload(cfg.Workloads[s%len(cfg.Workloads)], rng, cfg.Sizes[s%len(cfg.Sizes)])
-	asg, res, err := core.Orient(pts, k, phi)
+	asg, res, err := orienter.Orient(pts, k, phi)
 	if err != nil {
 		return sweepInstance{}
 	}

@@ -18,7 +18,8 @@ type Config struct {
 	Sizes     []int // instance sizes cycled across seeds
 	Workloads []string
 	BaseSeed  int64
-	Workers   int // parallel instances; ≤ 0 selects GOMAXPROCS
+	Workers   int    // parallel instances; ≤ 0 selects GOMAXPROCS
+	Algo      string // registered orienter to run; "" selects core.DefaultOrienterName
 }
 
 // DefaultConfig is the scale used by cmd/table1 and the committed
@@ -47,6 +48,21 @@ func (c Config) orDefault() Config {
 		c.BaseSeed = def.BaseSeed
 	}
 	return c
+}
+
+// orienter resolves the configured algorithm. Commands validate the name
+// before building a Config, so an unknown name here is a programming
+// error.
+func (c Config) orienter() core.Orienter {
+	name := c.Algo
+	if name == "" {
+		name = core.DefaultOrienterName
+	}
+	o, ok := core.LookupOrienter(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown orienter %q", name))
+	}
+	return o
 }
 
 // MakeWorkload generates the named deployment.
@@ -90,7 +106,14 @@ type RowResult struct {
 // results are identical at every parallelism level.
 func RunTable1(cfg Config) []RowResult {
 	cfg = cfg.orDefault()
-	rows := core.Table1Rows()
+	orienter := cfg.orienter()
+	rows := make([]core.RowSpec, 0, 14)
+	for _, row := range core.Table1Rows() {
+		// A non-default orienter runs only the rows inside its region.
+		if orienter.Supports(row.K, row.Phi) {
+			rows = append(rows, row)
+		}
+	}
 
 	type instSpec struct {
 		row  int
@@ -128,16 +151,13 @@ func RunTable1(cfg Config) []RowResult {
 		row := rows[sp.row]
 		rng := rand.New(rand.NewSource(sp.seed))
 		pts := MakeWorkload(sp.wl, rng, sp.n)
-		asg, res, err := core.Orient(pts, row.K, row.Phi)
+		asg, res, err := orienter.Orient(pts, row.K, row.Phi)
 		if err != nil {
 			results[i] = instResult{orientErr: true}
 			return
 		}
-		rep := verify.Check(asg, verify.Budgets{
-			K:           row.K,
-			Phi:         row.Phi,
-			RadiusBound: res.Guarantee,
-		})
+		guar, _ := orienter.Guarantee(row.K, row.Phi)
+		rep := verify.Check(asg, GuaranteeBudgets(guar))
 		results[i] = instResult{
 			guarantee:  res.Guarantee,
 			violations: len(res.Violations),

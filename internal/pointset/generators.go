@@ -186,6 +186,16 @@ func Rescale(pts []geom.Point, s float64) []geom.Point {
 	return out
 }
 
+// Rotate rotates every point by theta radians about the origin.
+func Rotate(pts []geom.Point, theta float64) []geom.Point {
+	sin, cos := math.Sincos(theta)
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point{X: p.X*cos - p.Y*sin, Y: p.X*sin + p.Y*cos}
+	}
+	return out
+}
+
 // Translate shifts every point by (dx, dy).
 func Translate(pts []geom.Point, dx, dy float64) []geom.Point {
 	out := make([]geom.Point, len(pts))

@@ -1,0 +1,119 @@
+package verify_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/pointset"
+	"repro/internal/verify"
+)
+
+// metamorphic transforms: similarity maps of the plane. Orientation
+// algorithms consume only distances and angles, so their results must be
+// invariant under each of these up to the uniform scale factor.
+var metamorphicTransforms = []struct {
+	name  string
+	scale float64
+	apply func([]geom.Point) []geom.Point
+}{
+	{"translate", 1, func(p []geom.Point) []geom.Point {
+		return pointset.Translate(p, 31.7, -12.3)
+	}},
+	{"rotate", 1, func(p []geom.Point) []geom.Point {
+		return pointset.Rotate(p, 0.77)
+	}},
+	{"scale", 3.25, func(p []geom.Point) []geom.Point {
+		return pointset.Rescale(p, 3.25)
+	}},
+	{"similarity", 0.4, func(p []geom.Point) []geom.Point {
+		return pointset.Translate(pointset.Rotate(pointset.Rescale(p, 0.4), -1.9), -7.1, 44.0)
+	}},
+}
+
+// metamorphicFamilies are the generator families the invariance is
+// checked across (satellite requirement: ≥ 4).
+func metamorphicFamilies(seed int64, n int) map[string][]geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	side := 2
+	for side*side < n {
+		side++
+	}
+	return map[string][]geom.Point{
+		"uniform":  pointset.Uniform(rng, n, 11),
+		"clusters": pointset.Clusters(rng, n, 4, 13, 0.5),
+		"line":     pointset.Line(rng, n, 1, 0.3),
+		"grid":     pointset.PerturbedGrid(rng, side, side, 1, 0.25),
+		"ring":     pointset.Ring(rng, n, 8, 0.4),
+	}
+}
+
+type orientationFingerprint struct {
+	verified   bool
+	maxAnt     int
+	spreadUsed float64
+	radiusUsed float64
+}
+
+func fingerprint(asg *antenna.Assignment, g core.Guarantee, ok bool) orientationFingerprint {
+	rep := verify.Check(asg, experiments.GuaranteeBudgets(g))
+	return orientationFingerprint{
+		verified:   ok && rep.OK(),
+		maxAnt:     asg.MaxAntennas(),
+		spreadUsed: asg.MaxSpread(),
+		radiusUsed: asg.MaxRadius(),
+	}
+}
+
+// TestMetamorphicInvariance checks that every registered orienter's
+// result — feasibility under the declared guarantee, antenna count,
+// spread, and radius up to the scale factor — is unchanged when the
+// input point set is translated, rotated, and uniformly scaled.
+func TestMetamorphicInvariance(t *testing.T) {
+	const n = 120
+	const tol = 1e-6
+	for famName, pts := range metamorphicFamilies(2009, n) {
+		for _, o := range core.Orienters() {
+			info := o.Info()
+			g, ok := o.Guarantee(info.RepK, info.RepPhi)
+			if !ok {
+				t.Fatalf("%s: representative budget unsupported", info.Name)
+			}
+			baseAsg, baseRes, err := o.Orient(pts, info.RepK, info.RepPhi)
+			if err != nil {
+				t.Fatalf("%s %s: %v", info.Name, famName, err)
+			}
+			base := fingerprint(baseAsg, g, len(baseRes.Violations) == 0)
+			if !base.verified {
+				t.Fatalf("%s %s: base orientation failed verification", info.Name, famName)
+			}
+			for _, tr := range metamorphicTransforms {
+				asg, res, err := o.Orient(tr.apply(pts), info.RepK, info.RepPhi)
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", info.Name, famName, tr.name, err)
+				}
+				got := fingerprint(asg, g, len(res.Violations) == 0)
+				if !got.verified {
+					t.Errorf("%s %s: feasibility lost under %s", info.Name, famName, tr.name)
+				}
+				if got.maxAnt != base.maxAnt {
+					t.Errorf("%s %s: antenna count %d -> %d under %s",
+						info.Name, famName, base.maxAnt, got.maxAnt, tr.name)
+				}
+				if math.Abs(got.spreadUsed-base.spreadUsed) > tol {
+					t.Errorf("%s %s: spread %.9f -> %.9f under %s",
+						info.Name, famName, base.spreadUsed, got.spreadUsed, tr.name)
+				}
+				wantRadius := base.radiusUsed * tr.scale
+				if math.Abs(got.radiusUsed-wantRadius) > tol*math.Max(1, wantRadius) {
+					t.Errorf("%s %s: radius %.9f -> %.9f (want %.9f) under %s",
+						info.Name, famName, base.radiusUsed, got.radiusUsed, wantRadius, tr.name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package verify_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/pointset"
+	"repro/internal/verify"
+)
+
+// harnessFamilies are the acceptance workloads: uniform, clustered,
+// exactly collinear, and an exact lattice.
+var harnessFamilies = []string{"uniform", "clustered", "collinear", "lattice"}
+
+func familyPoints(family string, seed int64, n int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	switch family {
+	case "clustered":
+		return pointset.Clusters(rng, n, 5, 14, 0.5)
+	case "collinear":
+		return pointset.Line(rng, n, 1, 0)
+	case "lattice":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		return pointset.Grid(side, side, 1)
+	default:
+		return pointset.Uniform(rng, n, math.Sqrt(float64(n))*1.2)
+	}
+}
+
+// TestPortfolioCrossAlgorithmHarness is the source of truth for the
+// orienter portfolio: every registered orienter runs at every supported
+// sample budget on every acceptance workload, and the independent
+// verifier must confirm the orienter's own declared guarantee —
+// connectivity kind, antenna count, spread, and radius stretch. Strong
+// c-connectivity claims are audited on the small instances (the audit is
+// exponential in c).
+func TestPortfolioCrossAlgorithmHarness(t *testing.T) {
+	for _, o := range core.Orienters() {
+		info := o.Info()
+		for _, b := range core.PortfolioBudgets() {
+			g, ok := o.Guarantee(b.K, b.Phi)
+			if !ok {
+				continue
+			}
+			for _, fam := range harnessFamilies {
+				for _, n := range []int{60, 300} {
+					pts := familyPoints(fam, int64(31*n)+int64(b.K), n)
+					asg, res, err := o.Orient(pts, b.K, b.Phi)
+					if err != nil {
+						t.Fatalf("%s k=%d phi=%.3f %s n=%d: %v", info.Name, b.K, b.Phi, fam, n, err)
+					}
+					if len(res.Violations) > 0 {
+						t.Fatalf("%s k=%d phi=%.3f %s n=%d: self-reported violations: %v",
+							info.Name, b.K, b.Phi, fam, n, res.Violations)
+					}
+					if rep := verify.Check(asg, experiments.GuaranteeBudgets(g)); !rep.OK() {
+						t.Fatalf("%s k=%d phi=%.3f %s n=%d: verification failed:\n%s",
+							info.Name, b.K, b.Phi, fam, n, rep)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNewOrientersAtScale runs the two PR-2 orienters on the acceptance
+// workloads at n = 10000 and verifies the declared guarantees end to
+// end. The grid-backed induced digraph keeps this tractable.
+func TestNewOrientersAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-point harness skipped in -short mode")
+	}
+	specs := []struct {
+		algo string
+		k    int
+		phi  float64
+	}{
+		{"bats", 1, math.Pi},
+		{"tworay", 2, 0},
+	}
+	for _, fam := range harnessFamilies {
+		pts := familyPoints(fam, 97, 10000)
+		for _, sp := range specs {
+			o, ok := core.LookupOrienter(sp.algo)
+			if !ok {
+				t.Fatalf("orienter %q not registered", sp.algo)
+			}
+			g, ok := o.Guarantee(sp.k, sp.phi)
+			if !ok {
+				t.Fatalf("%s does not support k=%d phi=%.3f", sp.algo, sp.k, sp.phi)
+			}
+			asg, res, err := o.Orient(pts, sp.k, sp.phi)
+			if err != nil {
+				t.Fatalf("%s %s: %v", sp.algo, fam, err)
+			}
+			if len(res.Violations) > 0 {
+				t.Fatalf("%s %s: self-reported violations: %v", sp.algo, fam, res.Violations[:min(3, len(res.Violations))])
+			}
+			if rep := verify.Check(asg, experiments.GuaranteeBudgets(g)); !rep.OK() {
+				t.Fatalf("%s %s n=10000: verification failed:\n%s", sp.algo, fam, rep)
+			}
+		}
+	}
+}

@@ -14,12 +14,15 @@ import (
 	"repro/internal/mst"
 )
 
-// Budgets are the claims to verify.
+// Budgets are the claims to verify. They mirror core.Guarantee without
+// importing it: the verifier must stay independent of the constructions
+// it audits.
 type Budgets struct {
 	K           int     // max antennae per sensor
 	Phi         float64 // max total spread per sensor (radians)
 	RadiusBound float64 // max antenna radius in units of l_max (≤ 0 disables the check)
-	StrongC     int     // strong c-connectivity to check (≤ 1 means plain)
+	StrongC     int     // strong c-connectivity to audit (≤ 1 means plain); failure is an error
+	Symmetric   bool    // require the mutual (bidirectional) edges alone to connect the network
 }
 
 // Report is the outcome of verification.
@@ -34,6 +37,7 @@ type Report struct {
 	RadiusRatio float64 // MaxRadius / LMax
 	Edges       int
 	CConnected  bool // only meaningful when Budgets.StrongC > 1
+	Symmetric   bool // only meaningful when Budgets.Symmetric is set
 	Errors      []string
 }
 
@@ -101,8 +105,37 @@ func Check(asg *antenna.Assignment, b Budgets) *Report {
 	}
 	if b.StrongC > 1 {
 		rep.CConnected = graph.StronglyCConnected(g, b.StrongC)
+		if !rep.CConnected {
+			rep.errorf("induced digraph is not strongly %d-connected", b.StrongC)
+		}
+	}
+	if b.Symmetric {
+		rep.Symmetric = SymmetricConnected(g)
+		if !rep.Symmetric {
+			rep.errorf("mutual (bidirectional) edges do not connect the network")
+		}
 	}
 	return rep
+}
+
+// SymmetricConnected reports whether the subgraph of mutual edges (u→v
+// present together with v→u) connects every vertex — the property
+// bounded-angle-tree orientations promise, strictly stronger than strong
+// connectivity.
+func SymmetricConnected(g *graph.Digraph) bool {
+	n := g.N
+	if n <= 1 {
+		return true
+	}
+	dsu := graph.NewDSU(n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Adj[u] {
+			if u < v && g.HasEdge(v, u) {
+				dsu.Union(u, v)
+			}
+		}
+	}
+	return dsu.Sets() == 1
 }
 
 // CheckStrong is the minimal check: the induced digraph is strongly
