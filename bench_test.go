@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,8 +14,10 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/radio"
+	"repro/internal/service"
 	"repro/internal/verify"
 )
 
@@ -251,6 +254,67 @@ func BenchmarkInterference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		radio.Interference(asg)
+	}
+}
+
+// BenchmarkPlanner measures planner overhead: one a-priori selection
+// across the full portfolio grid per iteration — the cost the engine
+// adds on a cache miss before any orientation work.
+func BenchmarkPlanner(b *testing.B) {
+	var p plan.Planner
+	budgets := core.PortfolioBudgets()
+	objs := []plan.Objective{
+		{Conn: core.ConnStrong, Minimize: plan.MinStretch},
+		{Conn: core.ConnSymmetric, Minimize: plan.MinStretch},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, obj := range objs {
+			for _, kp := range budgets {
+				_, _ = p.Plan(obj, kp.K, kp.Phi)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineCacheHit measures the engine's hot path: a repeated
+// request served from the content-addressed cache (pointset digest +
+// LRU lookup, no orientation).
+func BenchmarkEngineCacheHit(b *testing.B) {
+	eng := service.NewEngine(service.Options{})
+	pts := benchPoints(2000)
+	req := service.Request{Pts: pts, K: 2, Phi: math.Pi, Algo: "table1"}
+	if _, _, err := eng.Solve(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := eng.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkEngineSolveMiss measures the full engine path on a cache
+// miss: digest, plan, orient through OrientBatch, verify, cache fill.
+func BenchmarkEngineSolveMiss(b *testing.B) {
+	pts := benchPoints(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := service.NewEngine(service.Options{}) // fresh cache each round
+		b.StartTimer()
+		_, hit, err := eng.Solve(context.Background(), service.Request{Pts: pts, K: 2, Phi: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hit {
+			b.Fatal("unexpected cache hit")
+		}
 	}
 }
 

@@ -13,21 +13,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/mst"
+	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/render"
-	"repro/internal/verify"
+	"repro/internal/service"
 )
 
 func main() {
@@ -62,8 +65,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate|algos> [flags]
   gen      -workload uniform|clusters|grid|annulus|stars|line -n N -seed S [-o file.csv]
-  orient   -in file.csv -k K -phi PHI [-algo NAME] [-svg out.svg] [-shrink]
-  verify   -in file.csv -k K -phi PHI [-algo NAME]
+  orient   -in file.csv -k K -phi PHI [-algo NAME | -auto [-conn strong|symmetric]
+           [-minimize stretch|antennae|spread] [-race 100ms]] [-svg out.svg]
+           [-shrink] [-artifact out.json|out.bin]
+  verify   -in file.csv -k K -phi PHI [-algo NAME | -auto ...]
   render   -in file.csv -k K -phi PHI -svg out.svg
   simulate -in file.csv -k K -phi PHI -sim broadcast|route|fail [-src N] [-fails N]
   algos    list the registered orienters, their regions and guarantees`)
@@ -99,7 +104,7 @@ func cmdGen(args []string) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	pts := experiments.MakeWorkload(*workload, rng, *n)
+	pts := pointset.Workload(*workload, rng, *n)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -132,6 +137,11 @@ func cmdOrient(args []string, verifyOnly bool) error {
 	svg := fs.String("svg", "", "write an SVG rendering to this path")
 	shrink := fs.Bool("shrink", false, "shrink antenna radii to the farthest covered sensor")
 	algo := fs.String("algo", "", "orienter to run (default table1); see `antennactl algos`")
+	auto := fs.Bool("auto", false, "let the planner pick the orienter for -conn/-minimize")
+	conn := fs.String("conn", "strong", "with -auto: required connectivity (strong|symmetric)")
+	minimize := fs.String("minimize", "stretch", "with -auto: quantity to minimize (stretch|antennae|spread)")
+	race := fs.Duration("race", 0, "with -auto: race the shortlist on the instance under this deadline")
+	artifact := fs.String("artifact", "", "write the solution artifact to this path (.json or .bin by extension)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,60 +153,110 @@ func cmdOrient(args []string, verifyOnly bool) error {
 	if err != nil {
 		return err
 	}
-	name := *algo
-	if name == "" {
-		name = core.DefaultOrienterName
+
+	// Build the engine request: an explicit orienter, or an objective
+	// for the planner. Everything below runs through the same
+	// plan→solution engine path as cmd/antennad.
+	req := service.Request{Pts: pts, K: *k, Phi: phi}
+	if *auto {
+		if *algo != "" {
+			return fmt.Errorf("-auto and -algo are mutually exclusive")
+		}
+		obj := plan.Objective{Deadline: *race}
+		if obj.Conn, err = plan.ParseConn(*conn); err != nil {
+			return err
+		}
+		if obj.Minimize, err = plan.ParseMinimize(*minimize); err != nil {
+			return err
+		}
+		req.Objective = obj
+	} else {
+		name := *algo
+		if name == "" {
+			name = core.DefaultOrienterName
+		}
+		if _, ok := core.LookupOrienter(name); !ok {
+			return fmt.Errorf("unknown orienter %q (have %s)", name, strings.Join(core.OrienterNames(), ", "))
+		}
+		req.Algo = name
 	}
-	orienter, ok := core.LookupOrienter(name)
-	if !ok {
-		return fmt.Errorf("unknown orienter %q (have %s)", name, strings.Join(core.OrienterNames(), ", "))
-	}
-	if !orienter.Supports(*k, phi) {
-		return fmt.Errorf("orienter %q does not support k=%d phi=%.4f (region: %s)",
-			name, *k, phi, orienter.Info().Region)
-	}
-	asg, res, err := orienter.Orient(pts, *k, phi)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	sol, cached, err := service.Shared().Solve(ctx, req)
 	if err != nil {
 		return err
 	}
-	if *shrink {
-		asg.ShrinkRadii()
+	fmt.Printf("algorithm   %s", sol.Algo)
+	if sol.Construction != "" && sol.Construction != sol.Algo {
+		fmt.Printf(" (%s)", sol.Construction)
 	}
-	// Budgets come from the a-priori guarantee, never from the
-	// construction's self-report.
-	guar, _ := orienter.Guarantee(*k, phi)
-	rep := verify.Check(asg, experiments.GuaranteeBudgets(guar))
-	fmt.Printf("algorithm   %s\n", res.Algorithm)
+	if sol.Planned {
+		fmt.Printf("  [planned: %s]", sol.Objective)
+	}
+	if cached {
+		fmt.Printf("  [cache hit]")
+	}
+	fmt.Println()
 	fmt.Printf("guarantee   %s connectivity, radius <= %.4f x l_max, <= %d antennae\n",
-		guar.Conn, guar.Stretch, guar.Antennae)
-	fmt.Printf("sensors     %d\n", len(pts))
-	fmt.Printf("l_max       %.6f\n", res.LMax)
-	src := orienter.Info().Source
-	if name == core.DefaultOrienterName {
-		src = sourceOf(*k, phi)
+		sol.Guarantee.Conn, sol.Guarantee.Stretch, sol.Guarantee.Antennae)
+	fmt.Printf("sensors     %d\n", sol.N)
+	fmt.Printf("l_max       %.6f\n", sol.LMax)
+	src := sourceOf(*k, phi)
+	if sol.Algo != core.DefaultOrienterName {
+		if o, ok := core.LookupOrienter(sol.Algo); ok {
+			src = o.Info().Source
+		}
 	}
-	fmt.Printf("bound       %.6f x l_max (%s)\n", res.Bound, src)
-	fmt.Printf("radius used %.6f (ratio %.6f)\n", res.RadiusUsed, res.RadiusRatio())
-	fmt.Printf("spread used %.6f of budget %.6f\n", res.SpreadUsed, phi)
-	fmt.Printf("verified    %v (%s)\n", rep.OK(), rep.String())
-	if len(res.Violations) > 0 {
-		fmt.Printf("violations  %d (first: %s)\n", len(res.Violations), res.Violations[0])
+	fmt.Printf("bound       %.6f x l_max (%s)\n", sol.Bound, src)
+	fmt.Printf("radius used %.6f (ratio %.6f)\n", sol.RadiusUsed, sol.RadiusRatio)
+	fmt.Printf("spread used %.6f of budget %.6f\n", sol.SpreadUsed, phi)
+	fmt.Printf("verified    %v (edges=%d)\n", sol.Verified, sol.Edges)
+	for _, e := range sol.VerifyErrors {
+		fmt.Printf("  ERROR: %s\n", e)
 	}
-	if verifyOnly && !rep.OK() {
+	if len(sol.Violations) > 0 {
+		fmt.Printf("violations  %d (first: %s)\n", len(sol.Violations), sol.Violations[0])
+	}
+	if verifyOnly && !sol.Verified {
 		return fmt.Errorf("verification failed")
 	}
-	if *svg != "" {
-		f, err := os.Create(*svg)
+	if *artifact != "" {
+		var data []byte
+		if strings.HasSuffix(*artifact, ".bin") {
+			data = sol.EncodeBinary()
+		} else {
+			if data, err = sol.EncodeJSON(); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(*artifact, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("artifact    %s (%d bytes)\n", *artifact, len(data))
+	}
+	if *svg != "" || *shrink {
+		asg, err := sol.Assignment(pts)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		style := render.DefaultStyle()
-		style.Title = fmt.Sprintf("k=%d phi=%.3f %s", *k, phi, res.Algorithm)
-		if err := render.Assignment(f, asg, style); err != nil {
-			return err
+		if *shrink {
+			asg.ShrinkRadii()
+			fmt.Printf("shrunk      radius %.6f (energy post-pass; digraph unchanged)\n", asg.MaxRadius())
 		}
-		fmt.Printf("svg         %s\n", *svg)
+		if *svg != "" {
+			f, err := os.Create(*svg)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			style := render.DefaultStyle()
+			style.Title = fmt.Sprintf("k=%d phi=%.3f %s", *k, phi, sol.Algo)
+			if err := render.Assignment(f, asg, style); err != nil {
+				return err
+			}
+			fmt.Printf("svg         %s\n", *svg)
+		}
 	}
 	// A short MST summary helps interpret ratios.
 	if len(pts) > 1 {
@@ -213,17 +273,20 @@ func sourceOf(k int, phi float64) string {
 
 // cmdAlgos prints the registered orienter portfolio: one row per
 // algorithm with its supported region and the guarantee at its
-// representative budget.
+// representative budget, in the registry's sorted order so output is
+// reproducible run to run.
 func cmdAlgos() error {
-	fmt.Printf("%-8s %-24s %-10s %-22s %s\n", "name", "region", "conn", "guarantee@rep", "summary")
-	for _, o := range core.Orienters() {
-		info := o.Info()
-		g, ok := o.Guarantee(info.RepK, info.RepPhi)
-		if !ok {
-			return fmt.Errorf("orienter %q rejects its representative budget", info.Name)
+	return writeAlgos(os.Stdout)
+}
+
+func writeAlgos(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %-24s %-10s %-22s %s\n", "name", "region", "conn", "guarantee@rep", "summary")
+	for _, a := range service.Algos() {
+		if a.Guarantee == nil {
+			return fmt.Errorf("orienter %q rejects its representative budget", a.Name)
 		}
-		fmt.Printf("%-8s %-24s %-10s k=%d stretch<=%-7.4f %s (%s)\n",
-			info.Name, info.Region, g.Conn.String(), info.RepK, g.Stretch, info.Summary, info.Source)
+		fmt.Fprintf(w, "%-8s %-24s %-10s k=%d stretch<=%-7.4f %s (%s)\n",
+			a.Name, a.Region, a.Guarantee.Conn, a.RepK, a.Guarantee.Stretch, a.Summary, a.Source)
 	}
 	return nil
 }

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"math"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -37,5 +40,35 @@ func TestSourceOf(t *testing.T) {
 	}
 	if got := sourceOf(5, 0); got != "folklore (k=5)" {
 		t.Errorf("sourceOf(5, 0) = %q", got)
+	}
+}
+
+// TestAlgosSortedStable: `antennactl algos` must list the portfolio in
+// sorted name order and print byte-identical output on every run — the
+// registry must never leak map iteration order.
+func TestAlgosSortedStable(t *testing.T) {
+	var first bytes.Buffer
+	if err := writeAlgos(&first); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(first.String(), "\n"), "\n")
+	if len(lines) < 7 { // header + ≥ 6 orienters
+		t.Fatalf("only %d lines:\n%s", len(lines), first.String())
+	}
+	var names []string
+	for _, l := range lines[1:] {
+		names = append(names, strings.Fields(l)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("algos not sorted: %v", names)
+	}
+	for i := 0; i < 20; i++ {
+		var again bytes.Buffer
+		if err := writeAlgos(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("algos output unstable between runs:\n--- first ---\n%s--- again ---\n%s", first.String(), again.String())
+		}
 	}
 }

@@ -1,0 +1,79 @@
+// Command antennad is the long-running orientation service: the same
+// plan→solution engine the CLI tools use, behind an HTTP/JSON API.
+// Concurrent /orient requests are coalesced through the core.OrientBatch
+// worker pool and served from a content-addressed artifact cache, so
+// repeated and sweep-adjacent requests return byte-identical solutions
+// without re-orienting.
+//
+// Usage:
+//
+//	antennad [-addr :8080] [-cache 512] [-workers 0] [-batch-window 2ms] [-max-batch 64]
+//
+// Endpoints:
+//
+//	POST /orient  {"points":[{"x":..,"y":..},...] | "gen":{"workload":"uniform","n":1000,"seed":1},
+//	               "k":2, "phi":3.14159, "algo":"tworay" | "objective":{"conn":"symmetric","minimize":"stretch"},
+//	               "format":"json"|"binary"}
+//	POST /plan    {"k":2, "phi":0, "objective":{...}}
+//	GET  /algos   registered portfolio with guarantees
+//	GET  /healthz liveness
+//	GET  /metrics Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 0, "artifact cache capacity; 0 = default")
+	workers := flag.Int("workers", 0, "OrientBatch pool size; 0 = GOMAXPROCS")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a lone request waits for batch companions; 0 disables coalescing")
+	maxBatch := flag.Int("max-batch", 64, "max requests per coalesced batch")
+	flag.Parse()
+
+	eng := service.NewEngine(service.Options{
+		CacheSize:   *cache,
+		Workers:     *workers,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+	})
+	defer eng.Close()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(eng).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "antennad: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "antennad: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "antennad: drained, bye")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "antennad:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,7 +23,9 @@ import (
 	"repro/internal/delaunay"
 	"repro/internal/geom"
 	"repro/internal/mst"
+	"repro/internal/plan"
 	"repro/internal/pointset"
+	"repro/internal/service"
 )
 
 // benchPoints mirrors the deterministic workload generator of the root
@@ -114,6 +117,40 @@ func main() {
 			},
 		})
 	}
+	// Engine-layer entries: planner overhead (a-priori selection across
+	// the portfolio grid) and the cache-hit hot path the antennad server
+	// serves repeated requests from.
+	benches = append(benches,
+		bench{"BenchmarkPlanner/grid", func(b *testing.B) {
+			var p plan.Planner
+			budgets := core.PortfolioBudgets()
+			objs := []plan.Objective{
+				{Conn: core.ConnStrong, Minimize: plan.MinStretch},
+				{Conn: core.ConnSymmetric, Minimize: plan.MinStretch},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, obj := range objs {
+					for _, kp := range budgets {
+						_, _ = p.Plan(obj, kp.K, kp.Phi)
+					}
+				}
+			}
+		}},
+		bench{"BenchmarkEngine/cache-hit/n=2000", func(b *testing.B) {
+			eng := service.NewEngine(service.Options{})
+			req := service.Request{Pts: benchPoints(2000), K: 2, Phi: math.Pi, Algo: "table1"}
+			if _, _, err := eng.Solve(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, hit, err := eng.Solve(context.Background(), req); err != nil || !hit {
+					b.Fatalf("hit=%v err=%v", hit, err)
+				}
+			}
+		}},
+	)
 	// One bench per registered orienter at its representative budget: the
 	// portfolio's perf trajectory.
 	for _, o := range core.Orienters() {

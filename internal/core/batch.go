@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,12 +10,15 @@ import (
 	"repro/internal/geom"
 )
 
-// BatchItem is one orientation problem for OrientBatch: a point set and
-// the (k, φ) budget to orient it under.
+// BatchItem is one orientation problem for OrientBatch: a point set, the
+// (k, φ) budget to orient it under, and optionally the registered
+// orienter to run (empty selects the Table-1 dispatcher). Naming an
+// unregistered orienter yields an error in that item's BatchResult.
 type BatchItem struct {
-	Pts []geom.Point
-	K   int
-	Phi float64
+	Pts  []geom.Point
+	K    int
+	Phi  float64
+	Algo string
 }
 
 // BatchResult carries the outcome for the item at the same index.
@@ -44,7 +48,16 @@ func OrientBatch(items []BatchItem, workers int) []BatchResult {
 	}
 	ParallelFor(len(items), workers, func(i int) {
 		it := items[i]
-		out[i].Asg, out[i].Res, out[i].Err = Orient(it.Pts, it.K, it.Phi)
+		if it.Algo == "" || it.Algo == DefaultOrienterName {
+			out[i].Asg, out[i].Res, out[i].Err = Orient(it.Pts, it.K, it.Phi)
+			return
+		}
+		o, ok := LookupOrienter(it.Algo)
+		if !ok {
+			out[i].Err = fmt.Errorf("core: unknown orienter %q", it.Algo)
+			return
+		}
+		out[i].Asg, out[i].Res, out[i].Err = o.Orient(it.Pts, it.K, it.Phi)
 	})
 	return out
 }

@@ -7,15 +7,16 @@ import (
 	"repro/internal/antenna"
 	"repro/internal/geom"
 	"repro/internal/mst"
+	"repro/internal/spatial"
 )
 
 // CubeTour returns a Hamiltonian cycle in the cube of the spanning tree:
 // consecutive cycle vertices are within tree distance 3, hence within
 // Euclidean distance 3·l_max. This is Sekanina's classical construction
 // and our *guaranteed* substitute for the Parker–Rardin bottleneck tour
-// (DESIGN.md §6): split the tree at the first edge on the x→y path, solve
-// both sides so the junction endpoints stay adjacent to the cut edge, and
-// concatenate.
+// (DESIGN.md §6). It reuses the linear-time CubePath rooted at a leaf:
+// the emitted path ends at a child of the root, so the closing hop of the
+// cycle is a single tree edge and every other hop spans ≤ 3 tree edges.
 func CubeTour(t *mst.Tree) []int {
 	n := t.N()
 	if n == 0 {
@@ -24,115 +25,11 @@ func CubeTour(t *mst.Tree) []int {
 	if n == 1 {
 		return []int{0}
 	}
-	allowed := make([]bool, n)
-	for i := range allowed {
-		allowed[i] = true
+	rooted, err := mst.RootAtLeaf(t)
+	if err != nil {
+		return nil
 	}
-	e := t.Edges()[0]
-	return cubeHamPath(t, allowed, n, e[0], e[1])
-}
-
-// cubeHamPath returns a Hamiltonian path of the component `allowed` from x
-// to y (x ≠ y unless the component is a single vertex), with consecutive
-// vertices at tree distance ≤ 3.
-func cubeHamPath(t *mst.Tree, allowed []bool, size, x, y int) []int {
-	if size == 1 {
-		return []int{x}
-	}
-	// First step from x towards y inside the component.
-	b := firstStep(t, allowed, x, y)
-	// Component of x after cutting edge (x, b).
-	compA := make([]bool, len(allowed))
-	sizeA := markComponent(t, allowed, compA, x, b)
-	compB := make([]bool, len(allowed))
-	sizeB := 0
-	for v := range allowed {
-		if allowed[v] && !compA[v] {
-			compB[v] = true
-			sizeB++
-		}
-	}
-
-	var pathA []int
-	if sizeA == 1 {
-		pathA = []int{x}
-	} else {
-		u := anyNeighbor(t, compA, x)
-		pathA = cubeHamPath(t, compA, sizeA, x, u)
-	}
-	var pathB []int
-	switch {
-	case sizeB == 1:
-		pathB = []int{b}
-	case y == b:
-		w := anyNeighbor(t, compB, b)
-		pathB = cubeHamPath(t, compB, sizeB, w, y)
-	default:
-		pathB = cubeHamPath(t, compB, sizeB, b, y)
-	}
-	return append(pathA, pathB...)
-}
-
-// firstStep returns the first vertex after x on the tree path from x to y
-// within the allowed component.
-func firstStep(t *mst.Tree, allowed []bool, x, y int) int {
-	n := t.N()
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	parent[x] = x
-	queue := []int{x}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		if v == y {
-			break
-		}
-		for _, w := range t.Adj[v] {
-			if allowed[w] && parent[w] == -1 {
-				parent[w] = v
-				queue = append(queue, w)
-			}
-		}
-	}
-	v := y
-	for parent[v] != x {
-		v = parent[v]
-	}
-	return v
-}
-
-// markComponent flood-fills comp with the component of x in
-// allowed − edge(x, cut) and returns its size.
-func markComponent(t *mst.Tree, allowed, comp []bool, x, cut int) int {
-	comp[x] = true
-	size := 1
-	stack := []int{x}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, w := range t.Adj[v] {
-			if v == x && w == cut {
-				continue
-			}
-			if allowed[w] && !comp[w] {
-				comp[w] = true
-				size++
-				stack = append(stack, w)
-			}
-		}
-	}
-	return size
-}
-
-func anyNeighbor(t *mst.Tree, comp []bool, v int) int {
-	for _, w := range t.Adj[v] {
-		if comp[w] {
-			return w
-		}
-	}
-	return -1
+	return CubePath(rooted)
 }
 
 // ShortcutTour returns the preorder of a DFS over the tree (the classical
@@ -180,55 +77,200 @@ func TourBottleneck(pts []geom.Point, tour []int) float64 {
 // TwoOptBottleneck improves a tour's bottleneck with 2-opt moves: while
 // some move strictly shrinks the longest affected hop, apply it. maxIters
 // caps the number of accepted moves. Returns the improved tour (a copy).
+//
+// The candidate scan is grid-backed: removing the bottleneck hop (a, b)
+// of length L and the hop (c, d) in exchange for (a, c) and (b, d) can
+// only shrink the bottleneck when dist(a, c) < L, so the only viable c
+// are the points a spatial.Grid radius query returns around a — a
+// handful, not all n. A lazy max-heap of hops tracks the bottleneck
+// across moves (hop lengths never change, only adjacency does, so stale
+// entries are detected by a position check), and each accepted move
+// reverses the shorter of the two arcs. Together that replaces the old
+// O(n) bottleneck scan × O(n) candidate scan per move with
+// O(log n + |near(a, L)| + shorter-arc).
 func TwoOptBottleneck(pts []geom.Point, tour []int, maxIters int) []int {
 	n := len(tour)
 	out := append([]int(nil), tour...)
 	if n < 4 {
 		return out
 	}
-	dist := func(i, j int) float64 { return pts[out[i%n]].Dist(pts[out[j%n]]) }
-	for iter := 0; iter < maxIters; iter++ {
-		// Locate the bottleneck hop (wi, wi+1).
-		wi := 0
-		worst := -1.0
-		for i := 0; i < n; i++ {
-			if d := dist(i, i+1); d > worst {
-				worst, wi = d, i
-			}
+	pos := make([]int, len(pts)) // pos[v] = index of vertex v in out
+	for i, v := range out {
+		pos[v] = i
+	}
+	next := func(i int) int {
+		if i++; i == n {
+			return 0
 		}
-		improved := false
-		for j := 0; j < n; j++ {
-			if j == wi || (j+1)%n == wi || j == (wi+1)%n {
-				continue
+		return i
+	}
+	// The heap alone carries hop lengths: a hop's length is the pairwise
+	// distance of its endpoints, which never changes, so entries only go
+	// stale by losing adjacency — checked against pos at pop time.
+	h := hopHeap{}
+	for i := 0; i < n; i++ {
+		h.push(hopEntry{len: pts[out[i]].Dist(pts[out[next(i)]]), u: out[i], v: out[next(i)]})
+	}
+	grid := spatial.NewGrid(pts, 0)
+	var buf []int
+	for iter := 0; iter < maxIters; iter++ {
+		// Pop entries until the top is a live hop: u and v adjacent in
+		// the current tour (reversals flip direction but keep adjacency,
+		// and lengths are pairwise distances, so they never go stale).
+		var a, b, i int
+		var L float64
+		for {
+			top, ok := h.peek()
+			if !ok {
+				return out // cannot happen: every live hop has an entry
 			}
-			// Replace hops (wi, wi+1), (j, j+1) with (wi, j), (wi+1, j+1).
-			oldMax := math.Max(dist(wi, wi+1), dist(j, j+1))
-			newMax := math.Max(dist(wi, j), dist(wi+1, j+1))
-			if newMax < oldMax-geom.Eps {
-				reverseSegment(out, (wi+1)%n, j)
-				improved = true
+			pu, pv := pos[top.u], pos[top.v]
+			if out[next(pu)] == top.v {
+				a, b, i, L = top.u, top.v, pu, top.len
 				break
 			}
+			if out[next(pv)] == top.u {
+				a, b, i, L = top.v, top.u, pv, top.len
+				break
+			}
+			h.pop() // stale: this pair is no longer a tour hop
 		}
-		if !improved {
-			break
+		// Candidates c with dist(a, c) < L − eps; the grid returns them
+		// in deterministic cell order.
+		buf = grid.Within(pts[a], L-geom.Eps, buf[:0])
+		bestJ := -1
+		bestMax := L - geom.Eps
+		for _, c := range buf {
+			if c == a || c == b {
+				continue
+			}
+			j := pos[c]
+			d := out[next(j)]
+			if d == a { // hops share vertex a: degenerate move
+				continue
+			}
+			newMax := math.Max(pts[a].Dist(pts[c]), pts[b].Dist(pts[d]))
+			if newMax < bestMax || (newMax == bestMax && bestJ >= 0 && j < bestJ) {
+				bestMax, bestJ = newMax, j
+			}
 		}
+		if bestJ < 0 {
+			break // the global bottleneck admits no improving move
+		}
+		j := bestJ
+		// Replace hops (i, i+1) and (j, j+1) with (a, out[j]) and
+		// (b, out[j+1]): reverse positions i+1..j, or equivalently the
+		// complementary arc j+1..i — pick the shorter.
+		lo, hi := next(i), j
+		arc := hi - lo
+		if arc < 0 {
+			arc += n
+		}
+		if arc+1 > n/2 {
+			lo, hi = next(j), i
+		}
+		reverseArc(out, pos, lo, hi)
+		// Exactly two hops changed; push their new entries. Interior
+		// hops keep their endpoints adjacent, so their old heap entries
+		// stay valid.
+		p := lo - 1
+		if p < 0 {
+			p = n - 1
+		}
+		h.push(hopEntry{len: pts[out[p]].Dist(pts[out[next(p)]]), u: out[p], v: out[next(p)]})
+		h.push(hopEntry{len: pts[out[hi]].Dist(pts[out[next(hi)]]), u: out[hi], v: out[next(hi)]})
 	}
 	return out
 }
 
-// reverseSegment reverses tour[i..j] cyclically (inclusive).
-func reverseSegment(tour []int, i, j int) {
+// reverseArc reverses tour positions lo..hi (cyclic, inclusive),
+// maintaining pos.
+func reverseArc(tour, pos []int, lo, hi int) {
 	n := len(tour)
-	steps := j - i
-	if steps < 0 {
-		steps += n
+	count := hi - lo
+	if count < 0 {
+		count += n
 	}
-	steps = (steps + 1) / 2
-	for s := 0; s < steps; s++ {
-		a := (i + s) % n
-		b := (j - s + n) % n
+	count++ // vertices in the arc
+	for s := 0; s < count/2; s++ {
+		a := lo + s
+		if a >= n {
+			a -= n
+		}
+		b := hi - s
+		if b < 0 {
+			b += n
+		}
 		tour[a], tour[b] = tour[b], tour[a]
+		pos[tour[a]], pos[tour[b]] = a, b
+	}
+}
+
+// hopEntry is one (length, endpoints) record in the bottleneck heap.
+type hopEntry struct {
+	len  float64
+	u, v int
+}
+
+// hopHeap is a plain binary max-heap over hop lengths with deterministic
+// tie-breaking on the endpoint indices, so the bottleneck hop the 2-opt
+// attacks is independent of insertion order.
+type hopHeap struct {
+	a []hopEntry
+}
+
+func hopLess(x, y hopEntry) bool {
+	if x.len != y.len {
+		return x.len < y.len
+	}
+	if x.u != y.u {
+		return x.u < y.u
+	}
+	return x.v < y.v
+}
+
+func (h *hopHeap) push(e hopEntry) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !hopLess(h.a[p], h.a[i]) {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *hopHeap) peek() (hopEntry, bool) {
+	if len(h.a) == 0 {
+		return hopEntry{}, false
+	}
+	return h.a[0], true
+}
+
+func (h *hopHeap) pop() {
+	last := len(h.a) - 1
+	if last < 0 {
+		return
+	}
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.a) && hopLess(h.a[big], h.a[l]) {
+			big = l
+		}
+		if r < len(h.a) && hopLess(h.a[big], h.a[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.a[i], h.a[big] = h.a[big], h.a[i]
+		i = big
 	}
 }
 

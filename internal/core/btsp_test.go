@@ -125,22 +125,39 @@ func TestTwoOptBottleneckImproves(t *testing.T) {
 	}
 }
 
-func TestReverseSegmentCyclic(t *testing.T) {
-	tour := []int{0, 1, 2, 3, 4, 5}
-	reverseSegment(tour, 1, 3)
-	want := []int{0, 3, 2, 1, 4, 5}
-	for i := range want {
-		if tour[i] != want[i] {
-			t.Fatalf("got %v, want %v", tour, want)
+// reverseArcHarness runs reverseArc over a fresh position state and
+// checks that pos stays consistent with the tour.
+func reverseArcHarness(t *testing.T, tour []int, lo, hi int) []int {
+	t.Helper()
+	n := len(tour)
+	out := append([]int(nil), tour...)
+	pos := make([]int, n)
+	for i, v := range out {
+		pos[v] = i
+	}
+	reverseArc(out, pos, lo, hi)
+	for i, v := range out {
+		if pos[v] != i {
+			t.Fatalf("pos[%d] = %d, want %d", v, pos[v], i)
 		}
 	}
-	// Wrap-around reversal.
-	tour = []int{0, 1, 2, 3, 4, 5}
-	reverseSegment(tour, 4, 1) // segment 4,5,0,1
+	return out
+}
+
+func TestReverseArcCyclic(t *testing.T) {
+	got := reverseArcHarness(t, []int{0, 1, 2, 3, 4, 5}, 1, 3)
+	want := []int{0, 3, 2, 1, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Wrap-around reversal of segment 4,5,0,1.
+	got = reverseArcHarness(t, []int{0, 1, 2, 3, 4, 5}, 4, 1)
 	want = []int{5, 4, 2, 3, 1, 0}
 	for i := range want {
-		if tour[i] != want[i] {
-			t.Fatalf("wrap: got %v, want %v", tour, want)
+		if got[i] != want[i] {
+			t.Fatalf("wrap: got %v, want %v", got, want)
 		}
 	}
 }

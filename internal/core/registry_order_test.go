@@ -1,0 +1,47 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestOrienterNamesSortedStable pins the registry-order contract the
+// planner shortlists, portfolio tables, benchmarks, and `antennactl
+// algos` goldens all rely on: OrienterNames must return a sorted list
+// and must return the identical list on every call, never raw map
+// iteration order.
+func TestOrienterNamesSortedStable(t *testing.T) {
+	first := OrienterNames()
+	if len(first) == 0 {
+		t.Fatal("no orienters registered")
+	}
+	if !sort.StringsAreSorted(first) {
+		t.Fatalf("OrienterNames not sorted: %v", first)
+	}
+	for i := 0; i < 50; i++ {
+		if got := OrienterNames(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("OrienterNames unstable: call %d returned %v, first call %v", i, got, first)
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] == first[i] {
+			t.Fatalf("duplicate orienter name %q", first[i])
+		}
+	}
+}
+
+// TestOrientersMatchesNames: Orienters() must enumerate in exactly
+// OrienterNames() order.
+func TestOrientersMatchesNames(t *testing.T) {
+	names := OrienterNames()
+	orienters := Orienters()
+	if len(orienters) != len(names) {
+		t.Fatalf("%d orienters for %d names", len(orienters), len(names))
+	}
+	for i, o := range orienters {
+		if o.Info().Name != names[i] {
+			t.Fatalf("position %d: orienter %q, name %q", i, o.Info().Name, names[i])
+		}
+	}
+}

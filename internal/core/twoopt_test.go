@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mst"
+	"repro/internal/pointset"
+)
+
+// naiveTwoOptBottleneck is the reference implementation the grid-backed
+// rewrite is checked against: the original O(n²) scan, kept verbatim for
+// tests only.
+func naiveTwoOptBottleneck(pts []geom.Point, tour []int, maxIters int) []int {
+	n := len(tour)
+	out := append([]int(nil), tour...)
+	if n < 4 {
+		return out
+	}
+	dist := func(i, j int) float64 { return pts[out[i%n]].Dist(pts[out[j%n]]) }
+	reverse := func(i, j int) {
+		steps := j - i
+		if steps < 0 {
+			steps += n
+		}
+		steps = (steps + 1) / 2
+		for s := 0; s < steps; s++ {
+			a := (i + s) % n
+			b := (j - s + n) % n
+			out[a], out[b] = out[b], out[a]
+		}
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		wi := 0
+		worst := -1.0
+		for i := 0; i < n; i++ {
+			if d := dist(i, i+1); d > worst {
+				worst, wi = d, i
+			}
+		}
+		improved := false
+		for j := 0; j < n; j++ {
+			if j == wi || (j+1)%n == wi || j == (wi+1)%n {
+				continue
+			}
+			oldMax := math.Max(dist(wi, wi+1), dist(j, j+1))
+			newMax := math.Max(dist(wi, j), dist(wi+1, j+1))
+			if newMax < oldMax-geom.Eps {
+				reverse((wi+1)%n, j)
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return out
+}
+
+func checkPermutation(t *testing.T, n int, tour []int) {
+	t.Helper()
+	if len(tour) != n {
+		t.Fatalf("tour has %d entries, want %d", len(tour), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range tour {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("tour is not a permutation: vertex %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestTwoOptBottleneckMatchesNaiveQuality: on every generator family the
+// grid-backed 2-opt must return a valid tour whose bottleneck tracks the
+// reference implementation's. Both are local optima of the same move
+// set, but trajectories differ (the rewrite takes the steepest candidate
+// per move, the reference the first), so individual instances may land
+// on either side; the aggregate over seeds must not regress and no
+// single instance may be far off.
+func TestTwoOptBottleneckMatchesNaiveQuality(t *testing.T) {
+	kinds := []string{"uniform", "clusters", "grid", "annulus", "line"}
+	for _, kind := range kinds {
+		var sumFast, sumSlow float64
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			pts := pointset.Workload(kind, rng, 120)
+			tree := mst.Euclidean(pts)
+			start := ShortcutTour(tree)
+			fast := TwoOptBottleneck(pts, start, 4*len(pts))
+			slow := naiveTwoOptBottleneck(pts, start, 4*len(pts))
+			checkPermutation(t, len(pts), fast)
+			bf := TourBottleneck(pts, fast)
+			bs := TourBottleneck(pts, slow)
+			b0 := TourBottleneck(pts, start)
+			if bf > b0+geom.Eps {
+				t.Fatalf("%s seed %d: 2-opt worsened bottleneck %.6f → %.6f", kind, seed, b0, bf)
+			}
+			if bf > bs*1.3+geom.Eps {
+				t.Fatalf("%s seed %d: grid 2-opt bottleneck %.6f far worse than reference %.6f", kind, seed, bf, bs)
+			}
+			sumFast += bf
+			sumSlow += bs
+		}
+		if sumFast > sumSlow*1.02 {
+			t.Fatalf("%s: aggregate bottleneck regressed: fast %.6f vs reference %.6f", kind, sumFast, sumSlow)
+		}
+	}
+}
+
+// TestTwoOptBottleneckLocalOptimum: after the rewrite terminates, no
+// 2-opt move may strictly improve the bottleneck — the property the old
+// full scan guaranteed by construction.
+func TestTwoOptBottleneckLocalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := pointset.Uniform(rng, 90, 10)
+	tree := mst.Euclidean(pts)
+	out := TwoOptBottleneck(pts, ShortcutTour(tree), 4*len(pts))
+	n := len(out)
+	dist := func(i, j int) float64 { return pts[out[i%n]].Dist(pts[out[j%n]]) }
+	wi := 0
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		if d := dist(i, i+1); d > worst {
+			worst, wi = d, i
+		}
+	}
+	for j := 0; j < n; j++ {
+		if j == wi || (j+1)%n == wi || j == (wi+1)%n {
+			continue
+		}
+		oldMax := math.Max(dist(wi, wi+1), dist(j, j+1))
+		newMax := math.Max(dist(wi, j), dist(wi+1, j+1))
+		if newMax < oldMax-geom.Eps {
+			t.Fatalf("bottleneck hop %d still improvable via j=%d (%.6f → %.6f)", wi, j, oldMax, newMax)
+		}
+	}
+}
+
+// TestTwoOptBottleneckDeterministic: repeated runs must produce the
+// identical tour.
+func TestTwoOptBottleneckDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := pointset.Clusters(rng, 150, 5, 14, 0.5)
+	tree := mst.Euclidean(pts)
+	start := ShortcutTour(tree)
+	a := TwoOptBottleneck(pts, start, 4*len(pts))
+	b := TwoOptBottleneck(pts, start, 4*len(pts))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at position %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTwoOptBottleneckTiny: degenerate sizes must round-trip untouched.
+func TestTwoOptBottleneckTiny(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		pts := make([]geom.Point, n)
+		tour := make([]int, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: float64(i), Y: 0}
+			tour[i] = i
+		}
+		out := TwoOptBottleneck(pts, tour, 100)
+		if len(out) != n {
+			t.Fatalf("n=%d: length %d", n, len(out))
+		}
+	}
+}

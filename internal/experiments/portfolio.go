@@ -7,24 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
-	"repro/internal/verify"
 )
-
-// GuaranteeBudgets converts an orienter's a-priori guarantee into the
-// verifier's independent claims. Every harness — the portfolio, the
-// Table-1 reproduction, antennactl — audits through this one bridge, so
-// they all hold an orienter to the same promise; the construction's
-// self-reported Result is never trusted. (The bridge lives here rather
-// than in verify, which deliberately does not import core.)
-func GuaranteeBudgets(g core.Guarantee) verify.Budgets {
-	return verify.Budgets{
-		K:           g.Antennae,
-		Phi:         g.Spread,
-		RadiusBound: g.Stretch,
-		StrongC:     g.StrongC, // brute-force audit; verify.Check skips it at ≤ 1
-		Symmetric:   g.Conn == core.ConnSymmetric,
-	}
-}
 
 // PortfolioRow aggregates one (orienter, budget) cell of the comparison:
 // how the construction's measured radius relates to its own guarantee,
@@ -80,20 +63,19 @@ func RunPortfolio(cfg Config) []PortfolioRow {
 		s := j % cfg.Seeds
 		rng := rand.New(rand.NewSource(cfg.BaseSeed + int64(ci)*104729 + int64(j)*7919))
 		pts := MakeWorkload(wl, rng, cfg.Sizes[s%len(cfg.Sizes)])
-		asg, res, err := cell.o.Orient(pts, cell.kphi.K, cell.kphi.Phi)
+		sol, err := cfg.solve(pts, cell.o.Info().Name, cell.kphi.K, cell.kphi.Phi)
 		if err != nil {
 			// The budget passed the Guarantee pre-check, so an error here
 			// is an algorithm failure, not an unsupported instance.
 			insts[idx] = sweepInstance{ran: true}
 			return
 		}
-		rep := verify.Check(asg, GuaranteeBudgets(cell.g))
-		// The ratio comes from the verifier's own l_max, not the
-		// construction's self-report.
+		// The engine's artifact measures through the independent
+		// verifier, never the construction's self-report.
 		insts[idx] = sweepInstance{
 			ran:     true,
-			success: rep.OK() && len(res.Violations) == 0,
-			ratio:   rep.RadiusRatio,
+			success: sol.Verified,
+			ratio:   sol.RadiusRatio,
 		}
 	})
 

@@ -12,7 +12,6 @@ import (
 	"repro/internal/mst"
 	"repro/internal/pointset"
 	"repro/internal/radio"
-	"repro/internal/verify"
 )
 
 // SweepPoint is one sample of a trade-off curve.
@@ -33,24 +32,23 @@ type sweepInstance struct {
 	ratio   float64
 }
 
-// runSweepInstance orients one instance for a sweep sample with the
-// configured orienter; budgets outside its region yield a skipped
-// instance (ran = false).
+// runSweepInstance orients one instance for a sweep sample through the
+// engine with the configured orienter; budgets outside its region yield
+// a skipped instance (ran = false).
 func runSweepInstance(cfg Config, seed int64, s, k int, phi float64) sweepInstance {
-	orienter := cfg.orienter()
-	if !orienter.Supports(k, phi) {
+	if !cfg.orienter().Supports(k, phi) {
 		return sweepInstance{}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	pts := MakeWorkload(cfg.Workloads[s%len(cfg.Workloads)], rng, cfg.Sizes[s%len(cfg.Sizes)])
-	asg, res, err := orienter.Orient(pts, k, phi)
+	sol, err := cfg.solve(pts, cfg.algoName(), k, phi)
 	if err != nil {
 		return sweepInstance{}
 	}
 	return sweepInstance{
 		ran:     true,
-		success: verify.CheckStrong(asg) && len(res.Violations) == 0,
-		ratio:   res.RadiusRatio(),
+		success: sol.Verified,
+		ratio:   sol.RadiusRatio,
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -8,7 +9,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/pointset"
-	"repro/internal/verify"
+	"repro/internal/service"
+	"repro/internal/solution"
 )
 
 // Config controls experiment scale. The zero value is replaced by
@@ -20,6 +22,9 @@ type Config struct {
 	BaseSeed  int64
 	Workers   int    // parallel instances; ≤ 0 selects GOMAXPROCS
 	Algo      string // registered orienter to run; "" selects core.DefaultOrienterName
+	// Engine solves every instance; nil selects the process-wide
+	// service.Shared() engine (one artifact cache per process).
+	Engine *service.Engine
 }
 
 // DefaultConfig is the scale used by cmd/table1 and the committed
@@ -50,41 +55,48 @@ func (c Config) orDefault() Config {
 	return c
 }
 
+// algoName resolves the configured algorithm name.
+func (c Config) algoName() string {
+	if c.Algo == "" {
+		return core.DefaultOrienterName
+	}
+	return c.Algo
+}
+
 // orienter resolves the configured algorithm. Commands validate the name
 // before building a Config, so an unknown name here is a programming
 // error.
 func (c Config) orienter() core.Orienter {
-	name := c.Algo
-	if name == "" {
-		name = core.DefaultOrienterName
-	}
-	o, ok := core.LookupOrienter(name)
+	o, ok := core.LookupOrienter(c.algoName())
 	if !ok {
-		panic(fmt.Sprintf("experiments: unknown orienter %q", name))
+		panic(fmt.Sprintf("experiments: unknown orienter %q", c.algoName()))
 	}
 	return o
 }
 
-// MakeWorkload generates the named deployment.
-func MakeWorkload(kind string, rng *rand.Rand, n int) []geom.Point {
-	switch kind {
-	case "clusters":
-		return pointset.Clusters(rng, n, 5, 14, 0.5)
-	case "grid":
-		side := 2
-		for side*side < n {
-			side++
-		}
-		return pointset.PerturbedGrid(rng, side, side, 1, 0.25)
-	case "annulus":
-		return pointset.Annulus(rng, n, 5, 9)
-	case "stars":
-		return pointset.StarField(rng, 1+n/40)
-	case "line":
-		return pointset.Line(rng, n, 1, 0.3)
-	default:
-		return pointset.Uniform(rng, n, 12)
+// engine resolves the engine instances are solved through.
+func (c Config) engine() *service.Engine {
+	if c.Engine != nil {
+		return c.Engine
 	}
+	return service.Shared()
+}
+
+// solve routes one instance through the plan→solution engine — the same
+// code path antennactl and antennad use — with an explicitly named
+// orienter. The artifact's measurements come from the independent
+// verifier.
+func (c Config) solve(pts []geom.Point, algo string, k int, phi float64) (*solution.Solution, error) {
+	sol, _, err := c.engine().Solve(context.Background(), service.Request{
+		Pts: pts, K: k, Phi: phi, Algo: algo,
+	})
+	return sol, err
+}
+
+// MakeWorkload generates the named deployment (the shared generator
+// vocabulary lives in pointset.Workload).
+func MakeWorkload(kind string, rng *rand.Rand, n int) []geom.Point {
+	return pointset.Workload(kind, rng, n)
 }
 
 // RowResult aggregates one Table-1 row across instances.
@@ -151,18 +163,16 @@ func RunTable1(cfg Config) []RowResult {
 		row := rows[sp.row]
 		rng := rand.New(rand.NewSource(sp.seed))
 		pts := MakeWorkload(sp.wl, rng, sp.n)
-		asg, res, err := orienter.Orient(pts, row.K, row.Phi)
+		sol, err := cfg.solve(pts, cfg.algoName(), row.K, row.Phi)
 		if err != nil {
 			results[i] = instResult{orientErr: true}
 			return
 		}
-		guar, _ := orienter.Guarantee(row.K, row.Phi)
-		rep := verify.Check(asg, GuaranteeBudgets(guar))
 		results[i] = instResult{
-			guarantee:  res.Guarantee,
-			violations: len(res.Violations),
-			success:    rep.OK() && len(res.Violations) == 0,
-			ratio:      res.RadiusRatio(),
+			guarantee:  sol.ProvedBound,
+			violations: len(sol.Violations),
+			success:    sol.Verified,
+			ratio:      sol.RadiusRatio,
 		}
 	})
 

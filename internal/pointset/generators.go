@@ -20,6 +20,36 @@ import (
 // MinSep is the minimum pairwise separation enforced by the generators.
 const MinSep = 1e-6
 
+// WorkloadNames lists the named deployment families Workload accepts, in
+// the order the experiment harnesses sweep them.
+func WorkloadNames() []string {
+	return []string{"uniform", "clusters", "grid", "annulus", "stars", "line"}
+}
+
+// Workload generates the named deployment family at size n — the shared
+// vocabulary of the experiment harnesses, antennactl gen, and the
+// antennad server's gen requests. Unknown names fall back to uniform.
+func Workload(kind string, rng *rand.Rand, n int) []geom.Point {
+	switch kind {
+	case "clusters":
+		return Clusters(rng, n, 5, 14, 0.5)
+	case "grid":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		return PerturbedGrid(rng, side, side, 1, 0.25)
+	case "annulus":
+		return Annulus(rng, n, 5, 9)
+	case "stars":
+		return StarField(rng, 1+n/40)
+	case "line":
+		return Line(rng, n, 1, 0.3)
+	default:
+		return Uniform(rng, n, 12)
+	}
+}
+
 // Uniform samples n points uniformly from the side×side square.
 func Uniform(rng *rand.Rand, n int, side float64) []geom.Point {
 	return rejectionFill(rng, n, func() geom.Point {

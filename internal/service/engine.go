@@ -1,0 +1,379 @@
+// Package service is the orientation engine: the one code path from a
+// request (point set + budget + objective or algorithm name) to a
+// verified solution artifact. Every entry point — cmd/table1, cmd/sweep,
+// cmd/antennactl in-process, and the cmd/antennad HTTP server — solves
+// through Engine.Solve, which plans via the orienter registry's declared
+// guarantees (internal/plan), orients through the core.OrientBatch
+// worker pool, audits the output with the independent verifier, and
+// caches the resulting artifact content-addressed by (pointset digest,
+// budget, selection mode) so repeated and sweep-adjacent requests reuse
+// work instead of re-orienting.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/plan"
+	"repro/internal/solution"
+	"repro/internal/verify"
+)
+
+// Request is one orientation problem posed to the engine.
+type Request struct {
+	Pts []geom.Point
+	K   int
+	Phi float64
+	// Algo names a registered orienter explicitly. When empty the
+	// planner selects one for Objective.
+	Algo string
+	// Objective drives planner selection when Algo is empty. The zero
+	// value asks for strong connectivity minimizing guaranteed stretch.
+	Objective plan.Objective
+}
+
+// mode returns the cache-key selection mode of the request.
+func (r Request) mode() string {
+	if r.Algo != "" {
+		return solution.AlgoMode(r.Algo)
+	}
+	return solution.ObjectiveMode(r.Objective.Key())
+}
+
+// Options configure an Engine.
+type Options struct {
+	// CacheSize caps the artifact cache (≤ 0 selects the default).
+	CacheSize int
+	// Workers sizes the core.OrientBatch pool (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// BatchWindow, when positive, coalesces concurrent Solve calls into
+	// shared core.OrientBatch runs: the first request in a quiet engine
+	// waits at most this long for companions. The antennad server
+	// enables this; in-process CLI engines leave it zero (every Solve
+	// still runs through OrientBatch, as a batch of one).
+	BatchWindow time.Duration
+	// MaxBatch caps a coalesced batch (≤ 0 selects 64).
+	MaxBatch int
+}
+
+// Engine turns requests into verified solution artifacts.
+type Engine struct {
+	planner plan.Planner
+	cache   *solution.Cache
+	opts    Options
+	metrics Metrics
+
+	batchMu sync.Mutex
+	pending []*batchJob
+	kick    chan struct{}
+	started sync.Once
+	closed  bool
+}
+
+// NewEngine builds an engine with the given options.
+func NewEngine(opts Options) *Engine {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	return &Engine{
+		cache: solution.NewCache(opts.CacheSize),
+		opts:  opts,
+		kick:  make(chan struct{}, 1),
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedEng  *Engine
+)
+
+// Shared returns the process-wide engine the CLI tools solve through, so
+// a single invocation of table1/sweep/antennactl reuses one artifact
+// cache across all its instances.
+func Shared() *Engine {
+	sharedOnce.Do(func() { sharedEng = NewEngine(Options{}) })
+	return sharedEng
+}
+
+// Cache exposes the engine's artifact cache (read-mostly: stats, len).
+func (e *Engine) Cache() *solution.Cache { return e.cache }
+
+// Plan runs the planner for a budget and objective without orienting.
+func (e *Engine) Plan(obj plan.Objective, k int, phi float64) (plan.Decision, error) {
+	e.metrics.PlanCalls.Add(1)
+	return e.planner.Plan(obj, k, phi)
+}
+
+// Solve returns the verified artifact for the request, serving from the
+// content-addressed cache when possible. The second return reports a
+// cache hit. Solve is deterministic: equal requests yield artifacts that
+// encode to identical bytes, whether computed or cached.
+func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, bool, error) {
+	e.metrics.Requests.Add(1)
+	if err := validate(req); err != nil {
+		return nil, false, err
+	}
+	key := solution.Key{
+		Digest: solution.Digest(req.Pts),
+		K:      req.K,
+		Phi:    req.Phi,
+		Mode:   req.mode(),
+	}
+	if sol, ok := e.cache.Get(key); ok {
+		return sol, true, nil
+	}
+
+	algo, decision, err := e.selectAlgo(ctx, req)
+	if err != nil {
+		return nil, false, err
+	}
+	orienter, ok := core.LookupOrienter(algo)
+	if !ok {
+		return nil, false, fmt.Errorf("service: unknown orienter %q", algo)
+	}
+	guar, ok := orienter.Guarantee(req.K, req.Phi)
+	if !ok {
+		return nil, false, fmt.Errorf("service: orienter %q does not support k=%d phi=%.6f (region: %s)",
+			algo, req.K, req.Phi, orienter.Info().Region)
+	}
+
+	// A race already oriented the winner on this instance; reuse that
+	// run instead of orienting a second time.
+	var asg *antenna.Assignment
+	var res *core.Result
+	if decision != nil && decision.WinnerAsg != nil {
+		asg, res = decision.WinnerAsg, decision.WinnerRes
+	} else {
+		asg, res, err = e.orient(ctx, core.BatchItem{Pts: req.Pts, K: req.K, Phi: req.Phi, Algo: algo})
+		if err != nil {
+			e.metrics.OrientErrors.Add(1)
+			return nil, false, err
+		}
+	}
+
+	// Budgets come from the a-priori guarantee, never from the
+	// construction's self-report.
+	rep := verify.Check(asg, plan.VerifyBudgets(guar))
+	if !rep.OK() {
+		e.metrics.VerifyFailures.Add(1)
+	}
+
+	sol := buildSolution(key, req, decision, guar, asg, res, rep)
+	e.cache.Put(key, sol)
+	return sol, false, nil
+}
+
+// maxK bounds the antenna budget the engine accepts: the constructions
+// never use more than 5, and the artifact codec stores k in 16 bits.
+const maxK = 4096
+
+// validate rejects malformed requests before any work happens.
+func validate(req Request) error {
+	if req.K < 1 || req.K > maxK {
+		return fmt.Errorf("service: k must be in [1, %d], got %d", maxK, req.K)
+	}
+	if req.Phi < 0 || math.IsNaN(req.Phi) || math.IsInf(req.Phi, 0) {
+		return fmt.Errorf("service: invalid spread budget %v", req.Phi)
+	}
+	for i, p := range req.Pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("service: point %d is not finite", i)
+		}
+	}
+	return nil
+}
+
+// selectAlgo resolves the orienter to run: the explicit name, or the
+// planner's choice (raced on the instance when the objective sets a
+// deadline).
+func (e *Engine) selectAlgo(ctx context.Context, req Request) (string, *plan.Decision, error) {
+	if req.Algo != "" {
+		return req.Algo, nil, nil
+	}
+	e.metrics.PlanCalls.Add(1)
+	var d plan.Decision
+	var err error
+	if req.Objective.Deadline > 0 {
+		e.metrics.Races.Add(1)
+		d, err = e.planner.Race(ctx, req.Pts, req.Objective, req.K, req.Phi)
+	} else {
+		d, err = e.planner.Plan(req.Objective, req.K, req.Phi)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	return d.Winner, &d, nil
+}
+
+// buildSolution assembles the immutable artifact.
+func buildSolution(key solution.Key, req Request, decision *plan.Decision, guar core.Guarantee,
+	asg *antenna.Assignment, res *core.Result, rep *verify.Report) *solution.Solution {
+	sol := &solution.Solution{
+		Version:      solution.Version,
+		PointsDigest: key.Digest,
+		N:            len(req.Pts),
+		K:            req.K,
+		Phi:          req.Phi,
+		Algo:         res.Algorithm,
+		Construction: res.Algorithm,
+		Guarantee: solution.Guarantee{
+			Conn:     guar.Conn.String(),
+			Stretch:  guar.Stretch,
+			Antennae: guar.Antennae,
+			Spread:   guar.Spread,
+			StrongC:  guar.StrongC,
+		},
+		Sectors:      solution.FromAssignment(asg),
+		LMax:         rep.LMax,
+		Bound:        res.Bound,
+		ProvedBound:  res.Guarantee,
+		RadiusUsed:   rep.MaxRadius,
+		RadiusRatio:  rep.RadiusRatio,
+		SpreadUsed:   rep.MaxSpread,
+		Edges:        rep.Edges,
+		Verified:     rep.OK() && len(res.Violations) == 0,
+		VerifyErrors: append([]string(nil), rep.Errors...),
+		Violations:   append([]string(nil), res.Violations...),
+	}
+	if decision != nil {
+		sol.Planned = true
+		sol.Objective = req.Objective.Key()
+		// The registered winner name is authoritative; the dispatcher's
+		// self-report may name an internal construction.
+		sol.Algo = decision.Winner
+	}
+	if req.Algo != "" {
+		sol.Algo = req.Algo
+	}
+	return sol
+}
+
+// orient runs one item through the core.OrientBatch worker pool. With
+// batching disabled the item is its own batch (OrientBatch degenerates
+// to a plain call); with a batch window, concurrent Solves coalesce into
+// shared pool runs.
+func (e *Engine) orient(ctx context.Context, item core.BatchItem) (*antenna.Assignment, *core.Result, error) {
+	if e.opts.BatchWindow <= 0 {
+		out := core.OrientBatch([]core.BatchItem{item}, 1)[0]
+		return out.Asg, out.Res, out.Err
+	}
+	e.started.Do(func() { go e.dispatch() })
+	job := &batchJob{item: item, done: make(chan core.BatchResult, 1)}
+	e.batchMu.Lock()
+	if e.closed {
+		e.batchMu.Unlock()
+		return nil, nil, fmt.Errorf("service: engine closed")
+	}
+	e.pending = append(e.pending, job)
+	// Kick inside the lock so Close cannot close the channel between
+	// the closed check and the send.
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+	e.batchMu.Unlock()
+	select {
+	case out := <-job.done:
+		return out.Asg, out.Res, out.Err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+// Close stops the batch dispatcher goroutine (a no-op for engines that
+// never batched). Pending jobs are still drained; Solve calls made
+// after Close fail on the batched path.
+func (e *Engine) Close() {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.kick)
+	}
+}
+
+// batchJob couples one queued item with its result channel.
+type batchJob struct {
+	item core.BatchItem
+	done chan core.BatchResult
+}
+
+// dispatch is the batcher loop: on a kick it waits one batch window for
+// companions, drains up to MaxBatch pending jobs, and runs them through
+// a single core.OrientBatch call.
+func (e *Engine) dispatch() {
+	for range e.kick {
+		time.Sleep(e.opts.BatchWindow)
+		for {
+			e.batchMu.Lock()
+			n := len(e.pending)
+			if n == 0 {
+				e.batchMu.Unlock()
+				break
+			}
+			if n > e.opts.MaxBatch {
+				n = e.opts.MaxBatch
+			}
+			jobs := make([]*batchJob, n)
+			copy(jobs, e.pending[:n])
+			e.pending = append(e.pending[:0], e.pending[n:]...)
+			e.batchMu.Unlock()
+
+			items := make([]core.BatchItem, n)
+			for i, j := range jobs {
+				items[i] = j.item
+			}
+			e.metrics.Batches.Add(1)
+			e.metrics.BatchedItems.Add(uint64(n))
+			results := core.OrientBatch(items, e.opts.Workers)
+			for i, j := range jobs {
+				j.done <- results[i]
+			}
+		}
+	}
+}
+
+// Algos describes the registered portfolio for listings (/algos, CLI).
+func Algos() []AlgoInfo {
+	var out []AlgoInfo
+	for _, o := range core.Orienters() {
+		info := o.Info()
+		ai := AlgoInfo{
+			Name:    info.Name,
+			Summary: info.Summary,
+			Region:  info.Region,
+			Source:  info.Source,
+			RepK:    info.RepK,
+			RepPhi:  info.RepPhi,
+		}
+		if g, ok := o.Guarantee(info.RepK, info.RepPhi); ok {
+			ai.Guarantee = &solution.Guarantee{
+				Conn:     g.Conn.String(),
+				Stretch:  g.Stretch,
+				Antennae: g.Antennae,
+				Spread:   g.Spread,
+				StrongC:  g.StrongC,
+			}
+		}
+		out = append(out, ai)
+	}
+	return out
+}
+
+// AlgoInfo is one portfolio entry with the guarantee at its
+// representative budget.
+type AlgoInfo struct {
+	Name      string              `json:"name"`
+	Summary   string              `json:"summary"`
+	Region    string              `json:"region"`
+	Source    string              `json:"source"`
+	RepK      int                 `json:"rep_k"`
+	RepPhi    float64             `json:"rep_phi"`
+	Guarantee *solution.Guarantee `json:"guarantee,omitempty"`
+}

@@ -1,0 +1,278 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/plan"
+	"repro/internal/pointset"
+)
+
+// The HTTP/JSON surface of the engine, served by cmd/antennad:
+//
+//	POST /orient  — solve a request, serving from cache when possible
+//	POST /plan    — run the planner without orienting
+//	GET  /algos   — list the registered portfolio with guarantees
+//	GET  /healthz — liveness
+//	GET  /metrics — engine counters, Prometheus text format
+//
+// /orient responses are solution artifacts in the deterministic codecs
+// of internal/solution: a repeated request is served from cache with a
+// byte-identical body (the X-Cache header is the only difference).
+
+// wirePoint is one sensor coordinate in request JSON.
+type wirePoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// wireGen asks the server to generate the deployment instead of
+// shipping coordinates — handy for smoke tests and load generation.
+type wireGen struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     int64  `json:"seed"`
+}
+
+// wireObjective mirrors plan.Objective in request JSON.
+type wireObjective struct {
+	Conn     string `json:"conn"`     // "strong" (default) or "symmetric"
+	Minimize string `json:"minimize"` // "stretch" (default), "antennae", "spread"
+	StrongC  int    `json:"strong_c"`
+	RaceMS   int    `json:"race_ms"` // > 0 races the shortlist on the instance
+}
+
+func (w wireObjective) toObjective() (plan.Objective, error) {
+	obj := plan.Objective{StrongC: w.StrongC}
+	var err error
+	if obj.Conn, err = plan.ParseConn(w.Conn); err != nil {
+		return obj, err
+	}
+	if obj.Minimize, err = plan.ParseMinimize(w.Minimize); err != nil {
+		return obj, err
+	}
+	if w.RaceMS > 0 {
+		obj.Deadline = time.Duration(w.RaceMS) * time.Millisecond
+	}
+	return obj, nil
+}
+
+// orientRequest is the /orient (and /plan) request body.
+type orientRequest struct {
+	Points    []wirePoint    `json:"points,omitempty"`
+	Gen       *wireGen       `json:"gen,omitempty"`
+	K         int            `json:"k"`
+	Phi       float64        `json:"phi"`
+	Algo      string         `json:"algo,omitempty"`
+	Objective *wireObjective `json:"objective,omitempty"`
+	Format    string         `json:"format,omitempty"` // "json" (default) or "binary"
+}
+
+func (o orientRequest) points() ([]geom.Point, error) {
+	if o.Gen != nil {
+		if len(o.Points) > 0 {
+			return nil, fmt.Errorf("request has both points and gen")
+		}
+		if o.Gen.N < 0 || o.Gen.N > 1_000_000 {
+			return nil, fmt.Errorf("gen.n %d out of range [0, 1e6]", o.Gen.N)
+		}
+		rng := rand.New(rand.NewSource(o.Gen.Seed))
+		return pointset.Workload(o.Gen.Workload, rng, o.Gen.N), nil
+	}
+	pts := make([]geom.Point, len(o.Points))
+	for i, p := range o.Points {
+		pts[i] = geom.Point{X: p.X, Y: p.Y}
+	}
+	return pts, nil
+}
+
+// Server wires an Engine to the HTTP API.
+type Server struct {
+	eng   *Engine
+	start time.Time
+}
+
+// NewServer returns a server over the engine.
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng, start: time.Now()}
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/orient", s.handleOrient)
+	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/algos", s.handleAlgos)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 128<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleOrient(w http.ResponseWriter, r *http.Request) {
+	var body orientRequest
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	pts, err := body.points()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req := Request{Pts: pts, K: body.K, Phi: body.Phi, Algo: body.Algo}
+	if body.Objective != nil {
+		if body.Algo != "" {
+			httpError(w, http.StatusBadRequest, "request has both algo and objective")
+			return
+		}
+		obj, err := body.Objective.toObjective()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		req.Objective = obj
+	}
+	sol, hit, err := s.eng.Solve(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	cacheHeader := "miss"
+	if hit {
+		cacheHeader = "hit"
+	}
+	w.Header().Set("X-Cache", cacheHeader)
+	switch body.Format {
+	case "", "json":
+		data, err := sol.EncodeJSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encode: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(sol.EncodeBinary())
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (json|binary)", body.Format)
+	}
+}
+
+// planRequest is the /plan request body (no points needed: planning is
+// a-priori over declared guarantees).
+type planRequest struct {
+	K         int            `json:"k"`
+	Phi       float64        `json:"phi"`
+	Objective *wireObjective `json:"objective,omitempty"`
+}
+
+// planResponse mirrors plan.Decision in response JSON.
+type planResponse struct {
+	Winner    string          `json:"winner"`
+	Guarantee wireGuarantee   `json:"guarantee"`
+	Shortlist []wireCandidate `json:"shortlist"`
+	Rejected  []wireRejection `json:"rejected,omitempty"`
+}
+
+type wireGuarantee struct {
+	Conn     string  `json:"conn"`
+	Stretch  float64 `json:"stretch"`
+	Antennae int     `json:"antennae"`
+	Spread   float64 `json:"spread"`
+	StrongC  int     `json:"strong_c"`
+}
+
+type wireCandidate struct {
+	Name      string        `json:"name"`
+	Guarantee wireGuarantee `json:"guarantee"`
+}
+
+type wireRejection struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+}
+
+func toWireGuarantee(g core.Guarantee) wireGuarantee {
+	return wireGuarantee{
+		Conn:     g.Conn.String(),
+		Stretch:  g.Stretch,
+		Antennae: g.Antennae,
+		Spread:   g.Spread,
+		StrongC:  g.StrongC,
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var body planRequest
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	obj := plan.Objective{}
+	if body.Objective != nil {
+		var err error
+		obj, err = body.Objective.toObjective()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	d, err := s.eng.Plan(obj, body.K, body.Phi)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := planResponse{Winner: d.Winner, Guarantee: toWireGuarantee(d.Guarantee)}
+	for _, c := range d.Shortlist {
+		resp.Shortlist = append(resp.Shortlist, wireCandidate{Name: c.Name, Guarantee: toWireGuarantee(c.Guarantee)})
+	}
+	for _, rej := range d.Rejected {
+		resp.Rejected = append(resp.Rejected, wireRejection{Name: rej.Name, Reason: rej.Reason})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleAlgos(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(Algos())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"ok":       true,
+		"uptime_s": int(time.Since(s.start) / time.Second),
+		"algos":    strings.Join(core.OrienterNames(), ","),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.eng.WriteMetrics(w)
+}

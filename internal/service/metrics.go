@@ -1,0 +1,52 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the engine's cumulative counters. All fields are atomics;
+// a zero Metrics is ready to use. Cache hit/miss counts live in the
+// cache itself (solution.Cache.Stats) — the single source of truth
+// WriteMetrics renders.
+type Metrics struct {
+	Requests       atomic.Uint64
+	PlanCalls      atomic.Uint64
+	Races          atomic.Uint64
+	OrientErrors   atomic.Uint64
+	VerifyFailures atomic.Uint64
+	Batches        atomic.Uint64
+	BatchedItems   atomic.Uint64
+}
+
+// Metrics returns the engine's counters.
+func (e *Engine) Metrics() *Metrics { return &e.metrics }
+
+// WriteMetrics renders the engine counters in Prometheus text format,
+// counters first, then the cache gauge.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	m := &e.metrics
+	hits, misses := e.cache.Stats()
+	rows := []struct {
+		name, help, kind string
+		value            uint64
+	}{
+		{"antennad_requests_total", "Solve calls received", "counter", m.Requests.Load()},
+		{"antennad_cache_hits_total", "artifact cache lookups that hit", "counter", hits},
+		{"antennad_cache_misses_total", "artifact cache lookups that missed (includes requests later rejected)", "counter", misses},
+		{"antennad_plan_total", "planner selections", "counter", m.PlanCalls.Load()},
+		{"antennad_races_total", "planner shortlist races", "counter", m.Races.Load()},
+		{"antennad_orient_errors_total", "orientation failures", "counter", m.OrientErrors.Load()},
+		{"antennad_verify_failures_total", "artifacts failing independent verification", "counter", m.VerifyFailures.Load()},
+		{"antennad_batches_total", "coalesced OrientBatch runs", "counter", m.Batches.Load()},
+		{"antennad_batched_items_total", "items routed through coalesced batches", "counter", m.BatchedItems.Load()},
+		{"antennad_cache_entries", "artifacts currently cached", "gauge", uint64(e.cache.Len())},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package solution
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is the content address of one engine request: the point-set
+// digest, the budget, and the selection mode (an explicit algorithm or a
+// canonical objective key). Equal keys always denote equal artifacts —
+// the whole pipeline from planning to verification is deterministic.
+type Key struct {
+	Digest string
+	K      int
+	Phi    float64
+	Mode   string // "algo:<name>" or "obj:<objective key>"
+}
+
+// String renders the key for logs and metrics.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/k=%d/phi=%x/%s", k.Digest[:12], k.K, k.Phi, k.Mode)
+}
+
+// AlgoMode is the selection-mode key component for an explicitly named
+// orienter.
+func AlgoMode(name string) string { return "algo:" + name }
+
+// ObjectiveMode is the selection-mode key component for a
+// planner-selected orientation with the given canonical objective key.
+func ObjectiveMode(objKey string) string { return "obj:" + objKey }
+
+// Cache is a thread-safe, content-addressed LRU over Solutions. Values
+// are immutable, so a hit hands back the exact artifact a previous
+// request produced — byte-identical once encoded.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[Key]*list.Element
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key Key
+	sol *Solution
+}
+
+// DefaultCacheSize is the engine's default artifact capacity.
+const DefaultCacheSize = 512
+
+// NewCache returns an LRU holding at most capacity artifacts
+// (capacity ≤ 0 selects DefaultCacheSize).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached artifact for the key, if present, and marks it
+// most recently used.
+func (c *Cache) Get(k Key) (*Solution, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).sol, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores the artifact under the key, evicting the least recently
+// used entry when full. Storing an existing key refreshes its position;
+// the value is expected to be identical (the pipeline is deterministic).
+func (c *Cache) Put(k Key, s *Solution) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).sol = s
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: k, sol: s})
+	c.items[k] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,267 @@
+package solution
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// The binary codec is hand-rolled so the byte stream is fully specified
+// (see WIRE_FORMAT.md) and deterministic: same Solution, same bytes, on
+// every platform. encoding/json already guarantees determinism for the
+// JSON codec because Solution contains no maps.
+
+// binaryMagic opens every binary artifact.
+var binaryMagic = [4]byte{'A', 'S', 'O', 'L'}
+
+type binWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *binWriter) u8(v uint8) { w.buf.WriteByte(v) }
+func (w *binWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *binWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *binWriter) f64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.buf.Write(b[:])
+}
+func (w *binWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+func (w *binWriter) strs(ss []string) {
+	w.u32(uint32(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+func (w *binWriter) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+type binReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.data) {
+		r.err = fmt.Errorf("solution: truncated artifact at offset %d (+%d of %d)", r.off, n, len(r.data))
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *binReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *binReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (r *binReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *binReader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+func (r *binReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n > len(r.data)-r.off {
+		if r.err == nil {
+			r.err = fmt.Errorf("solution: string length %d exceeds remaining %d bytes", n, len(r.data)-r.off)
+		}
+		return ""
+	}
+	return string(r.take(n))
+}
+func (r *binReader) strs() []string {
+	n := int(r.u32())
+	if r.err != nil || n > len(r.data)-r.off {
+		if r.err == nil {
+			r.err = fmt.Errorf("solution: list length %d exceeds remaining %d bytes", n, len(r.data)-r.off)
+		}
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+func (r *binReader) boolean() bool { return r.u8() != 0 }
+
+// EncodeBinary serializes the artifact in the deterministic binary
+// layout of WIRE_FORMAT.md.
+func (s *Solution) EncodeBinary() []byte {
+	var w binWriter
+	w.buf.Write(binaryMagic[:])
+	w.u16(uint16(s.Version))
+	w.str(s.PointsDigest)
+	w.u32(uint32(s.N))
+	w.u16(uint16(s.K))
+	w.f64(s.Phi)
+	w.str(s.Objective)
+	w.boolean(s.Planned)
+	w.str(s.Algo)
+	w.str(s.Construction)
+
+	w.str(s.Guarantee.Conn)
+	w.f64(s.Guarantee.Stretch)
+	w.u16(uint16(s.Guarantee.Antennae))
+	w.f64(s.Guarantee.Spread)
+	w.u16(uint16(s.Guarantee.StrongC))
+
+	w.u32(uint32(len(s.Sectors)))
+	for _, secs := range s.Sectors {
+		w.u16(uint16(len(secs)))
+		for _, sec := range secs {
+			w.f64(sec.Start)
+			w.f64(sec.Spread)
+			w.f64(sec.Radius)
+		}
+	}
+
+	w.f64(s.LMax)
+	w.f64(s.Bound)
+	w.f64(s.ProvedBound)
+	w.f64(s.RadiusUsed)
+	w.f64(s.RadiusRatio)
+	w.f64(s.SpreadUsed)
+	w.u32(uint32(s.Edges))
+
+	w.boolean(s.Verified)
+	w.strs(s.VerifyErrors)
+	w.strs(s.Violations)
+	return w.buf.Bytes()
+}
+
+// DecodeBinary parses an artifact produced by EncodeBinary.
+func DecodeBinary(data []byte) (*Solution, error) {
+	r := &binReader{data: data}
+	var magic [4]byte
+	copy(magic[:], r.take(4))
+	if r.err == nil && magic != binaryMagic {
+		return nil, fmt.Errorf("solution: bad magic %q", magic[:])
+	}
+	s := &Solution{}
+	s.Version = int(r.u16())
+	if r.err == nil && s.Version != Version {
+		return nil, fmt.Errorf("solution: unsupported artifact version %d (have %d)", s.Version, Version)
+	}
+	s.PointsDigest = r.str()
+	s.N = int(r.u32())
+	s.K = int(r.u16())
+	s.Phi = r.f64()
+	s.Objective = r.str()
+	s.Planned = r.boolean()
+	s.Algo = r.str()
+	s.Construction = r.str()
+
+	s.Guarantee.Conn = r.str()
+	s.Guarantee.Stretch = r.f64()
+	s.Guarantee.Antennae = int(r.u16())
+	s.Guarantee.Spread = r.f64()
+	s.Guarantee.StrongC = int(r.u16())
+
+	ns := int(r.u32())
+	if r.err == nil && ns > len(r.data)-r.off {
+		return nil, fmt.Errorf("solution: sensor count %d exceeds remaining bytes", ns)
+	}
+	if r.err == nil && ns > 0 {
+		s.Sectors = make([][]Sector, ns)
+		for u := 0; u < ns && r.err == nil; u++ {
+			cnt := int(r.u16())
+			if cnt == 0 {
+				continue
+			}
+			secs := make([]Sector, cnt)
+			for i := 0; i < cnt; i++ {
+				secs[i] = Sector{Start: r.f64(), Spread: r.f64(), Radius: r.f64()}
+			}
+			s.Sectors[u] = secs
+		}
+	}
+
+	s.LMax = r.f64()
+	s.Bound = r.f64()
+	s.ProvedBound = r.f64()
+	s.RadiusUsed = r.f64()
+	s.RadiusRatio = r.f64()
+	s.SpreadUsed = r.f64()
+	s.Edges = int(r.u32())
+
+	s.Verified = r.boolean()
+	s.VerifyErrors = r.strs()
+	s.Violations = r.strs()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("solution: %d trailing bytes after artifact", len(data)-r.off)
+	}
+	return s, nil
+}
+
+// EncodeJSON serializes the artifact as a single JSON document with a
+// trailing newline. encoding/json emits struct fields in declaration
+// order and Solution holds no maps, so equal artifacts produce identical
+// bytes.
+func (s *Solution) EncodeJSON() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeJSON parses an artifact produced by EncodeJSON.
+func DecodeJSON(data []byte) (*Solution, error) {
+	s := &Solution{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("solution: decode: %w", err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("solution: unsupported artifact version %d (have %d)", s.Version, Version)
+	}
+	return s, nil
+}

@@ -1,0 +1,147 @@
+// Package solution defines the canonical artifact the orientation engine
+// produces: a Solution couples the input digest and budget with the
+// algorithm that ran, the oriented sectors, the measured radii, and the
+// independent verification record. Solutions have deterministic binary
+// and JSON codecs (see WIRE_FORMAT.md) so equal requests yield
+// byte-identical artifacts, and a content-addressed LRU cache (cache.go)
+// so repeated and sweep-adjacent requests reuse work instead of
+// re-orienting.
+package solution
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+)
+
+// Version is the current artifact schema version, embedded in both
+// codecs; decoders reject artifacts from a different schema.
+const Version = 1
+
+// Guarantee mirrors core.Guarantee with a stable wire encoding. The
+// solution package deliberately does not import core: artifacts must be
+// decodable without loading the construction portfolio.
+type Guarantee struct {
+	Conn     string  `json:"conn"` // "strong" or "symmetric"
+	Stretch  float64 `json:"stretch"`
+	Antennae int     `json:"antennae"`
+	Spread   float64 `json:"spread"`
+	StrongC  int     `json:"strong_c"`
+}
+
+// Sector is one oriented antenna beam in wire form.
+type Sector struct {
+	Start  float64 `json:"start"`
+	Spread float64 `json:"spread"`
+	Radius float64 `json:"radius"`
+}
+
+// Solution is the canonical orientation artifact. Every field is value
+// data: a Solution is immutable once built, safe to share across
+// goroutines, and re-encodes to identical bytes forever.
+type Solution struct {
+	Version int `json:"version"`
+	// PointsDigest is the content address of the input point set
+	// (see Digest); the artifact stores sectors only, so reconstructing
+	// an antenna.Assignment requires the original points.
+	PointsDigest string `json:"points_digest"`
+	N            int    `json:"n"`
+	// Budget the request was solved under.
+	K   int     `json:"k"`
+	Phi float64 `json:"phi"`
+	// Objective is the canonical objective key when the planner chose
+	// the algorithm, or "" when the caller named it explicitly.
+	Objective string `json:"objective,omitempty"`
+	// Planned is true when the algorithm was selected by the planner.
+	Planned bool `json:"planned,omitempty"`
+	// Algo is the registered orienter that produced the sectors.
+	Algo string `json:"algo"`
+	// Construction is the internal construction the orienter reported
+	// running (e.g. the Table-1 dispatcher names the theorem it picked);
+	// equal to Algo when the orienter is a single construction.
+	Construction string `json:"construction,omitempty"`
+	// Guarantee is the a-priori promise the algorithm owes at this
+	// budget; the verification record below holds it to that promise.
+	Guarantee Guarantee `json:"guarantee"`
+	// Sectors[i] is sensor i's oriented antennae.
+	Sectors [][]Sector `json:"sectors"`
+
+	// Measured quantities. Bound is the paper's bound, ProvedBound the
+	// bound our implementation proves (≥ Bound only on the [14] tour
+	// rows), both in units of l_max. RadiusRatio is the verifier's own
+	// measurement, not the construction's self-report.
+	LMax        float64 `json:"l_max"`
+	Bound       float64 `json:"bound"`
+	ProvedBound float64 `json:"proved_bound"`
+	RadiusUsed  float64 `json:"radius_used"`
+	RadiusRatio float64 `json:"radius_ratio"`
+	SpreadUsed  float64 `json:"spread_used"`
+	Edges       int     `json:"edges"`
+
+	// Verification record: Verified is the independent verifier's
+	// verdict against Guarantee; VerifyErrors are its complaints;
+	// Violations are the construction's own failed invariants.
+	Verified     bool     `json:"verified"`
+	VerifyErrors []string `json:"verify_errors,omitempty"`
+	Violations   []string `json:"violations,omitempty"`
+}
+
+// Digest returns the content address of a point set: SHA-256 over the
+// count and the little-endian IEEE-754 bits of every coordinate in
+// order. Two point sets share a digest iff they are identical as
+// sequences (order matters — sensor indices are meaningful).
+func Digest(pts []geom.Point) string {
+	h := sha256.New()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(pts)))
+	h.Write(buf[:8])
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(p.Y))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Assignment reconstructs the antenna assignment over the original
+// points. It fails when the points do not match the artifact's digest —
+// sectors are meaningless over a different deployment.
+func (s *Solution) Assignment(pts []geom.Point) (*antenna.Assignment, error) {
+	if got := Digest(pts); got != s.PointsDigest {
+		return nil, fmt.Errorf("solution: point set digest %s does not match artifact %s", got[:12], s.PointsDigest[:12])
+	}
+	if len(pts) != len(s.Sectors) {
+		return nil, fmt.Errorf("solution: %d points but %d sector lists", len(pts), len(s.Sectors))
+	}
+	asg := antenna.New(pts)
+	for u, secs := range s.Sectors {
+		for _, sec := range secs {
+			asg.Add(u, geom.NewSector(sec.Start, sec.Spread, sec.Radius))
+		}
+	}
+	if err := asg.Validate(); err != nil {
+		return nil, err
+	}
+	return asg, nil
+}
+
+// FromAssignment extracts the wire-form sectors of an assignment.
+func FromAssignment(asg *antenna.Assignment) [][]Sector {
+	out := make([][]Sector, asg.N())
+	for u, secs := range asg.Sectors {
+		if len(secs) == 0 {
+			continue
+		}
+		ws := make([]Sector, len(secs))
+		for i, s := range secs {
+			ws[i] = Sector{Start: s.Start, Spread: s.Spread, Radius: s.Radius}
+		}
+		out[u] = ws
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package solution
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pointset"
+)
+
+func sampleSolution() *Solution {
+	return &Solution{
+		Version:      Version,
+		PointsDigest: Digest([]geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4.5}}),
+		N:            2,
+		K:            2,
+		Phi:          math.Pi,
+		Objective:    "conn=strong,min=stretch",
+		Planned:      true,
+		Algo:         "tworay",
+		Construction: "tworay",
+		Guarantee:    Guarantee{Conn: "strong", Stretch: 2, Antennae: 2, Spread: 0, StrongC: 1},
+		Sectors: [][]Sector{
+			{{Start: 0.25, Spread: 0, Radius: 1.5}, {Start: 3.1, Spread: 0.2, Radius: 2}},
+			{{Start: 5.9, Spread: 0, Radius: 1.5}},
+		},
+		LMax:        1.5,
+		Bound:       2,
+		ProvedBound: 2,
+		RadiusUsed:  2,
+		RadiusRatio: 4.0 / 3,
+		SpreadUsed:  0.2,
+		Edges:       3,
+		Verified:    true,
+		Violations:  nil,
+	}
+}
+
+// TestBinaryRoundTrip: the binary codec must reproduce the artifact
+// exactly, and re-encoding must reproduce the bytes exactly.
+func TestBinaryRoundTrip(t *testing.T) {
+	s := sampleSolution()
+	data := s.EncodeBinary()
+	got, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", s, got)
+	}
+	if !bytes.Equal(data, got.EncodeBinary()) {
+		t.Fatal("re-encode differs from original bytes")
+	}
+}
+
+// TestJSONRoundTrip mirrors TestBinaryRoundTrip for the JSON codec.
+func TestJSONRoundTrip(t *testing.T) {
+	s := sampleSolution()
+	data, err := s.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", s, got)
+	}
+	again, err := got.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encode differs from original bytes")
+	}
+}
+
+// TestDecodeBinaryRejectsCorruption: truncations and bit flips in the
+// header must produce errors, never a quietly wrong artifact.
+func TestDecodeBinaryRejectsCorruption(t *testing.T) {
+	data := sampleSolution().EncodeBinary()
+	for _, n := range []int{0, 3, 7, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeBinary(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+	if _, err := DecodeBinary(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+}
+
+// TestDigest: equal point sets share a digest; any reorder, mutation, or
+// resize changes it.
+func TestDigest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := pointset.Uniform(rng, 50, 10)
+	d1 := Digest(pts)
+	if d1 != Digest(append([]geom.Point(nil), pts...)) {
+		t.Fatal("equal point sets digest differently")
+	}
+	swapped := append([]geom.Point(nil), pts...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if Digest(swapped) == d1 {
+		t.Fatal("reordering did not change digest")
+	}
+	moved := append([]geom.Point(nil), pts...)
+	moved[7].X += 1e-12
+	if Digest(moved) == d1 {
+		t.Fatal("coordinate change did not change digest")
+	}
+	if Digest(pts[:49]) == d1 {
+		t.Fatal("shorter point set shares digest")
+	}
+}
+
+// TestAssignmentRoundTrip: reconstructing the assignment over the right
+// points succeeds and rejects a different deployment.
+func TestAssignmentRoundTrip(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4.5}}
+	s := sampleSolution()
+	asg, err := s.Assignment(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.AntennaCount(0) != 2 || asg.AntennaCount(1) != 1 {
+		t.Fatalf("reconstructed counts %d/%d, want 2/1", asg.AntennaCount(0), asg.AntennaCount(1))
+	}
+	wrong := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4.6}}
+	if _, err := s.Assignment(wrong); err == nil {
+		t.Fatal("assignment over mismatched points succeeded")
+	}
+}
+
+// TestCacheLRU: eviction is least-recently-used and the hit/miss
+// counters track lookups.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	key := func(i int) Key { return Key{Digest: fmt.Sprintf("d%02d", i), K: 1, Mode: AlgoMode("tour")} }
+	s := sampleSolution()
+	c.Put(key(1), s)
+	c.Put(key(2), s)
+	if _, ok := c.Get(key(1)); !ok { // touch 1 → 2 is now LRU
+		t.Fatal("key 1 missing")
+	}
+	c.Put(key(3), s) // evicts 2
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("key 2 survived eviction")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 evicted out of LRU order")
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("key 3 missing")
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 3/1", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+// TestCacheKeyDistinguishesBudgets: the same pointset under different
+// budgets or modes must occupy distinct cache slots.
+func TestCacheKeyDistinguishesBudgets(t *testing.T) {
+	c := NewCache(8)
+	d := Digest([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}})
+	base := Key{Digest: d, K: 2, Phi: 0, Mode: AlgoMode("tour")}
+	c.Put(base, sampleSolution())
+	for _, k := range []Key{
+		{Digest: d, K: 3, Phi: 0, Mode: AlgoMode("tour")},
+		{Digest: d, K: 2, Phi: 0.5, Mode: AlgoMode("tour")},
+		{Digest: d, K: 2, Phi: 0, Mode: AlgoMode("tworay")},
+		{Digest: d, K: 2, Phi: 0, Mode: ObjectiveMode("conn=strong,min=stretch")},
+	} {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %v aliases %v", k, base)
+		}
+	}
+}

@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/antenna"
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/geom"
+	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/verify"
 )
@@ -106,7 +106,7 @@ func TestCorruptionDetected(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s: representative budget unsupported", info.Name)
 		}
-		bud := experiments.GuaranteeBudgets(g)
+		bud := plan.VerifyBudgets(g)
 		for _, c := range corruptions {
 			asg, _, err := o.Orient(pts, info.RepK, info.RepPhi)
 			if err != nil {

@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/antenna"
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/geom"
+	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/verify"
 )
@@ -60,7 +60,7 @@ type orientationFingerprint struct {
 }
 
 func fingerprint(asg *antenna.Assignment, g core.Guarantee, ok bool) orientationFingerprint {
-	rep := verify.Check(asg, experiments.GuaranteeBudgets(g))
+	rep := verify.Check(asg, plan.VerifyBudgets(g))
 	return orientationFingerprint{
 		verified:   ok && rep.OK(),
 		maxAnt:     asg.MaxAntennas(),

@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/geom"
+	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/verify"
 )
@@ -60,7 +60,7 @@ func TestPortfolioCrossAlgorithmHarness(t *testing.T) {
 						t.Fatalf("%s k=%d phi=%.3f %s n=%d: self-reported violations: %v",
 							info.Name, b.K, b.Phi, fam, n, res.Violations)
 					}
-					if rep := verify.Check(asg, experiments.GuaranteeBudgets(g)); !rep.OK() {
+					if rep := verify.Check(asg, plan.VerifyBudgets(g)); !rep.OK() {
 						t.Fatalf("%s k=%d phi=%.3f %s n=%d: verification failed:\n%s",
 							info.Name, b.K, b.Phi, fam, n, rep)
 					}
@@ -103,7 +103,7 @@ func TestNewOrientersAtScale(t *testing.T) {
 			if len(res.Violations) > 0 {
 				t.Fatalf("%s %s: self-reported violations: %v", sp.algo, fam, res.Violations[:min(3, len(res.Violations))])
 			}
-			if rep := verify.Check(asg, experiments.GuaranteeBudgets(g)); !rep.OK() {
+			if rep := verify.Check(asg, plan.VerifyBudgets(g)); !rep.OK() {
 				t.Fatalf("%s %s n=10000: verification failed:\n%s", sp.algo, fam, rep)
 			}
 		}
