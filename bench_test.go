@@ -18,6 +18,7 @@ import (
 	"repro/internal/pointset"
 	"repro/internal/radio"
 	"repro/internal/service"
+	"repro/internal/solution"
 	"repro/internal/verify"
 )
 
@@ -289,12 +290,46 @@ func BenchmarkEngineCacheHit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, hit, err := eng.Solve(context.Background(), req)
+		_, src, err := eng.Solve(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if !hit {
-			b.Fatal("expected a cache hit")
+		if src != service.SourceMemory {
+			b.Fatal("expected a memory cache hit")
+		}
+	}
+}
+
+// BenchmarkEngineStoreHit measures the durable tier's hot path: a
+// request missing the in-memory LRU but resident on disk (digest, L1
+// miss, sharded read, checksum + decode, L1 promotion) — the cost of the
+// first repeat after an antennad restart.
+func BenchmarkEngineStoreHit(b *testing.B) {
+	dir := b.TempDir()
+	seedStore, err := solution.OpenStore(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := benchPoints(2000)
+	req := service.Request{Pts: pts, K: 2, Phi: math.Pi, Algo: "table1"}
+	if _, _, err := service.NewEngine(service.Options{Store: seedStore}).Solve(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := solution.OpenStore(dir, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := service.NewEngine(service.Options{Store: st}) // cold L1, warm disk
+		b.StartTimer()
+		_, src, err := eng.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src != service.SourceDisk {
+			b.Fatalf("source %v, want disk", src)
 		}
 	}
 }
@@ -308,11 +343,11 @@ func BenchmarkEngineSolveMiss(b *testing.B) {
 		b.StopTimer()
 		eng := service.NewEngine(service.Options{}) // fresh cache each round
 		b.StartTimer()
-		_, hit, err := eng.Solve(context.Background(), service.Request{Pts: pts, K: 2, Phi: 0})
+		_, src, err := eng.Solve(context.Background(), service.Request{Pts: pts, K: 2, Phi: 0})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if hit {
+		if src.Hit() {
 			b.Fatal("unexpected cache hit")
 		}
 	}

@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	antennactl gen    -workload uniform -n 200 -seed 1 -o sensors.csv
-//	antennactl orient -in sensors.csv -k 2 -phi 3.1416 [-svg net.svg] [-shrink]
-//	antennactl verify -in sensors.csv -k 2 -phi 3.1416
-//	antennactl render -in sensors.csv -k 3 -phi 0 -svg out.svg
+//	antennactl gen     -workload uniform -n 200 -seed 1 -o sensors.csv
+//	antennactl orient  -in sensors.csv -k 2 -phi 3.1416 [-svg net.svg] [-shrink] [-artifact sol.json]
+//	antennactl verify  -in sensors.csv -k 2 -phi 3.1416
+//	antennactl render  -in sensors.csv -k 3 -phi 0 -svg out.svg
+//	antennactl inspect sol.json|sol.bin
 //
 // Spreads are radians; "pi" multiples like -phi 1.0pi are accepted.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/pointset"
 	"repro/internal/render"
 	"repro/internal/service"
+	"repro/internal/solution"
 )
 
 func main() {
@@ -50,6 +53,8 @@ func main() {
 		err = cmdOrient(os.Args[2:], false)
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
 	case "algos":
 		err = cmdAlgos()
 	default:
@@ -63,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate|algos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate|inspect|algos> [flags]
   gen      -workload uniform|clusters|grid|annulus|stars|line -n N -seed S [-o file.csv]
   orient   -in file.csv -k K -phi PHI [-algo NAME | -auto [-conn strong|symmetric]
            [-minimize stretch|antennae|spread] [-race 100ms]] [-svg out.svg]
@@ -71,6 +76,7 @@ func usage() {
   verify   -in file.csv -k K -phi PHI [-algo NAME | -auto ...]
   render   -in file.csv -k K -phi PHI -svg out.svg
   simulate -in file.csv -k K -phi PHI -sim broadcast|route|fail [-src N] [-fails N]
+  inspect  artifact.json|artifact.bin — decode and print a solution artifact
   algos    list the registered orienters, their regions and guarantees`)
 }
 
@@ -194,8 +200,8 @@ func cmdOrient(args []string, verifyOnly bool) error {
 	if sol.Planned {
 		fmt.Printf("  [planned: %s]", sol.Objective)
 	}
-	if cached {
-		fmt.Printf("  [cache hit]")
+	if cached.Hit() {
+		fmt.Printf("  [cache hit: %s]", cached)
 	}
 	fmt.Println()
 	fmt.Printf("guarantee   %s connectivity, radius <= %.4f x l_max, <= %d antennae\n",
@@ -262,6 +268,68 @@ func cmdOrient(args []string, verifyOnly bool) error {
 	if len(pts) > 1 {
 		tree := mst.Euclidean(pts)
 		fmt.Printf("mst         maxdeg=%d total=%.4f\n", tree.MaxDegree(), tree.TotalLength())
+	}
+	return nil
+}
+
+// cmdInspect decodes a solution artifact written by `orient -artifact`
+// (or fetched from antennad) and prints its header, guarantee, measured
+// radii, and verification record. The codec is sniffed from the bytes:
+// the binary format opens with the "ASOL" magic, anything else is tried
+// as JSON.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: antennactl inspect <artifact.json|artifact.bin>")
+	}
+	return inspectFile(os.Stdout, fs.Arg(0))
+}
+
+func inspectFile(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sol *solution.Solution
+	if bytes.HasPrefix(data, []byte("ASOL")) {
+		sol, err = solution.DecodeBinary(data)
+	} else {
+		sol, err = solution.DecodeJSON(data)
+	}
+	if err != nil {
+		return fmt.Errorf("inspect %s: %w", path, err)
+	}
+	return writeInspect(w, path, len(data), sol)
+}
+
+func writeInspect(w io.Writer, path string, size int, sol *solution.Solution) error {
+	fmt.Fprintf(w, "artifact    %s (%d bytes, schema v%d)\n", path, size, sol.Version)
+	fmt.Fprintf(w, "digest      %s\n", sol.PointsDigest)
+	fmt.Fprintf(w, "sensors     %d\n", sol.N)
+	fmt.Fprintf(w, "budget      k=%d phi=%.6f\n", sol.K, sol.Phi)
+	fmt.Fprintf(w, "algorithm   %s", sol.Algo)
+	if sol.Construction != "" && sol.Construction != sol.Algo {
+		fmt.Fprintf(w, " (%s)", sol.Construction)
+	}
+	if sol.Planned {
+		fmt.Fprintf(w, "  [planned: %s]", sol.Objective)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "guarantee   %s connectivity, radius <= %.4f x l_max, <= %d antennae, spread <= %.4f\n",
+		sol.Guarantee.Conn, sol.Guarantee.Stretch, sol.Guarantee.Antennae, sol.Guarantee.Spread)
+	fmt.Fprintf(w, "l_max       %.6f\n", sol.LMax)
+	fmt.Fprintf(w, "bound       %.6f x l_max (proved %.6f)\n", sol.Bound, sol.ProvedBound)
+	fmt.Fprintf(w, "radius used %.6f (ratio %.6f)\n", sol.RadiusUsed, sol.RadiusRatio)
+	fmt.Fprintf(w, "spread used %.6f\n", sol.SpreadUsed)
+	fmt.Fprintf(w, "verified    %v (edges=%d)\n", sol.Verified, sol.Edges)
+	for _, e := range sol.VerifyErrors {
+		fmt.Fprintf(w, "  ERROR: %s\n", e)
+	}
+	for _, v := range sol.Violations {
+		fmt.Fprintf(w, "  violation: %s\n", v)
 	}
 	return nil
 }

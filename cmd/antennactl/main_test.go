@@ -2,10 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/pointset"
+	"repro/internal/service"
 )
 
 func TestParsePhi(t *testing.T) {
@@ -40,6 +47,62 @@ func TestSourceOf(t *testing.T) {
 	}
 	if got := sourceOf(5, 0); got != "folklore (k=5)" {
 		t.Errorf("sourceOf(5, 0) = %q", got)
+	}
+}
+
+// TestInspectRoundTrip: an artifact written in either codec must decode
+// through `antennactl inspect` and report the same header fields.
+func TestInspectRoundTrip(t *testing.T) {
+	pts := pointset.Workload("uniform", rand.New(rand.NewSource(7)), 40)
+	sol, _, err := service.NewEngine(service.Options{}).Solve(context.Background(),
+		service.Request{Pts: pts, K: 2, Phi: 0, Algo: "tworay"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonData, err := sol.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "sol.json")
+	binPath := filepath.Join(dir, "sol.bin")
+	if err := os.WriteFile(jsonPath, jsonData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, sol.EncodeBinary(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON, fromBin bytes.Buffer
+	if err := inspectFile(&fromJSON, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectFile(&fromBin, binPath); err != nil {
+		t.Fatal(err)
+	}
+	// Everything after the artifact line (path + size differ) must match.
+	tail := func(b *bytes.Buffer) string {
+		_, rest, _ := strings.Cut(b.String(), "\n")
+		return rest
+	}
+	if tail(&fromJSON) != tail(&fromBin) {
+		t.Fatalf("inspect output differs between codecs:\n--- json ---\n%s--- bin ---\n%s", fromJSON.String(), fromBin.String())
+	}
+	for _, want := range []string{sol.PointsDigest, "algorithm   tworay", "verified    true"} {
+		if !strings.Contains(fromJSON.String(), want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, fromJSON.String())
+		}
+	}
+	// Damaged artifacts must error, not print garbage (the raw codec
+	// catches structural damage; full bit-flip detection is the store
+	// envelope's job).
+	bad := sol.EncodeBinary()
+	bad = bad[:len(bad)-3]
+	badPath := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectFile(&bytes.Buffer{}, badPath); err == nil {
+		t.Fatal("inspect accepted a corrupt artifact")
 	}
 }
 

@@ -1,13 +1,21 @@
 // Command antennad is the long-running orientation service: the same
 // plan→solution engine the CLI tools use, behind an HTTP/JSON API.
 // Concurrent /orient requests are coalesced through the core.OrientBatch
-// worker pool and served from a content-addressed artifact cache, so
-// repeated and sweep-adjacent requests return byte-identical solutions
-// without re-orienting.
+// worker pool, identical in-flight requests share one solve
+// (single-flight), and artifacts are served from two content-addressed
+// tiers — a byte-charged in-memory LRU and an optional durable disk
+// store (-store) that survives restarts — so repeated requests return
+// byte-identical solutions without re-orienting, even across a redeploy.
+// The server sheds load above -max-inflight with 429 + Retry-After and
+// bounds each request by -deadline (503 when exceeded); see
+// docs/OPERATIONS.md for the full operational story.
 //
 // Usage:
 //
-//	antennad [-addr :8080] [-cache 512] [-workers 0] [-batch-window 2ms] [-max-batch 64]
+//	antennad [-addr :8080] [-cache 512] [-cache-max-bytes 134217728]
+//	         [-store DIR] [-store-max-bytes 268435456]
+//	         [-workers 0] [-batch-window 2ms] [-max-batch 64]
+//	         [-deadline 0] [-max-inflight 0] [-race 0]
 //
 // Endpoints:
 //
@@ -32,21 +40,43 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/solution"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	cache := flag.Int("cache", 0, "artifact cache capacity; 0 = default")
+	cache := flag.Int("cache", 0, "artifact cache capacity (entries); 0 = default")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "in-memory cache byte budget; 0 = default (128 MiB)")
+	storeDir := flag.String("store", "", "directory for the durable artifact store; empty disables the disk tier")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "disk store byte cap; 0 = default (256 MiB)")
 	workers := flag.Int("workers", 0, "OrientBatch pool size; 0 = GOMAXPROCS")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long a lone request waits for batch companions; 0 disables coalescing")
 	maxBatch := flag.Int("max-batch", 64, "max requests per coalesced batch")
+	deadline := flag.Duration("deadline", 0, "per-request solve deadline (503 when exceeded); 0 disables")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent /orient requests before shedding 429; 0 = unbounded")
+	race := flag.Duration("race", 0, "default racing deadline for planner-selected requests; 0 disables racing")
 	flag.Parse()
 
+	var store *solution.Store
+	if *storeDir != "" {
+		var err error
+		store, err = solution.OpenStore(*storeDir, *storeMaxBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "antennad:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "antennad: artifact store %s (%d resident)\n", store.Root(), store.Len())
+	}
 	eng := service.NewEngine(service.Options{
-		CacheSize:   *cache,
-		Workers:     *workers,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
+		CacheSize:     *cache,
+		CacheMaxBytes: *cacheMaxBytes,
+		Store:         store,
+		Workers:       *workers,
+		BatchWindow:   *batchWindow,
+		MaxBatch:      *maxBatch,
+		Deadline:      *deadline,
+		MaxInflight:   *maxInflight,
+		DefaultRace:   *race,
 	})
 	defer eng.Close()
 	srv := &http.Server{

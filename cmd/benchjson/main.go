@@ -26,6 +26,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/service"
+	"repro/internal/solution"
 )
 
 // benchPoints mirrors the deterministic workload generator of the root
@@ -145,8 +146,36 @@ func main() {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, hit, err := eng.Solve(context.Background(), req); err != nil || !hit {
-					b.Fatalf("hit=%v err=%v", hit, err)
+				if _, src, err := eng.Solve(context.Background(), req); err != nil || src != service.SourceMemory {
+					b.Fatalf("src=%v err=%v", src, err)
+				}
+			}
+		}},
+		bench{"BenchmarkEngine/store-hit/n=2000", func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "benchstore")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			seedStore, err := solution.OpenStore(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := service.Request{Pts: benchPoints(2000), K: 2, Phi: math.Pi, Algo: "table1"}
+			if _, _, err := service.NewEngine(service.Options{Store: seedStore}).Solve(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st, err := solution.OpenStore(dir, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := service.NewEngine(service.Options{Store: st}) // cold L1, warm disk
+				b.StartTimer()
+				if _, src, err := eng.Solve(context.Background(), req); err != nil || src != service.SourceDisk {
+					b.Fatalf("src=%v err=%v", src, err)
 				}
 			}
 		}},

@@ -1,0 +1,125 @@
+package repro
+
+// Documentation gates, run as ordinary tests so CI and `go test ./...`
+// enforce them:
+//
+//   - TestGodocPresence walks every internal/* and cmd/* package (plus
+//     this root package) and fails if one lacks a package comment — the
+//     layer map of the codebase lives in godoc, so a silent package is a
+//     documentation regression.
+//   - TestMarkdownLinks scans the repo's markdown files and fails on
+//     relative links that point at nothing, so README/ROADMAP/docs stay
+//     navigable as files move.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// goPackageDirs returns the package directories the godoc gate covers.
+func goPackageDirs(t *testing.T) []string {
+	t.Helper()
+	dirs := []string{"."}
+	for _, parent := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(parent, e.Name()))
+			}
+		}
+	}
+	return dirs
+}
+
+// TestGodocPresence: every package must carry a package comment (a doc
+// comment on the package clause of at least one non-test file) stating
+// its role in the pipeline.
+func TestGodocPresence(t *testing.T) {
+	for _, dir := range goPackageDirs(t) {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		checked := 0
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			checked++
+			fset := token.NewFileSet()
+			ast, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			if ast.Doc != nil && strings.TrimSpace(ast.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if checked == 0 {
+			continue // test-only directory
+		}
+		if !documented {
+			t.Errorf("package %s has no package comment on any file; add a doc.go or top-of-file comment", dir)
+		}
+	}
+}
+
+// mdLink matches [text](target) links; targets with spaces or angle
+// brackets are not used in this repo.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks: every relative link in the repo's markdown files
+// must resolve to an existing file or directory. External (http/mailto)
+// and pure-anchor links are skipped — the gate is offline.
+func TestMarkdownLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && (d.Name() == ".git" || d.Name() == ".claude") {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(p, ".md") {
+			mdFiles = append(mdFiles, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 4 {
+		t.Fatalf("only %d markdown files found — walker broken?", len(mdFiles))
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // strip fragment
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,17 @@ type BatchResult struct {
 // regeneration, parameter sweeps, and any caller orienting many
 // deployments at once.
 func OrientBatch(items []BatchItem, workers int) []BatchResult {
+	return OrientBatchCtx(context.Background(), items, workers)
+}
+
+// OrientBatchCtx is OrientBatch with cooperative cancellation: each
+// worker checks the context before starting an item, and items not yet
+// started when the deadline passes are marked with ctx.Err() instead of
+// oriented. An item already running is not interrupted — orientation is
+// pure CPU work between checkpoints — so cancellation bounds new work,
+// not in-flight work. This is how the service layer propagates HTTP
+// deadlines into the orientation pool.
+func OrientBatchCtx(ctx context.Context, items []BatchItem, workers int) []BatchResult {
 	out := make([]BatchResult, len(items))
 	if len(items) == 0 {
 		return out
@@ -48,6 +60,10 @@ func OrientBatch(items []BatchItem, workers int) []BatchResult {
 	}
 	ParallelFor(len(items), workers, func(i int) {
 		it := items[i]
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
 		if it.Algo == "" || it.Algo == DefaultOrienterName {
 			out[i].Asg, out[i].Res, out[i].Err = Orient(it.Pts, it.K, it.Phi)
 			return

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/solution"
+)
+
+// openStore fails the test instead of returning an error.
+func openStore(t *testing.T, dir string) *solution.Store {
+	t.Helper()
+	st, err := solution.OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRestartPersistence is the durable-tier acceptance test: an engine
+// re-created over the same store directory (an antennad restart) must
+// serve the repeated request from disk, byte-identical, and promote it
+// back into memory.
+func TestRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	pts := uniformPts(150, 21)
+	req := Request{Pts: pts, K: 2, Phi: 0, Algo: "tworay"}
+	ctx := context.Background()
+
+	eng1 := NewEngine(Options{Store: openStore(t, dir)})
+	s1, src, err := eng1.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceMiss {
+		t.Fatalf("first solve source %v, want miss", src)
+	}
+	if eng1.Store().Stats().Writes != 1 {
+		t.Fatalf("store writes %d, want 1", eng1.Store().Stats().Writes)
+	}
+
+	// "Restart": a fresh engine and store handle over the same
+	// directory — the in-memory tier is cold.
+	eng2 := NewEngine(Options{Store: openStore(t, dir)})
+	s2, src, err := eng2.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceDisk {
+		t.Fatalf("post-restart source %v, want disk", src)
+	}
+	j1, _ := s1.EncodeJSON()
+	j2, _ := s2.EncodeJSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("artifact served across restart is not byte-identical")
+	}
+	if !bytes.Equal(s1.EncodeBinary(), s2.EncodeBinary()) {
+		t.Fatal("binary encoding differs across restart")
+	}
+	// The disk hit was promoted: the third lookup is a memory hit.
+	if _, src, _ := eng2.Solve(ctx, req); src != SourceMemory {
+		t.Fatalf("post-promotion source %v, want memory", src)
+	}
+	// Planner-selected requests persist under their objective key too.
+	preq := Request{Pts: pts, K: 2, Phi: 0}
+	if _, src, err := eng2.Solve(ctx, preq); err != nil || src.Hit() {
+		t.Fatalf("planned solve src=%v err=%v, want fresh miss", src, err)
+	}
+	eng3 := NewEngine(Options{Store: openStore(t, dir)})
+	if _, src, err := eng3.Solve(ctx, preq); err != nil || src != SourceDisk {
+		t.Fatalf("planned artifact not durable: src=%v err=%v", src, err)
+	}
+}
+
+// TestStoreCorruptionFallback: damaging the stored artifact must make
+// the engine recompute (identically) and heal the store, never serve
+// corrupt bytes.
+func TestStoreCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	pts := uniformPts(100, 22)
+	req := Request{Pts: pts, K: 1, Phi: math.Pi, Algo: "k1"}
+	ctx := context.Background()
+
+	eng1 := NewEngine(Options{Store: openStore(t, dir)})
+	s1, _, err := eng1.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in every stored artifact file.
+	var files []string
+	err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			files = append(files, p)
+		}
+		return err
+	})
+	if err != nil || len(files) != 1 {
+		t.Fatalf("store files %v, err %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := NewEngine(Options{Store: openStore(t, dir)})
+	s2, src, err := eng2.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceMiss {
+		t.Fatalf("corrupt store served source %v, want recompute miss", src)
+	}
+	if got := eng2.Store().Stats().Corruptions; got != 1 {
+		t.Fatalf("corruptions %d, want 1", got)
+	}
+	j1, _ := s1.EncodeJSON()
+	j2, _ := s2.EncodeJSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("recomputed artifact differs from the original")
+	}
+	// The recompute healed the store: a third engine hits disk.
+	eng3 := NewEngine(Options{Store: openStore(t, dir)})
+	if _, src, err := eng3.Solve(ctx, req); err != nil || src != SourceDisk {
+		t.Fatalf("store not healed: src=%v err=%v", src, err)
+	}
+}
+
+// TestSingleFlight: N concurrent identical requests run exactly one
+// solve; every caller gets the same byte-identical artifact.
+func TestSingleFlight(t *testing.T) {
+	eng := NewEngine(Options{})
+	pts := uniformPts(2000, 23) // big enough that the solve outlives goroutine startup
+	req := Request{Pts: pts, K: 2, Phi: 0, Algo: "tworay"}
+	ctx := context.Background()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			sol, _, err := eng.Solve(ctx, req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bodies[i], _ = sol.EncodeJSON()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("caller %d received a different artifact", i)
+		}
+	}
+	if got := eng.Metrics().Solves.Load(); got != 1 {
+		t.Fatalf("%d solves for %d identical concurrent requests, want 1", got, callers)
+	}
+	if eng.Metrics().Coalesced.Load()+1 < callers {
+		// Stragglers that arrive after the flight lands hit the
+		// memory tier instead; both paths avoid a second solve.
+		hits, _ := eng.Cache().Stats()
+		if eng.Metrics().Coalesced.Load()+hits+1 < callers {
+			t.Fatalf("coalesced %d + memory hits %d + 1 leader < %d callers",
+				eng.Metrics().Coalesced.Load(), hits, callers)
+		}
+	}
+}
+
+// TestDeadlineExpiry: an expired or tight deadline must return promptly
+// with context.DeadlineExceeded instead of orienting to completion.
+func TestDeadlineExpiry(t *testing.T) {
+	eng := NewEngine(Options{})
+	// Big enough that no plausible machine solves it inside the 1ms
+	// deadline below — the margin is what keeps this test deterministic.
+	pts := uniformPts(20000, 24)
+	req := Request{Pts: pts, K: 2, Phi: 0, Algo: "tworay"}
+
+	// Already-expired context: rejected before any work.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	begin := time.Now()
+	_, _, err := eng.Solve(ctx, req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired context error %v, want deadline exceeded", err)
+	}
+	if d := time.Since(begin); d > time.Second {
+		t.Fatalf("expired context took %v to reject", d)
+	}
+
+	// Deadline passing mid-solve: the caller is unblocked promptly even
+	// though the abandoned orientation finishes in the background.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	begin = time.Now()
+	_, _, err = eng.Solve(ctx2, req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-solve deadline error %v, want deadline exceeded", err)
+	}
+	if d := time.Since(begin); d > 10*time.Second {
+		t.Fatalf("deadline-expired solve took %v to return", d)
+	}
+	if eng.Metrics().DeadlineExceeded.Load() == 0 {
+		t.Fatal("deadline counter did not move")
+	}
+
+	// The abandoned solve is salvaged: once the orientation lands, the
+	// artifact is verified and cached (Solves moves to 1) and a retry
+	// with a healthy deadline is a memory hit, not a second solve.
+	salvageDeadline := time.Now().Add(30 * time.Second)
+	for eng.Metrics().Solves.Load() == 0 {
+		if time.Now().After(salvageDeadline) {
+			t.Fatal("abandoned solve never salvaged into the cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, src, err := eng.Solve(context.Background(), req); err != nil || src != SourceMemory {
+		t.Fatalf("retry after salvage src=%v err=%v, want memory hit", src, err)
+	}
+	if got := eng.Metrics().Solves.Load(); got != 1 {
+		t.Fatalf("%d solves, want 1 — the retry must reuse the salvaged artifact", got)
+	}
+}
+
+// TestHTTPDeadline: with Options.Deadline set, a request that cannot
+// finish in time answers 503 with a Retry-After hint.
+func TestHTTPDeadline(t *testing.T) {
+	eng := NewEngine(Options{Deadline: time.Millisecond})
+	ts := httptest.NewServer(NewServer(eng).Handler())
+	defer ts.Close()
+	resp, body := post(t, ts.URL+"/orient", `{"gen":{"workload":"uniform","n":20000,"seed":5},"k":2,"phi":0,"algo":"tworay"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestHTTPLoadShedding: with MaxInflight bounding the queue, excess
+// concurrent requests answer 429 + Retry-After and the shed counter
+// moves.
+func TestHTTPLoadShedding(t *testing.T) {
+	eng := NewEngine(Options{MaxInflight: 1})
+	ts := httptest.NewServer(NewServer(eng).Handler())
+	defer ts.Close()
+
+	// Occupy the only slot with a slow solve. The occupier is inside the
+	// engine (and so holds the semaphore) once Requests moves — shed
+	// requests are refused before reaching Solve — so wait for that
+	// before probing, or the probe could win the slot instead.
+	slow := `{"gen":{"workload":"uniform","n":20000,"seed":6},"k":2,"phi":0,"algo":"tworay"}`
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		post(t, ts.URL+"/orient", slow)
+	}()
+	occupied := time.Now().Add(10 * time.Second)
+	for eng.Metrics().Requests.Load() == 0 {
+		if time.Now().After(occupied) {
+			t.Fatal("occupier never entered the engine")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := post(t, ts.URL+"/orient", `{"gen":{"workload":"uniform","n":10,"seed":7},"k":2,"phi":0,"algo":"tworay"}`)
+	<-done
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("probe status %d (%s), want 429 while the slot was occupied", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(string(body), "capacity") {
+		t.Fatalf("shed body %q", body)
+	}
+	if eng.Metrics().Shed.Load() == 0 {
+		t.Fatal("shed counter did not move")
+	}
+}
+
+// TestMetricsExposeTiers: /metrics must render the store rows when a
+// store is attached, and the new lifecycle counters always.
+func TestMetricsExposeTiers(t *testing.T) {
+	dir := t.TempDir()
+	eng := NewEngine(Options{Store: openStore(t, dir)})
+	ts := httptest.NewServer(NewServer(eng).Handler())
+	defer ts.Close()
+	post(t, ts.URL+"/orient", `{"gen":{"workload":"uniform","n":40,"seed":8},"k":2,"phi":0,"algo":"tworay"}`)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(data)
+	for _, want := range []string{
+		"antennad_solves_total 1",
+		"antennad_coalesced_total 0",
+		"antennad_shed_total 0",
+		"antennad_deadline_exceeded_total 0",
+		"antennad_store_writes_total 1",
+		"antennad_store_entries 1",
+		"antennad_cache_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

@@ -2,16 +2,22 @@
 // request (point set + budget + objective or algorithm name) to a
 // verified solution artifact. Every entry point — cmd/table1, cmd/sweep,
 // cmd/antennactl in-process, and the cmd/antennad HTTP server — solves
-// through Engine.Solve, which plans via the orienter registry's declared
-// guarantees (internal/plan), orients through the core.OrientBatch
-// worker pool, audits the output with the independent verifier, and
-// caches the resulting artifact content-addressed by (pointset digest,
-// budget, selection mode) so repeated and sweep-adjacent requests reuse
-// work instead of re-orienting.
+// through Engine.Solve, which checks the two cache tiers (the in-memory
+// byte-charged LRU, then the durable disk store that survives restarts),
+// single-flights identical in-flight requests into one solve, plans via
+// the orienter registry's declared guarantees (internal/plan), orients
+// through the core.OrientBatch worker pool under the request's context
+// deadline, audits the output with the independent verifier, and fills
+// both tiers with the resulting artifact, content-addressed by (pointset
+// digest, budget, selection mode). The HTTP surface (http.go) adds the
+// request-lifecycle guardrails: bounded-inflight load shedding (429 +
+// Retry-After) and per-request deadlines (503), with every counter
+// exported on /metrics.
 package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -46,10 +52,48 @@ func (r Request) mode() string {
 	return solution.ObjectiveMode(r.Objective.Key())
 }
 
+// CacheSource reports which tier served a Solve: the in-memory LRU
+// (SourceMemory), the disk store surviving restarts (SourceDisk), or
+// neither (SourceMiss — the artifact was computed, possibly shared with
+// coalesced identical requests). The HTTP layer renders it verbatim in
+// the X-Cache header.
+type CacheSource int
+
+const (
+	// SourceMiss: the artifact was computed for this request.
+	SourceMiss CacheSource = iota
+	// SourceMemory: served from the in-memory LRU.
+	SourceMemory
+	// SourceDisk: served from the durable store (and promoted to L1).
+	SourceDisk
+)
+
+// Hit reports whether either cache tier served the request.
+func (s CacheSource) Hit() bool { return s != SourceMiss }
+
+// String renders the source as the X-Cache header value.
+func (s CacheSource) String() string {
+	switch s {
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
 // Options configure an Engine.
 type Options struct {
 	// CacheSize caps the artifact cache (≤ 0 selects the default).
 	CacheSize int
+	// CacheMaxBytes caps the in-memory tier by total encoded artifact
+	// bytes (≤ 0 selects solution.DefaultCacheBytes).
+	CacheMaxBytes int64
+	// Store, when non-nil, is the durable L2 tier: memory misses fall
+	// through to it, and computed artifacts are written back, so equal
+	// requests stay byte-identical across process restarts.
+	Store *solution.Store
 	// Workers sizes the core.OrientBatch pool (≤ 0 selects GOMAXPROCS).
 	Workers int
 	// BatchWindow, when positive, coalesces concurrent Solve calls into
@@ -60,14 +104,31 @@ type Options struct {
 	BatchWindow time.Duration
 	// MaxBatch caps a coalesced batch (≤ 0 selects 64).
 	MaxBatch int
+	// Deadline, when positive, is the per-request ceiling the HTTP
+	// layer imposes on /orient; an expired request answers 503.
+	Deadline time.Duration
+	// MaxInflight, when positive, bounds concurrently served /orient
+	// requests; excess requests are shed with 429 + Retry-After
+	// instead of queueing without bound.
+	MaxInflight int
+	// DefaultRace, when positive, gives planner-selected requests that
+	// did not ask for a racing deadline this one: the shortlist is run
+	// on the instance and the best measured radius wins. The deadline
+	// joins the objective's cache key, so raced and a-priori artifacts
+	// never alias.
+	DefaultRace time.Duration
 }
 
 // Engine turns requests into verified solution artifacts.
 type Engine struct {
 	planner plan.Planner
 	cache   *solution.Cache
+	store   *solution.Store
 	opts    Options
 	metrics Metrics
+
+	flightMu sync.Mutex
+	flights  map[solution.Key]*flight
 
 	batchMu sync.Mutex
 	pending []*batchJob
@@ -76,15 +137,29 @@ type Engine struct {
 	closed  bool
 }
 
+// flight is one in-progress solve that identical concurrent requests
+// attach to instead of solving again. The leader fills sol/err and
+// closes done.
+type flight struct {
+	done chan struct{}
+	sol  *solution.Solution
+	err  error
+}
+
 // NewEngine builds an engine with the given options.
 func NewEngine(opts Options) *Engine {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 64
 	}
+	if opts.CacheMaxBytes <= 0 {
+		opts.CacheMaxBytes = solution.DefaultCacheBytes
+	}
 	return &Engine{
-		cache: solution.NewCache(opts.CacheSize),
-		opts:  opts,
-		kick:  make(chan struct{}, 1),
+		cache:   solution.NewCacheSized(opts.CacheSize, opts.CacheMaxBytes),
+		store:   opts.Store,
+		opts:    opts,
+		flights: make(map[solution.Key]*flight),
+		kick:    make(chan struct{}, 1),
 	}
 }
 
@@ -104,20 +179,31 @@ func Shared() *Engine {
 // Cache exposes the engine's artifact cache (read-mostly: stats, len).
 func (e *Engine) Cache() *solution.Cache { return e.cache }
 
+// Store exposes the durable L2 tier, or nil when the engine runs
+// memory-only.
+func (e *Engine) Store() *solution.Store { return e.store }
+
 // Plan runs the planner for a budget and objective without orienting.
 func (e *Engine) Plan(obj plan.Objective, k int, phi float64) (plan.Decision, error) {
 	e.metrics.PlanCalls.Add(1)
 	return e.planner.Plan(obj, k, phi)
 }
 
-// Solve returns the verified artifact for the request, serving from the
-// content-addressed cache when possible. The second return reports a
-// cache hit. Solve is deterministic: equal requests yield artifacts that
-// encode to identical bytes, whether computed or cached.
-func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, bool, error) {
+// Solve returns the verified artifact for the request, with the cache
+// tier that served it (memory, disk, or a computed miss). Solve is
+// deterministic: equal requests yield artifacts that encode to identical
+// bytes, whether computed, cached, or read back from disk after a
+// restart. Identical concurrent requests are single-flighted: one solve
+// runs and every caller shares its artifact. The context is honored at
+// every stage — an expired deadline returns promptly with ctx.Err()
+// instead of orienting.
+func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, CacheSource, error) {
 	e.metrics.Requests.Add(1)
 	if err := validate(req); err != nil {
-		return nil, false, err
+		return nil, SourceMiss, err
+	}
+	if req.Algo == "" && req.Objective.Deadline == 0 && e.opts.DefaultRace > 0 {
+		req.Objective.Deadline = e.opts.DefaultRace
 	}
 	key := solution.Key{
 		Digest: solution.Digest(req.Pts),
@@ -126,47 +212,142 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, bo
 		Mode:   req.mode(),
 	}
 	if sol, ok := e.cache.Get(key); ok {
-		return sol, true, nil
+		return sol, SourceMemory, nil
+	}
+	if e.store != nil {
+		if sol, ok := e.store.Get(key); ok {
+			e.cache.Put(key, sol) // promote to L1
+			return sol, SourceDisk, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		e.noteCtxErr(err)
+		return nil, SourceMiss, err
 	}
 
+	// Single-flight: identical in-flight requests share one solve.
+	e.flightMu.Lock()
+	if f, ok := e.flights[key]; ok {
+		e.flightMu.Unlock()
+		e.metrics.Coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.sol, SourceMiss, f.err
+		case <-ctx.Done():
+			e.noteCtxErr(ctx.Err())
+			return nil, SourceMiss, ctx.Err()
+		}
+	}
+	// Close the leader-handoff window: a previous leader may have filled
+	// the cache and retired its flight between our cache lookup and here.
+	// Re-check under flightMu before becoming a new leader, or TWO
+	// leaders would solve the same request back to back.
+	if sol, ok := e.cache.Peek(key); ok {
+		e.flightMu.Unlock()
+		return sol, SourceMemory, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	e.flightMu.Unlock()
+
+	f.sol, f.err = e.solveMiss(ctx, req, key)
+	// Remove the flight before releasing waiters: any request arriving
+	// after this point sees the cache fill instead of a stale flight.
+	e.flightMu.Lock()
+	delete(e.flights, key)
+	e.flightMu.Unlock()
+	close(f.done)
+	return f.sol, SourceMiss, f.err
+}
+
+// solveMiss computes, verifies, and caches the artifact for a request
+// that missed both tiers. Errors are never cached. Deadline expiry is
+// strict but not wasteful: when the orientation lands after the
+// caller's deadline, the caller gets ctx.Err() while the finished
+// artifact is still verified and written into both tiers (synchronously
+// if the result was already in hand, in the background otherwise), so a
+// retry hits the cache instead of re-paying the solve.
+func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (*solution.Solution, error) {
 	algo, decision, err := e.selectAlgo(ctx, req)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	orienter, ok := core.LookupOrienter(algo)
 	if !ok {
-		return nil, false, fmt.Errorf("service: unknown orienter %q", algo)
+		return nil, fmt.Errorf("service: unknown orienter %q", algo)
 	}
 	guar, ok := orienter.Guarantee(req.K, req.Phi)
 	if !ok {
-		return nil, false, fmt.Errorf("service: orienter %q does not support k=%d phi=%.6f (region: %s)",
+		return nil, fmt.Errorf("service: orienter %q does not support k=%d phi=%.6f (region: %s)",
 			algo, req.K, req.Phi, orienter.Info().Region)
 	}
 
 	// A race already oriented the winner on this instance; reuse that
 	// run instead of orienting a second time.
-	var asg *antenna.Assignment
-	var res *core.Result
 	if decision != nil && decision.WinnerAsg != nil {
-		asg, res = decision.WinnerAsg, decision.WinnerRes
-	} else {
-		asg, res, err = e.orient(ctx, core.BatchItem{Pts: req.Pts, K: req.K, Phi: req.Phi, Algo: algo})
-		if err != nil {
-			e.metrics.OrientErrors.Add(1)
-			return nil, false, err
-		}
+		return e.finish(req, key, decision, guar, decision.WinnerAsg, decision.WinnerRes), nil
 	}
 
+	resc := e.orientAsync(ctx, core.BatchItem{Pts: req.Pts, K: req.K, Phi: req.Phi, Algo: algo})
+	select {
+	case out := <-resc:
+		if out.Err != nil {
+			if ctx.Err() != nil {
+				e.noteCtxErr(ctx.Err())
+			} else {
+				e.metrics.OrientErrors.Add(1)
+			}
+			return nil, out.Err
+		}
+		if err := ctx.Err(); err != nil {
+			// Strict deadline semantics: a result landing after the
+			// deadline reports the expiry, never a lucky scheduling
+			// race — but the artifact is salvaged for the tiers.
+			e.noteCtxErr(err)
+			e.finish(req, key, decision, guar, out.Asg, out.Res)
+			return nil, err
+		}
+		return e.finish(req, key, decision, guar, out.Asg, out.Res), nil
+	case <-ctx.Done():
+		// The caller is unblocked now; salvage the abandoned solve when
+		// it eventually lands so a retry does not re-pay it.
+		go func() {
+			if out := <-resc; out.Err == nil {
+				e.finish(req, key, decision, guar, out.Asg, out.Res)
+			}
+		}()
+		e.noteCtxErr(ctx.Err())
+		return nil, ctx.Err()
+	}
+}
+
+// finish runs the post-orientation tail — independent verification,
+// artifact assembly, and the fill of both cache tiers — and returns the
+// immutable artifact.
+func (e *Engine) finish(req Request, key solution.Key, decision *plan.Decision, guar core.Guarantee,
+	asg *antenna.Assignment, res *core.Result) *solution.Solution {
 	// Budgets come from the a-priori guarantee, never from the
 	// construction's self-report.
 	rep := verify.Check(asg, plan.VerifyBudgets(guar))
 	if !rep.OK() {
 		e.metrics.VerifyFailures.Add(1)
 	}
-
 	sol := buildSolution(key, req, decision, guar, asg, res, rep)
+	e.metrics.Solves.Add(1)
 	e.cache.Put(key, sol)
-	return sol, false, nil
+	if e.store != nil {
+		_ = e.store.Put(key, sol) // best-effort; failures show in store stats
+	}
+	return sol
+}
+
+// noteCtxErr counts a context failure: only true deadline expiries move
+// the deadline counter — a client cancellation (context.Canceled) is the
+// caller abandoning the request, not the server missing its ceiling.
+func (e *Engine) noteCtxErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		e.metrics.DeadlineExceeded.Add(1)
+	}
 }
 
 // maxK bounds the antenna budget the engine accepts: the constructions
@@ -254,21 +435,28 @@ func buildSolution(key solution.Key, req Request, decision *plan.Decision, guar 
 	return sol
 }
 
-// orient runs one item through the core.OrientBatch worker pool. With
-// batching disabled the item is its own batch (OrientBatch degenerates
-// to a plain call); with a batch window, concurrent Solves coalesce into
-// shared pool runs.
-func (e *Engine) orient(ctx context.Context, item core.BatchItem) (*antenna.Assignment, *core.Result, error) {
+// orientAsync submits one item to the orientation pool and returns the
+// buffered channel its result will land on — the producer never blocks,
+// so a caller abandoning the wait can leave a drainer behind to salvage
+// the result. With batching disabled the item runs as its own batch
+// under the request context (the abandoned orientation finishes in the
+// background — CPU work is not preempted — but the caller is
+// unblocked). With a batch window, concurrent Solves coalesce into
+// shared pool runs; a job whose requester's deadline passes while
+// queued is dropped before the pool runs it.
+func (e *Engine) orientAsync(ctx context.Context, item core.BatchItem) <-chan core.BatchResult {
 	if e.opts.BatchWindow <= 0 {
-		out := core.OrientBatch([]core.BatchItem{item}, 1)[0]
-		return out.Asg, out.Res, out.Err
+		done := make(chan core.BatchResult, 1)
+		go func() { done <- core.OrientBatchCtx(ctx, []core.BatchItem{item}, 1)[0] }()
+		return done
 	}
 	e.started.Do(func() { go e.dispatch() })
-	job := &batchJob{item: item, done: make(chan core.BatchResult, 1)}
+	job := &batchJob{ctx: ctx, item: item, done: make(chan core.BatchResult, 1)}
 	e.batchMu.Lock()
 	if e.closed {
 		e.batchMu.Unlock()
-		return nil, nil, fmt.Errorf("service: engine closed")
+		job.done <- core.BatchResult{Err: fmt.Errorf("service: engine closed")}
+		return job.done
 	}
 	e.pending = append(e.pending, job)
 	// Kick inside the lock so Close cannot close the channel between
@@ -278,12 +466,7 @@ func (e *Engine) orient(ctx context.Context, item core.BatchItem) (*antenna.Assi
 	default:
 	}
 	e.batchMu.Unlock()
-	select {
-	case out := <-job.done:
-		return out.Asg, out.Res, out.Err
-	case <-ctx.Done():
-		return nil, nil, ctx.Err()
-	}
+	return job.done
 }
 
 // Close stops the batch dispatcher goroutine (a no-op for engines that
@@ -298,8 +481,10 @@ func (e *Engine) Close() {
 	}
 }
 
-// batchJob couples one queued item with its result channel.
+// batchJob couples one queued item with its requester's context and
+// result channel.
 type batchJob struct {
+	ctx  context.Context
 	item core.BatchItem
 	done chan core.BatchResult
 }
@@ -325,14 +510,27 @@ func (e *Engine) dispatch() {
 			e.pending = append(e.pending[:0], e.pending[n:]...)
 			e.batchMu.Unlock()
 
-			items := make([]core.BatchItem, n)
-			for i, j := range jobs {
+			// Shed jobs whose deadline passed while queued — their
+			// requesters are gone, so running them wastes pool slots.
+			live := jobs[:0]
+			for _, j := range jobs {
+				if err := j.ctx.Err(); err != nil {
+					j.done <- core.BatchResult{Err: err}
+					continue
+				}
+				live = append(live, j)
+			}
+			if len(live) == 0 {
+				continue
+			}
+			items := make([]core.BatchItem, len(live))
+			for i, j := range live {
 				items[i] = j.item
 			}
 			e.metrics.Batches.Add(1)
-			e.metrics.BatchedItems.Add(uint64(n))
+			e.metrics.BatchedItems.Add(uint64(len(live)))
 			results := core.OrientBatch(items, e.opts.Workers)
-			for i, j := range jobs {
+			for i, j := range live {
 				j.done <- results[i]
 			}
 		}

@@ -36,7 +36,7 @@ func TestSolveVerifiedArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit {
+	if hit.Hit() {
 		t.Fatal("first solve reported a cache hit")
 	}
 	if !sol.Verified {
@@ -72,8 +72,8 @@ func TestSolveCacheHitByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit1 || !hit2 {
-		t.Fatalf("cache hits: first=%v second=%v, want false/true", hit1, hit2)
+	if hit1.Hit() || hit2 != SourceMemory {
+		t.Fatalf("cache sources: first=%v second=%v, want miss/memory", hit1, hit2)
 	}
 	j1, _ := s1.EncodeJSON()
 	j2, _ := s2.EncodeJSON()
@@ -105,7 +105,7 @@ func TestSolveCacheMissOnDifferentRequest(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if hit {
+		if hit.Hit() {
 			t.Fatalf("%s: unexpectedly hit the cache", name)
 		}
 	}
@@ -188,7 +188,7 @@ func TestSolveRacedObjective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit {
+	if hit.Hit() {
 		t.Fatal("artifacts raced under different deadlines aliased one cache slot")
 	}
 	// Same deadline: hit.
@@ -196,7 +196,7 @@ func TestSolveRacedObjective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit {
+	if !hit.Hit() {
 		t.Fatal("repeated raced request missed the cache")
 	}
 }

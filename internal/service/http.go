@@ -1,7 +1,9 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -24,7 +26,14 @@ import (
 //
 // /orient responses are solution artifacts in the deterministic codecs
 // of internal/solution: a repeated request is served from cache with a
-// byte-identical body (the X-Cache header is the only difference).
+// byte-identical body (the X-Cache header — memory, disk, or miss — is
+// the only difference). Request lifecycle: when Options.MaxInflight is
+// set, excess concurrent /orient requests are shed with 429 and a
+// Retry-After hint instead of queueing without bound; when
+// Options.Deadline is set, each request runs under that context
+// deadline, propagated through the engine into the orientation pool,
+// and an expired request answers 503. Semantics are documented in
+// docs/OPERATIONS.md.
 
 // wirePoint is one sensor coordinate in request JSON.
 type wirePoint struct {
@@ -96,11 +105,19 @@ func (o orientRequest) points() ([]geom.Point, error) {
 type Server struct {
 	eng   *Engine
 	start time.Time
+	// inflight is the bounded /orient queue: a semaphore sized by
+	// Options.MaxInflight, nil when unbounded.
+	inflight chan struct{}
 }
 
-// NewServer returns a server over the engine.
+// NewServer returns a server over the engine, honoring the engine's
+// MaxInflight and Deadline options on /orient.
 func NewServer(eng *Engine) *Server {
-	return &Server{eng: eng, start: time.Now()}
+	s := &Server{eng: eng, start: time.Now()}
+	if n := eng.opts.MaxInflight; n > 0 {
+		s.inflight = make(chan struct{}, n)
+	}
+	return s
 }
 
 // Handler returns the API mux.
@@ -135,6 +152,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 func (s *Server) handleOrient(w http.ResponseWriter, r *http.Request) {
+	// Load shedding: refuse immediately when the inflight bound is
+	// reached — a client retry after backoff beats an unbounded queue.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.eng.metrics.Shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "server at capacity (%d inflight); retry after backoff", cap(s.inflight))
+			return
+		}
+	}
 	var body orientRequest
 	if !decodeBody(w, r, &body) {
 		return
@@ -157,16 +187,28 @@ func (s *Server) handleOrient(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Objective = obj
 	}
-	sol, hit, err := s.eng.Solve(r.Context(), req)
+	ctx := r.Context()
+	if d := s.eng.opts.Deadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	sol, src, err := s.eng.Solve(ctx, req)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "deadline exceeded: %v", err)
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody is reading this response.
+			// 499 is the conventional (non-standard) code for the logs.
+			w.WriteHeader(499)
+		default:
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
 		return
 	}
-	cacheHeader := "miss"
-	if hit {
-		cacheHeader = "hit"
-	}
-	w.Header().Set("X-Cache", cacheHeader)
+	w.Header().Set("X-Cache", src.String())
 	switch body.Format {
 	case "", "json":
 		data, err := sol.EncodeJSON()

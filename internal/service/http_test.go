@@ -66,10 +66,10 @@ func TestOrientEndToEnd(t *testing.T) {
 		t.Fatalf("HTTP artifact differs from in-process artifact:\n http %s\n proc %s", got, want)
 	}
 
-	// Repeat: served from cache, byte-identical.
+	// Repeat: served from the memory tier, byte-identical.
 	resp2, got2 := post(t, ts.URL+"/orient", body)
-	if h := resp2.Header.Get("X-Cache"); h != "hit" {
-		t.Fatalf("repeated request X-Cache %q, want hit", h)
+	if h := resp2.Header.Get("X-Cache"); h != "memory" {
+		t.Fatalf("repeated request X-Cache %q, want memory", h)
 	}
 	if !bytes.Equal(got, got2) {
 		t.Fatal("cached response differs from first response")

@@ -8,31 +8,44 @@ import (
 
 // Metrics are the engine's cumulative counters. All fields are atomics;
 // a zero Metrics is ready to use. Cache hit/miss counts live in the
-// cache itself (solution.Cache.Stats) — the single source of truth
-// WriteMetrics renders.
+// cache tiers themselves (solution.Cache.Stats, solution.Store.Stats) —
+// the single sources of truth WriteMetrics renders.
 type Metrics struct {
-	Requests       atomic.Uint64
-	PlanCalls      atomic.Uint64
-	Races          atomic.Uint64
-	OrientErrors   atomic.Uint64
-	VerifyFailures atomic.Uint64
-	Batches        atomic.Uint64
-	BatchedItems   atomic.Uint64
+	Requests         atomic.Uint64
+	Solves           atomic.Uint64
+	Coalesced        atomic.Uint64
+	PlanCalls        atomic.Uint64
+	Races            atomic.Uint64
+	OrientErrors     atomic.Uint64
+	VerifyFailures   atomic.Uint64
+	Batches          atomic.Uint64
+	BatchedItems     atomic.Uint64
+	Shed             atomic.Uint64
+	DeadlineExceeded atomic.Uint64
 }
 
 // Metrics returns the engine's counters.
 func (e *Engine) Metrics() *Metrics { return &e.metrics }
 
-// WriteMetrics renders the engine counters in Prometheus text format,
-// counters first, then the cache gauge.
+// metricRow is one line triple of the Prometheus text rendering.
+type metricRow struct {
+	name, help, kind string
+	value            uint64
+}
+
+// WriteMetrics renders the engine counters in Prometheus text format:
+// request-lifecycle counters first, then the memory-tier rows, then —
+// when a durable store is attached — the disk-tier rows. The row names
+// are part of the operational contract documented in docs/OPERATIONS.md.
 func (e *Engine) WriteMetrics(w io.Writer) error {
 	m := &e.metrics
 	hits, misses := e.cache.Stats()
-	rows := []struct {
-		name, help, kind string
-		value            uint64
-	}{
+	rows := []metricRow{
 		{"antennad_requests_total", "Solve calls received", "counter", m.Requests.Load()},
+		{"antennad_solves_total", "artifacts actually computed (misses after coalescing)", "counter", m.Solves.Load()},
+		{"antennad_coalesced_total", "requests that shared an identical in-flight solve", "counter", m.Coalesced.Load()},
+		{"antennad_shed_total", "requests shed with 429 by the inflight bound", "counter", m.Shed.Load()},
+		{"antennad_deadline_exceeded_total", "requests abandoned on an expired deadline", "counter", m.DeadlineExceeded.Load()},
 		{"antennad_cache_hits_total", "artifact cache lookups that hit", "counter", hits},
 		{"antennad_cache_misses_total", "artifact cache lookups that missed (includes requests later rejected)", "counter", misses},
 		{"antennad_plan_total", "planner selections", "counter", m.PlanCalls.Load()},
@@ -41,7 +54,21 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		{"antennad_verify_failures_total", "artifacts failing independent verification", "counter", m.VerifyFailures.Load()},
 		{"antennad_batches_total", "coalesced OrientBatch runs", "counter", m.Batches.Load()},
 		{"antennad_batched_items_total", "items routed through coalesced batches", "counter", m.BatchedItems.Load()},
-		{"antennad_cache_entries", "artifacts currently cached", "gauge", uint64(e.cache.Len())},
+		{"antennad_cache_entries", "artifacts currently cached in memory", "gauge", uint64(e.cache.Len())},
+		{"antennad_cache_bytes", "encoded bytes currently cached in memory", "gauge", uint64(e.cache.Bytes())},
+	}
+	if e.store != nil {
+		st := e.store.Stats()
+		rows = append(rows,
+			metricRow{"antennad_store_hits_total", "disk store lookups that hit", "counter", st.Hits},
+			metricRow{"antennad_store_misses_total", "disk store lookups that missed", "counter", st.Misses},
+			metricRow{"antennad_store_corrupt_total", "disk store files rejected and deleted as corrupt", "counter", st.Corruptions},
+			metricRow{"antennad_store_evictions_total", "disk store files swept by the byte cap", "counter", st.Evictions},
+			metricRow{"antennad_store_writes_total", "artifacts written to the disk store", "counter", st.Writes},
+			metricRow{"antennad_store_write_errors_total", "failed disk store writes", "counter", st.WriteErrors},
+			metricRow{"antennad_store_entries", "artifact files currently on disk", "gauge", uint64(st.Entries)},
+			metricRow{"antennad_store_bytes", "artifact bytes currently on disk", "gauge", uint64(st.Bytes)},
+		)
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", r.name, r.help, r.name, r.kind, r.name, r.value); err != nil {

@@ -33,40 +33,74 @@ func ObjectiveMode(objKey string) string { return "obj:" + objKey }
 
 // Cache is a thread-safe, content-addressed LRU over Solutions. Values
 // are immutable, so a hit hands back the exact artifact a previous
-// request produced — byte-identical once encoded.
+// request produced — byte-identical once encoded. Entries are charged by
+// their encoded binary size, so a few large-n artifacts cannot silently
+// dominate memory: eviction runs from the cold end until both the entry
+// and the byte budget are respected.
 type Cache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	items  map[Key]*list.Element
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+	hits     atomic.Uint64
+	misses   atomic.Uint64
 }
 
 type cacheEntry struct {
-	key Key
-	sol *Solution
+	key  Key
+	sol  *Solution
+	size int64
 }
 
-// DefaultCacheSize is the engine's default artifact capacity.
+// DefaultCacheSize is the engine's default artifact capacity (entries).
 const DefaultCacheSize = 512
 
+// DefaultCacheBytes is the engine's default byte budget for the
+// in-memory tier: 128 MiB of encoded artifacts.
+const DefaultCacheBytes = 128 << 20
+
 // NewCache returns an LRU holding at most capacity artifacts
-// (capacity ≤ 0 selects DefaultCacheSize).
+// (capacity ≤ 0 selects DefaultCacheSize) with no byte budget.
 func NewCache(capacity int) *Cache {
+	return NewCacheSized(capacity, 0)
+}
+
+// NewCacheSized returns an LRU bounded both by entry count (capacity
+// ≤ 0 selects DefaultCacheSize) and by the total encoded bytes of the
+// resident artifacts (maxBytes ≤ 0 disables the byte budget). The most
+// recently inserted artifact is always admitted, even when it alone
+// exceeds maxBytes — it then evicts everything else and is itself
+// evicted by the next insertion.
+func NewCacheSized(capacity int, maxBytes int64) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
 	return &Cache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[Key]*list.Element, capacity),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element, capacity),
 	}
 }
 
 // Get returns the cached artifact for the key, if present, and marks it
 // most recently used.
 func (c *Cache) Get(k Key) (*Solution, bool) {
+	return c.get(k, true)
+}
+
+// Peek is Get without the miss accounting: a found artifact is marked
+// recently used and counted as a hit, but an absent key does not bump
+// the miss counter. The engine uses it to re-check for a just-landed
+// artifact before becoming a single-flight leader — a second lookup for
+// the same request must not double-count the miss.
+func (c *Cache) Peek(k Key) (*Solution, bool) {
+	return c.get(k, false)
+}
+
+func (c *Cache) get(k Key, countMiss bool) (*Solution, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
@@ -74,29 +108,35 @@ func (c *Cache) Get(k Key) (*Solution, bool) {
 		c.hits.Add(1)
 		return el.Value.(*cacheEntry).sol, true
 	}
-	c.misses.Add(1)
+	if countMiss {
+		c.misses.Add(1)
+	}
 	return nil, false
 }
 
-// Put stores the artifact under the key, evicting the least recently
-// used entry when full. Storing an existing key refreshes its position;
-// the value is expected to be identical (the pipeline is deterministic).
+// Put stores the artifact under the key, evicting least recently used
+// entries while the cache is over its entry or byte budget. Storing an
+// existing key refreshes its position; the value is expected to be
+// identical (the pipeline is deterministic).
 func (c *Cache) Put(k Key, s *Solution) {
+	size := int64(s.EncodedBinarySize())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).sol = s
-		return
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.sol, e.size = s, size
+	} else {
+		c.items[k] = c.ll.PushFront(&cacheEntry{key: k, sol: s, size: size})
+		c.bytes += size
 	}
-	el := c.ll.PushFront(&cacheEntry{key: k, sol: s})
-	c.items[k] = el
-	if c.ll.Len() > c.cap {
+	for c.ll.Len() > 1 && (c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
-		if oldest != nil {
-			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheEntry).key)
-		}
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= e.size
 	}
 }
 
@@ -105,6 +145,13 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the total encoded size of the resident artifacts.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Stats returns cumulative hit and miss counts.

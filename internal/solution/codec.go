@@ -175,6 +175,33 @@ func (s *Solution) EncodeBinary() []byte {
 	return w.buf.Bytes()
 }
 
+// EncodedBinarySize returns len(EncodeBinary()) without encoding: the
+// binary layout is fully determined by the field values, so the size is
+// pure arithmetic. The byte-charged cache (cache.go) and the disk store
+// (store.go) use it to account for an artifact's footprint cheaply.
+func (s *Solution) EncodedBinarySize() int {
+	strSize := func(v string) int { return 4 + len(v) }
+	strsSize := func(vs []string) int {
+		n := 4
+		for _, v := range vs {
+			n += strSize(v)
+		}
+		return n
+	}
+	n := 4 + 2 // magic + version
+	n += strSize(s.PointsDigest)
+	n += 4 + 2 + 8 // n, k, phi
+	n += strSize(s.Objective) + 1 + strSize(s.Algo) + strSize(s.Construction)
+	n += strSize(s.Guarantee.Conn) + 8 + 2 + 8 + 2
+	n += 4 // sensor count
+	for _, secs := range s.Sectors {
+		n += 2 + 24*len(secs)
+	}
+	n += 6*8 + 4 // measured floats + edges
+	n += 1 + strsSize(s.VerifyErrors) + strsSize(s.Violations)
+	return n
+}
+
 // DecodeBinary parses an artifact produced by EncodeBinary.
 func DecodeBinary(data []byte) (*Solution, error) {
 	r := &binReader{data: data}

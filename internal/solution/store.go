@@ -1,0 +1,323 @@
+package solution
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store is the durable L2 artifact tier behind the in-memory Cache: a
+// content-addressed directory of encoded Solutions that survives process
+// restarts. Files are the versioned binary codec of codec.go wrapped in
+// a small checksummed envelope (layout in WIRE_FORMAT.md), written with
+// write-then-rename so readers never observe a partial artifact, and
+// sharded across 256 subdirectories by key hash so no single directory
+// grows unboundedly. Reads are corruption-checked end to end; a damaged
+// file is deleted and reported as a miss, so the engine falls back to
+// recomputing (and rewriting) the artifact. The store is capped by total
+// bytes: when a write would exceed the cap, the least recently touched
+// files are swept first (hits refresh mtimes, making the sweep
+// approximately LRU).
+type Store struct {
+	root     string
+	maxBytes int64
+
+	mu      sync.Mutex
+	bytes   int64
+	entries int
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	corruptions atomic.Uint64
+	evictions   atomic.Uint64
+	writes      atomic.Uint64
+	writeErrors atomic.Uint64
+}
+
+// DefaultStoreBytes is the default on-disk budget: 256 MiB of artifacts.
+const DefaultStoreBytes = 256 << 20
+
+// storeMagic opens every store file, ahead of the artifact payload.
+var storeMagic = [4]byte{'A', 'S', 'T', 'R'}
+
+// storeVersion is the envelope format version (the payload carries its
+// own artifact schema version on top).
+const storeVersion = 1
+
+// storeHeaderSize = magic + version byte + uint32 payload length +
+// 8 checksum bytes.
+const storeHeaderSize = 4 + 1 + 4 + 8
+
+// storeExt is the artifact file extension.
+const storeExt = ".asol"
+
+// OpenStore opens (creating if needed) a store rooted at dir, capped at
+// maxBytes of artifact files (≤ 0 selects DefaultStoreBytes). The
+// resident size is scanned once at open and maintained incrementally
+// afterwards.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultStoreBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("solution: open store: %w", err)
+	}
+	st := &Store{root: dir, maxBytes: maxBytes}
+	for _, e := range st.scan() {
+		st.bytes += e.size
+		st.entries++
+	}
+	return st, nil
+}
+
+// Root returns the store's directory.
+func (st *Store) Root() string { return st.root }
+
+// StoreStats is a point-in-time snapshot of the store's counters.
+type StoreStats struct {
+	Hits        uint64
+	Misses      uint64
+	Corruptions uint64
+	Evictions   uint64
+	Writes      uint64
+	WriteErrors uint64
+	Bytes       int64
+	Entries     int
+}
+
+// Stats returns the store's cumulative counters and resident size.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	bytes, entries := st.bytes, st.entries
+	st.mu.Unlock()
+	return StoreStats{
+		Hits:        st.hits.Load(),
+		Misses:      st.misses.Load(),
+		Corruptions: st.corruptions.Load(),
+		Evictions:   st.evictions.Load(),
+		Writes:      st.writes.Load(),
+		WriteErrors: st.writeErrors.Load(),
+		Bytes:       bytes,
+		Entries:     entries,
+	}
+}
+
+// path maps a key to its file: SHA-256 over the full canonical key,
+// sharded by the first hex byte — root/<hh>/<62 hex>.asol.
+func (st *Store) path(k Key) string {
+	h := sha256.New()
+	var buf [8]byte
+	fmt.Fprintf(h, "%s\x00%d\x00", k.Digest, k.K)
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(k.Phi))
+	h.Write(buf[:])
+	h.Write([]byte{0})
+	fmt.Fprint(h, k.Mode)
+	name := hex.EncodeToString(h.Sum(nil))
+	return filepath.Join(st.root, name[:2], name[2:]+storeExt)
+}
+
+// Get returns the stored artifact for the key, if a healthy copy is on
+// disk. Any damage — envelope, checksum, codec, or a payload that does
+// not answer the key — deletes the file and reports a miss, so callers
+// recompute instead of serving corruption. A hit refreshes the file's
+// mtime so the eviction sweep treats it as recently used.
+func (st *Store) Get(k Key) (*Solution, bool) {
+	p := st.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		st.misses.Add(1)
+		return nil, false
+	}
+	sol, err := decodeStoreFile(data)
+	if err == nil && (sol.PointsDigest != k.Digest || sol.K != k.K || sol.Phi != k.Phi) {
+		err = fmt.Errorf("solution: store entry answers a different request")
+	}
+	if err != nil {
+		st.corruptions.Add(1)
+		st.misses.Add(1)
+		st.removeFile(p, int64(len(data)), false)
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(p, now, now)
+	st.hits.Add(1)
+	return sol, true
+}
+
+// Put durably stores the artifact under the key: encode, checksum,
+// write to a temp file in the same directory, then rename into place so
+// a crash never leaves a partial artifact visible. Failures are counted
+// but not fatal — the store is a cache, and the caller already holds the
+// computed artifact.
+func (st *Store) Put(k Key, s *Solution) error {
+	data := encodeStoreFile(s)
+	st.sweep(int64(len(data)))
+	p := st.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		st.writeErrors.Add(1)
+		return fmt.Errorf("solution: store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		st.writeErrors.Add(1)
+		return fmt.Errorf("solution: store put: %w", err)
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		// Rename may replace an existing file for this key (e.g. two
+		// engines sharing the store solved the same request); account
+		// for the displaced bytes under the lock so the resident size
+		// stays exact.
+		st.mu.Lock()
+		var prev int64
+		replaced := false
+		if info, statErr := os.Stat(p); statErr == nil {
+			prev, replaced = info.Size(), true
+		}
+		if err = os.Rename(tmp.Name(), p); err == nil {
+			st.bytes += int64(len(data)) - prev
+			if !replaced {
+				st.entries++
+			}
+		}
+		st.mu.Unlock()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		st.writeErrors.Add(1)
+		return fmt.Errorf("solution: store put: %w", err)
+	}
+	st.writes.Add(1)
+	return nil
+}
+
+// Len returns the number of resident artifact files.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.entries
+}
+
+// storeEntry is one resident file during a scan or sweep.
+type storeEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scan walks the shard directories for artifact files.
+func (st *Store) scan() []storeEntry {
+	var out []storeEntry
+	_ = filepath.WalkDir(st.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(p) != storeExt {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			out = append(out, storeEntry{path: p, size: info.Size(), mtime: info.ModTime()})
+		}
+		return nil
+	})
+	return out
+}
+
+// sweep makes room for incoming bytes by deleting the least recently
+// touched artifacts. Each sweep walks the shard directories (O(resident
+// files)), so it frees an extra 10% of the cap beyond what the incoming
+// write needs — a store sitting at its cap then rescans once per ~10%
+// of turnover instead of on every write.
+func (st *Store) sweep(incoming int64) {
+	st.mu.Lock()
+	over := st.bytes + incoming - st.maxBytes
+	st.mu.Unlock()
+	if over <= 0 {
+		return
+	}
+	over += st.maxBytes / 10
+	entries := st.scan()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if over <= 0 {
+			break
+		}
+		st.removeFile(e.path, e.size, true)
+		over -= e.size
+	}
+}
+
+// removeFile deletes one artifact file and updates the resident size.
+// The removal itself runs under the lock so it serializes with Put's
+// stat-then-rename — a sweep deleting the file Put is about to replace
+// must not double-subtract its size.
+func (st *Store) removeFile(p string, size int64, evicted bool) {
+	st.mu.Lock()
+	if err := os.Remove(p); err != nil {
+		st.mu.Unlock()
+		return
+	}
+	st.bytes -= size
+	st.entries--
+	if st.bytes < 0 {
+		st.bytes = 0
+	}
+	if st.entries < 0 {
+		st.entries = 0
+	}
+	st.mu.Unlock()
+	if evicted {
+		st.evictions.Add(1)
+	}
+}
+
+// encodeStoreFile wraps the artifact's binary encoding in the store
+// envelope: magic, version byte, payload length, and the first 8 bytes
+// of SHA-256 over the payload.
+func encodeStoreFile(s *Solution) []byte {
+	payload := s.EncodeBinary()
+	out := make([]byte, storeHeaderSize+len(payload))
+	copy(out, storeMagic[:])
+	out[4] = storeVersion
+	binary.LittleEndian.PutUint32(out[5:9], uint32(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[9:17], sum[:8])
+	copy(out[storeHeaderSize:], payload)
+	return out
+}
+
+// decodeStoreFile validates the envelope (magic, version, length,
+// checksum) and then the payload through the artifact codec, which
+// itself rejects truncation, foreign schema versions, and trailing
+// bytes.
+func decodeStoreFile(data []byte) (*Solution, error) {
+	if len(data) < storeHeaderSize {
+		return nil, fmt.Errorf("solution: store file too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != storeMagic {
+		return nil, fmt.Errorf("solution: bad store magic %q", data[:4])
+	}
+	if data[4] != storeVersion {
+		return nil, fmt.Errorf("solution: unsupported store version %d (have %d)", data[4], storeVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(data[5:9]))
+	payload := data[storeHeaderSize:]
+	if n != len(payload) {
+		return nil, fmt.Errorf("solution: store payload length %d, header says %d", len(payload), n)
+	}
+	sum := sha256.Sum256(payload)
+	if string(sum[:8]) != string(data[9:17]) {
+		return nil, fmt.Errorf("solution: store checksum mismatch")
+	}
+	return DecodeBinary(payload)
+}

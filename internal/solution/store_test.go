@@ -1,0 +1,263 @@
+package solution
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func storeKey(i int) Key {
+	return Key{Digest: fmt.Sprintf("%064d", i), K: 2, Phi: 0, Mode: AlgoMode("tworay")}
+}
+
+// sizedSolution returns a sample artifact whose digest matches the key
+// (Get rejects entries that do not answer their key) padded with extra
+// sectors so sweep tests can control file sizes.
+func sizedSolution(k Key, extraSectors int) *Solution {
+	s := sampleSolution()
+	s.PointsDigest = k.Digest
+	s.K = k.K
+	s.Phi = k.Phi
+	for i := 0; i < extraSectors; i++ {
+		s.Sectors = append(s.Sectors, []Sector{{Start: float64(i), Spread: 0.1, Radius: 1}})
+	}
+	s.N = len(s.Sectors)
+	return s
+}
+
+// TestEncodedBinarySize: the arithmetic size must agree exactly with the
+// encoder, across empty, padded, and error-carrying artifacts.
+func TestEncodedBinarySize(t *testing.T) {
+	cases := []*Solution{
+		sampleSolution(),
+		sizedSolution(storeKey(1), 40),
+		{Version: Version, PointsDigest: "abc"},
+	}
+	withErrs := sampleSolution()
+	withErrs.Verified = false
+	withErrs.VerifyErrors = []string{"not connected", "radius exceeded"}
+	withErrs.Violations = []string{"self-report"}
+	cases = append(cases, withErrs)
+	for i, s := range cases {
+		if got, want := s.EncodedBinarySize(), len(s.EncodeBinary()); got != want {
+			t.Fatalf("case %d: EncodedBinarySize=%d, len(EncodeBinary())=%d", i, got, want)
+		}
+	}
+}
+
+// TestStoreRoundTrip: artifacts survive a store re-open byte-identically
+// and land in the documented shard layout.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := storeKey(1)
+	s := sizedSolution(k, 3)
+	if err := st.Put(k, s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layout: root/<2 hex>/<62 hex>.asol
+	matches, _ := filepath.Glob(filepath.Join(dir, "??", "*"+storeExt))
+	if len(matches) != 1 {
+		t.Fatalf("expected one sharded artifact file, found %v", matches)
+	}
+	shard := filepath.Base(filepath.Dir(matches[0]))
+	name := strings.TrimSuffix(filepath.Base(matches[0]), storeExt)
+	if len(shard) != 2 || len(name) != 62 {
+		t.Fatalf("shard/name lengths %d/%d, want 2/62", len(shard), len(name))
+	}
+
+	// Re-open (a "restart") and read back.
+	st2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("re-opened store sees %d entries, want 1", st2.Len())
+	}
+	got, ok := st2.Get(k)
+	if !ok {
+		t.Fatal("artifact missing after re-open")
+	}
+	if !bytes.Equal(got.EncodeBinary(), s.EncodeBinary()) {
+		t.Fatal("artifact bytes differ after store round trip")
+	}
+	if _, ok := st2.Get(storeKey(2)); ok {
+		t.Fatal("unknown key reported a hit")
+	}
+	stats := st2.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Corruptions != 0 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 0 corruptions", stats)
+	}
+}
+
+// TestStoreCorruptionRecovery: a damaged file must read as a miss, be
+// deleted, and be healed by the next Put.
+func TestStoreCorruptionRecovery(t *testing.T) {
+	corrupt := map[string]func([]byte) []byte{
+		"bit flip in payload": func(d []byte) []byte { d[len(d)/2] ^= 0x40; return d },
+		"bad store magic":     func(d []byte) []byte { d[0] ^= 0xff; return d },
+		"foreign store version": func(d []byte) []byte {
+			d[4] = storeVersion + 1
+			return d
+		},
+		"truncation":     func(d []byte) []byte { return d[:len(d)-9] },
+		"empty file":     func(d []byte) []byte { return nil },
+		"trailing bytes": func(d []byte) []byte { return append(d, 0xAB) },
+	}
+	for name, mutate := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := OpenStore(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := storeKey(3)
+			s := sizedSolution(k, 2)
+			if err := st.Put(k, s); err != nil {
+				t.Fatal(err)
+			}
+			path := st.path(k)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := st.Get(k); ok {
+				t.Fatal("corrupt artifact reported a hit")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt file not deleted")
+			}
+			if st.Stats().Corruptions != 1 {
+				t.Fatalf("corruptions %d, want 1", st.Stats().Corruptions)
+			}
+			// Recompute path: a fresh Put heals the slot.
+			if err := st.Put(k, s); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Get(k); !ok || !bytes.Equal(got.EncodeBinary(), s.EncodeBinary()) {
+				t.Fatal("healed artifact missing or different")
+			}
+		})
+	}
+}
+
+// TestStoreRejectsKeyMismatch: a file whose payload answers a different
+// request than its key must be treated as corruption, not served.
+func TestStoreRejectsKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := storeKey(4)
+	other := sizedSolution(storeKey(5), 0) // digest of a different request
+	path := st.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, encodeStoreFile(other), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(k); ok {
+		t.Fatal("store served an artifact for the wrong key")
+	}
+	if st.Stats().Corruptions != 1 {
+		t.Fatalf("corruptions %d, want 1", st.Stats().Corruptions)
+	}
+}
+
+// TestStoreSweepOldestFirst: the byte cap evicts the least recently
+// touched artifacts first and never the incoming one.
+func TestStoreSweepOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	one := sizedSolution(storeKey(0), 0)
+	fileSize := int64(storeHeaderSize + one.EncodedBinarySize())
+	st, err := OpenStore(dir, 3*fileSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		k := storeKey(10 + i)
+		if err := st.Put(k, sizedSolution(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+		// mtime granularity: space the files out so oldest-first is
+		// well defined on coarse filesystems.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(st.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest via a hit: it becomes the most recent.
+	if _, ok := st.Get(storeKey(10)); !ok {
+		t.Fatal("expected hit on resident key")
+	}
+	// A fourth insert must sweep the now-coldest entry (key 11).
+	k := storeKey(13)
+	if err := st.Put(k, sizedSolution(k, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(storeKey(11)); ok {
+		t.Fatal("coldest entry survived the sweep")
+	}
+	if _, ok := st.Get(storeKey(10)); !ok {
+		t.Fatal("recently touched entry was swept")
+	}
+	if _, ok := st.Get(storeKey(13)); !ok {
+		t.Fatal("incoming entry was swept")
+	}
+	if st.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if got := st.Stats().Bytes; got > 3*fileSize {
+		t.Fatalf("resident bytes %d exceed cap %d", got, 3*fileSize)
+	}
+}
+
+// TestCacheByteBudget: the in-memory tier evicts by encoded bytes, not
+// just entry count, and tracks the resident size.
+func TestCacheByteBudget(t *testing.T) {
+	small := sampleSolution()
+	perEntry := int64(small.EncodedBinarySize())
+	c := NewCacheSized(100, 3*perEntry)
+	key := func(i int) Key { return Key{Digest: fmt.Sprintf("d%02d", i), K: 1, Mode: AlgoMode("tour")} }
+	for i := 0; i < 5; i++ {
+		c.Put(key(i), small)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("resident entries %d, want 3 under the byte budget", c.Len())
+	}
+	if c.Bytes() != 3*perEntry {
+		t.Fatalf("resident bytes %d, want %d", c.Bytes(), 3*perEntry)
+	}
+	for _, i := range []int{0, 1} {
+		if _, ok := c.Get(key(i)); ok {
+			t.Fatalf("cold entry %d survived byte eviction", i)
+		}
+	}
+	for _, i := range []int{2, 3, 4} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("hot entry %d missing", i)
+		}
+	}
+	// An artifact bigger than the whole budget is admitted alone.
+	big := sizedSolution(key(9), 500)
+	c.Put(key(9), big)
+	if c.Len() != 1 {
+		t.Fatalf("oversized artifact shares the cache with %d others", c.Len()-1)
+	}
+	if _, ok := c.Get(key(9)); !ok {
+		t.Fatal("oversized artifact not resident")
+	}
+}
