@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/instance"
 	"repro/internal/mst"
 	"repro/internal/plan"
 	"repro/internal/pointset"
@@ -350,6 +351,78 @@ func BenchmarkEngineSolveMiss(b *testing.B) {
 		if src.Hit() {
 			b.Fatal("unexpected cache hit")
 		}
+	}
+}
+
+// BenchmarkInstanceChurn measures the live-instance tier under sensor
+// churn at n=2000: "repair" applies a small Add/Remove/Move batch through
+// the incremental path (exact EMST splice + localized re-aim + full
+// re-verification against the maintained bottleneck), "full-solve" is
+// the same batch with repair disabled — a from-scratch engine solve per
+// revision, the baseline the repair must beat by ≥ 5×. Every repair
+// iteration asserts the incremental path actually served it and stayed
+// verified, so the speedup cannot come from silently degraded work.
+func BenchmarkInstanceChurn(b *testing.B) {
+	const n = 2000
+	budget := instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}
+	// Deterministic per-iteration batches modeling sensor churn: two
+	// sensors drift locally (~the mean spacing), one joins, one fails —
+	// never reusing the deployment's coordinate stream.
+	batch := func(rng *rand.Rand, pts func(int) geom.Point, cur int, side float64) []instance.Op {
+		drift := func() []float64 {
+			i := rng.Intn(cur)
+			p := pts(i)
+			x := math.Min(math.Max(p.X+rng.NormFloat64(), 0), side)
+			y := math.Min(math.Max(p.Y+rng.NormFloat64(), 0), side)
+			return []float64{float64(i), x, y}
+		}
+		d1, d2 := drift(), drift()
+		return []instance.Op{
+			{Op: solution.OpMove, Index: int(d1[0]), X: d1[1], Y: d1[2]},
+			{Op: solution.OpMove, Index: int(d2[0]), X: d2[1], Y: d2[2]},
+			{Op: solution.OpAdd, X: rng.Float64() * side, Y: rng.Float64() * side},
+			{Op: solution.OpRemove, Index: rng.Intn(cur)},
+		}
+	}
+	for _, mode := range []struct {
+		name      string
+		threshold float64
+		want      string
+	}{
+		{"repair", 0, instance.RepairIncremental},
+		{"full-solve", -1, instance.RepairFull},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := service.NewEngine(service.Options{RepairThreshold: mode.threshold})
+			defer eng.Close()
+			m := service.NewInstanceManager(eng)
+			pts := benchPoints(n)
+			side := math.Sqrt(float64(n))
+			if _, err := m.Create(context.Background(), "churn", pts, budget); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(31007))
+			cur := append([]geom.Point(nil), pts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ops := batch(rng, func(j int) geom.Point { return cur[j] }, len(cur), side)
+				snap, err := m.Apply(context.Background(), "churn", 0, ops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if cur, err = solution.ApplyPointOps(cur, ops); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if snap.Repair != mode.want {
+					b.Fatalf("iteration %d served %q, want %q", i, snap.Repair, mode.want)
+				}
+				if !snap.Sol.Verified {
+					b.Fatal("revision not verified")
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,382 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/pointset"
+	"repro/internal/solution"
+)
+
+// The `instance` subcommand group drives a running antennad's
+// live-instance tier over HTTP:
+//
+//	antennactl instance create -server URL [-in pts.csv | -gen uniform -n 500 -seed 1]
+//	          -k 2 -phi 1.2pi [-algo cover] [-id NAME]
+//	antennactl instance ls     -server URL
+//	antennactl instance get    -server URL -id NAME [-rev N] [-o artifact.json]
+//	antennactl instance delta  -server URL -id NAME [-rev N] -o delta.adlt
+//	antennactl instance patch  -server URL -id NAME (-ops ops.json | -op "move:3:1.5:2.25" ...)
+//	          [-if-match N]
+//	antennactl instance rm     -server URL -id NAME
+//
+// patch prints the revision envelope and the X-Repair verdict, so an
+// operator can see incremental repairs land from the shell.
+
+// cmdInstance dispatches the instance subcommands.
+func cmdInstance(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: antennactl instance <create|ls|get|delta|patch|rm> [flags]")
+	}
+	switch args[0] {
+	case "create":
+		return cmdInstanceCreate(args[1:])
+	case "ls":
+		return cmdInstanceList(args[1:])
+	case "get":
+		return cmdInstanceGet(args[1:], false)
+	case "delta":
+		return cmdInstanceGet(args[1:], true)
+	case "patch":
+		return cmdInstancePatch(args[1:])
+	case "rm":
+		return cmdInstanceDelete(args[1:])
+	}
+	return fmt.Errorf("unknown instance subcommand %q (create|ls|get|delta|patch|rm)", args[0])
+}
+
+// instanceClient is a thin JSON/HTTP client for one antennad server.
+type instanceClient struct {
+	base string
+	hc   *http.Client
+}
+
+func newInstanceClient(server string) *instanceClient {
+	return &instanceClient{base: strings.TrimRight(server, "/"), hc: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+// do runs one request and fails on non-2xx with the server's error body.
+func (c *instanceClient) do(method, path string, body []byte, hdr map[string]string) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp, data, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return resp, data, nil
+}
+
+func cmdInstanceCreate(args []string) error {
+	fs := flag.NewFlagSet("instance create", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
+	in := fs.String("in", "", "input CSV of sensor coordinates")
+	gen := fs.String("gen", "", "generate the deployment server-side (uniform|clusters|grid|annulus|stars|line)")
+	n := fs.Int("n", 500, "with -gen: number of sensors")
+	seed := fs.Int64("seed", 1, "with -gen: random seed")
+	k := fs.Int("k", 2, "antennae per sensor")
+	phiStr := fs.String("phi", "1pi", "total spread budget")
+	algo := fs.String("algo", "", "orienter to run (default table1)")
+	id := fs.String("id", "", "instance id (server assigns when empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	phi, err := parsePhi(*phiStr)
+	if err != nil {
+		return err
+	}
+	body := map[string]any{"k": *k, "phi": phi}
+	if *algo != "" {
+		body["algo"] = *algo
+	}
+	if *id != "" {
+		body["id"] = *id
+	}
+	if *gen != "" {
+		// Client-side generation keeps the CLI's point semantics (the
+		// server's gen uses its own rand stream); ship explicit points.
+		rng := rand.New(rand.NewSource(*seed))
+		body["points"] = toWirePoints(pointset.Workload(*gen, rng, *n))
+	} else {
+		pts, err := loadPoints(*in)
+		if err != nil {
+			return err
+		}
+		body["points"] = toWirePoints(pts)
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	c := newInstanceClient(*server)
+	resp, data, err := c.do("POST", "/instances", payload, nil)
+	if err != nil {
+		return err
+	}
+	return printRevisionEnvelope(os.Stdout, resp, data)
+}
+
+func toWirePoints(pts []geom.Point) []map[string]float64 {
+	out := make([]map[string]float64, len(pts))
+	for i, p := range pts {
+		out[i] = map[string]float64{"x": p.X, "y": p.Y}
+	}
+	return out
+}
+
+func cmdInstanceList(args []string) error {
+	fs := flag.NewFlagSet("instance ls", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, data, err := newInstanceClient(*server).do("GET", "/instances", nil, nil)
+	if err != nil {
+		return err
+	}
+	var rows []struct {
+		ID       string  `json:"id"`
+		Rev      uint64  `json:"rev"`
+		N        int     `json:"n"`
+		K        int     `json:"k"`
+		Phi      float64 `json:"phi"`
+		Algo     string  `json:"algo"`
+		Verified bool    `json:"verified"`
+		Repairs  uint64  `json:"repairs"`
+		Fulls    uint64  `json:"full_solves"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-6s %-7s %-4s %-9s %-8s %-9s %-8s %s\n",
+		"id", "rev", "sensors", "k", "phi", "algo", "verified", "repairs", "full-solves")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-6d %-7d %-4d %-9.4f %-8s %-9v %-8d %d\n",
+			r.ID, r.Rev, r.N, r.K, r.Phi, r.Algo, r.Verified, r.Repairs, r.Fulls)
+	}
+	return nil
+}
+
+func cmdInstanceGet(args []string, delta bool) error {
+	fs := flag.NewFlagSet("instance get", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
+	id := fs.String("id", "", "instance id")
+	rev := fs.Uint64("rev", 0, "revision to fetch (0 = current)")
+	out := fs.String("o", "", "write the artifact/delta to this path (default stdout summary)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	path := "/instances/" + *id
+	q := []string{}
+	if *rev > 0 {
+		q = append(q, "rev="+strconv.FormatUint(*rev, 10))
+	}
+	if delta {
+		q = append(q, "delta=1")
+	}
+	if len(q) > 0 {
+		path += "?" + strings.Join(q, "&")
+	}
+	resp, data, err := newInstanceClient(*server).do("GET", path, nil, nil)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+		return nil
+	}
+	if delta {
+		info, err := solution.DecodeDeltaInfo(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("delta       %d bytes, %d ops, %d changed sensors\n", len(data), len(info.Ops), info.Changed)
+		fmt.Printf("base        %s\n", info.BaseDigest)
+		fmt.Printf("new         %s\n", info.NewDigest)
+		return nil
+	}
+	sol, err := solution.DecodeJSON(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("revision    %s (X-Repair: %s)\n", strings.Trim(resp.Header.Get("ETag"), `"`), resp.Header.Get("X-Repair"))
+	return writeInspect(os.Stdout, "/instances/"+*id, len(data), sol)
+}
+
+// parseOpFlag parses the compact -op syntax: "add:x:y",
+// "remove:index", "move:index:x:y".
+func parseOpFlag(s string) (solution.PointOp, error) {
+	parts := strings.Split(s, ":")
+	bad := func() (solution.PointOp, error) {
+		return solution.PointOp{}, fmt.Errorf("bad -op %q (add:x:y | remove:index | move:index:x:y)", s)
+	}
+	f := func(i int) (float64, error) { return strconv.ParseFloat(parts[i], 64) }
+	switch parts[0] {
+	case "add":
+		if len(parts) != 3 {
+			return bad()
+		}
+		x, err1 := f(1)
+		y, err2 := f(2)
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		return solution.PointOp{Op: solution.OpAdd, X: x, Y: y}, nil
+	case "remove":
+		if len(parts) != 2 {
+			return bad()
+		}
+		idx, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return bad()
+		}
+		return solution.PointOp{Op: solution.OpRemove, Index: idx}, nil
+	case "move":
+		if len(parts) != 4 {
+			return bad()
+		}
+		idx, err := strconv.Atoi(parts[1])
+		x, err1 := f(2)
+		y, err2 := f(3)
+		if err != nil || err1 != nil || err2 != nil {
+			return bad()
+		}
+		return solution.PointOp{Op: solution.OpMove, Index: idx, X: x, Y: y}, nil
+	}
+	return bad()
+}
+
+// opList collects repeated -op flags.
+type opList []solution.PointOp
+
+func (o *opList) String() string { return fmt.Sprintf("%d ops", len(*o)) }
+
+// Set parses one compact op.
+func (o *opList) Set(s string) error {
+	op, err := parseOpFlag(s)
+	if err != nil {
+		return err
+	}
+	*o = append(*o, op)
+	return nil
+}
+
+func cmdInstancePatch(args []string) error {
+	fs := flag.NewFlagSet("instance patch", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
+	id := fs.String("id", "", "instance id")
+	opsFile := fs.String("ops", "", "JSON file holding the mutation batch ([{\"op\":\"move\",...}])")
+	ifMatch := fs.Uint64("if-match", 0, "conditional: apply only at this revision (409 otherwise)")
+	var ops opList
+	fs.Var(&ops, "op", "one compact op (repeatable): add:x:y | remove:index | move:index:x:y")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	if *opsFile != "" {
+		data, err := os.ReadFile(*opsFile)
+		if err != nil {
+			return err
+		}
+		var fileOps []solution.PointOp
+		if err := json.Unmarshal(data, &fileOps); err != nil {
+			return fmt.Errorf("parse %s: %w", *opsFile, err)
+		}
+		ops = append(ops, fileOps...)
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("no ops: pass -ops file.json or -op ... flags")
+	}
+	payload, err := json.Marshal(map[string]any{"ops": ops})
+	if err != nil {
+		return err
+	}
+	hdr := map[string]string{}
+	if *ifMatch > 0 {
+		hdr["If-Match"] = fmt.Sprintf("%q", strconv.FormatUint(*ifMatch, 10))
+	}
+	resp, data, err := newInstanceClient(*server).do("PATCH", "/instances/"+*id, payload, hdr)
+	if err != nil {
+		return err
+	}
+	return printRevisionEnvelope(os.Stdout, resp, data)
+}
+
+// printRevisionEnvelope renders a create/patch response.
+func printRevisionEnvelope(w io.Writer, resp *http.Response, data []byte) error {
+	var env struct {
+		ID        string  `json:"id"`
+		Rev       uint64  `json:"rev"`
+		N         int     `json:"n"`
+		Algo      string  `json:"algo"`
+		Verified  bool    `json:"verified"`
+		Repair    string  `json:"repair"`
+		DirtyFrac float64 `json:"dirty_fraction"`
+		Changed   int     `json:"changed"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "instance    %s\n", env.ID)
+	fmt.Fprintf(w, "revision    %d (%s)\n", env.Rev, resp.Header.Get("X-Repair"))
+	fmt.Fprintf(w, "sensors     %d\n", env.N)
+	fmt.Fprintf(w, "algorithm   %s\n", env.Algo)
+	fmt.Fprintf(w, "verified    %v\n", env.Verified)
+	if env.Repair == "incremental" {
+		fmt.Fprintf(w, "dirty       %.4f (%d sensors re-aimed)\n", env.DirtyFrac, env.Changed)
+	}
+	fmt.Fprintf(w, "latency     %.2fms\n", env.ElapsedMS)
+	return nil
+}
+
+func cmdInstanceDelete(args []string) error {
+	fs := flag.NewFlagSet("instance rm", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
+	id := fs.String("id", "", "instance id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	if _, _, err := newInstanceClient(*server).do("DELETE", "/instances/"+*id, nil, nil); err != nil {
+		return err
+	}
+	fmt.Printf("deleted %s\n", *id)
+	return nil
+}

@@ -55,6 +55,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "instance":
+		err = cmdInstance(os.Args[2:])
 	case "algos":
 		err = cmdAlgos()
 	default:
@@ -68,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate|inspect|algos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: antennactl <gen|orient|verify|render|simulate|inspect|instance|algos> [flags]
   gen      -workload uniform|clusters|grid|annulus|stars|line -n N -seed S [-o file.csv]
   orient   -in file.csv -k K -phi PHI [-algo NAME | -auto [-conn strong|symmetric]
            [-minimize stretch|antennae|spread] [-race 100ms]] [-svg out.svg]
@@ -77,6 +79,8 @@ func usage() {
   render   -in file.csv -k K -phi PHI -svg out.svg
   simulate -in file.csv -k K -phi PHI -sim broadcast|route|fail [-src N] [-fails N]
   inspect  artifact.json|artifact.bin — decode and print a solution artifact
+  instance <create|ls|get|delta|patch|rm> -server URL ... — drive a running
+           antennad's live-instance tier (see 'antennactl instance')
   algos    list the registered orienters, their regions and guarantees`)
 }
 

@@ -10,12 +10,20 @@
 // bounds each request by -deadline (503 when exceeded); see
 // docs/OPERATIONS.md for the full operational story.
 //
+// The server also hosts the live-instance tier (internal/instance):
+// named long-lived networks mutated through Add/Remove/Move batches,
+// each batch producing a verified revision — by localized incremental
+// repair when the budget's construction is EMST-local and the dirty
+// region is small, by a full engine solve otherwise — with per-revision
+// ADLT deltas and optimistic concurrency via If-Match.
+//
 // Usage:
 //
 //	antennad [-addr :8080] [-cache 512] [-cache-max-bytes 134217728]
 //	         [-store DIR] [-store-max-bytes 268435456]
 //	         [-workers 0] [-batch-window 2ms] [-max-batch 64]
 //	         [-deadline 0] [-max-inflight 0] [-race 0]
+//	         [-repair-threshold 0.25] [-instance-history 32]
 //
 // Endpoints:
 //
@@ -26,6 +34,11 @@
 //	GET  /algos   registered portfolio with guarantees
 //	GET  /healthz liveness
 //	GET  /metrics Prometheus text format
+//	POST   /instances       create a live instance {"id"?, points|gen, k, phi, algo|objective}
+//	GET    /instances       list live instances
+//	GET    /instances/{id}  current artifact; ?rev=N history, ?delta=1 ADLT delta
+//	PATCH  /instances/{id}  {"ops":[{"op":"add|remove|move",...}]} (If-Match: "rev" conditional)
+//	DELETE /instances/{id}  drop the instance
 package main
 
 import (
@@ -55,6 +68,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request solve deadline (503 when exceeded); 0 disables")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent /orient requests before shedding 429; 0 = unbounded")
 	race := flag.Duration("race", 0, "default racing deadline for planner-selected requests; 0 disables racing")
+	repairThreshold := flag.Float64("repair-threshold", 0, "live-instance dirty fraction above which incremental repair falls back to a full solve; 0 = default (0.25), negative disables repair")
+	instanceHistory := flag.Int("instance-history", 0, "revisions retained per live instance; 0 = default (32)")
 	flag.Parse()
 
 	var store *solution.Store
@@ -68,15 +83,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "antennad: artifact store %s (%d resident)\n", store.Root(), store.Len())
 	}
 	eng := service.NewEngine(service.Options{
-		CacheSize:     *cache,
-		CacheMaxBytes: *cacheMaxBytes,
-		Store:         store,
-		Workers:       *workers,
-		BatchWindow:   *batchWindow,
-		MaxBatch:      *maxBatch,
-		Deadline:      *deadline,
-		MaxInflight:   *maxInflight,
-		DefaultRace:   *race,
+		CacheSize:       *cache,
+		CacheMaxBytes:   *cacheMaxBytes,
+		Store:           store,
+		Workers:         *workers,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		Deadline:        *deadline,
+		MaxInflight:     *maxInflight,
+		DefaultRace:     *race,
+		RepairThreshold: *repairThreshold,
+		InstanceHistory: *instanceHistory,
 	})
 	defer eng.Close()
 	srv := &http.Server{

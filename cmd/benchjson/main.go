@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delaunay"
 	"repro/internal/geom"
+	"repro/internal/instance"
 	"repro/internal/mst"
 	"repro/internal/plan"
 	"repro/internal/pointset"
@@ -35,6 +36,24 @@ import (
 func benchPoints(n int) []geom.Point {
 	rng := rand.New(rand.NewSource(int64(n) + 4242))
 	return pointset.Uniform(rng, n, math.Sqrt(float64(n)))
+}
+
+// churnBatch mirrors BenchmarkInstanceChurn's sensor-churn batch: two
+// local drifts, one join, one failure.
+func churnBatch(rng *rand.Rand, cur []geom.Point, side float64) []solution.PointOp {
+	drift := func() solution.PointOp {
+		i := rng.Intn(len(cur))
+		p := cur[i]
+		return solution.PointOp{Op: solution.OpMove, Index: i,
+			X: math.Min(math.Max(p.X+rng.NormFloat64(), 0), side),
+			Y: math.Min(math.Max(p.Y+rng.NormFloat64(), 0), side)}
+	}
+	return []solution.PointOp{
+		drift(),
+		drift(),
+		{Op: solution.OpAdd, X: rng.Float64() * side, Y: rng.Float64() * side},
+		{Op: solution.OpRemove, Index: rng.Intn(len(cur))},
+	}
 }
 
 // Entry is one benchmark measurement.
@@ -180,6 +199,55 @@ func main() {
 			}
 		}},
 	)
+	// Live-instance churn: a small drift/join/fail batch served by the
+	// incremental repair path vs the same batch with repair disabled (a
+	// full engine solve per revision) — the headline numbers of the
+	// streaming-churn scenario class.
+	churnModes := []struct {
+		name      string
+		threshold float64
+		want      string
+	}{
+		{"repair", 0, instance.RepairIncremental},
+		{"full-solve", -1, instance.RepairFull},
+	}
+	for _, mode := range churnModes {
+		mode := mode
+		benches = append(benches, bench{
+			"BenchmarkInstanceChurn/" + mode.name + "/n=2000",
+			func(b *testing.B) {
+				eng := service.NewEngine(service.Options{RepairThreshold: mode.threshold})
+				defer eng.Close()
+				m := service.NewInstanceManager(eng)
+				pts := benchPoints(2000)
+				side := math.Sqrt(2000)
+				budget := instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}
+				if _, err := m.Create(context.Background(), "churn", pts, budget); err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(31007))
+				cur := append([]geom.Point(nil), pts...)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					ops := churnBatch(rng, cur, side)
+					b.StartTimer()
+					snap, err := m.Apply(context.Background(), "churn", 0, ops)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if cur, err = solution.ApplyPointOps(cur, ops); err != nil {
+						b.Fatal(err)
+					}
+					if snap.Repair != mode.want {
+						b.Fatalf("iteration %d served %q, want %q", i, snap.Repair, mode.want)
+					}
+					b.StartTimer()
+				}
+			},
+		})
+	}
 	// One bench per registered orienter at its representative budget: the
 	// portfolio's perf trajectory.
 	for _, o := range core.Orienters() {

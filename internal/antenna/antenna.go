@@ -22,11 +22,25 @@ import (
 type Assignment struct {
 	Pts     []geom.Point
 	Sectors [][]geom.Sector
+	// spatialIdx optionally carries a prebuilt grid over Pts (see
+	// WithSpatialIndex); nil means InducedDigraph indexes on demand.
+	spatialIdx *spatial.Grid
 }
 
 // New returns an empty assignment over the given sensors.
 func New(pts []geom.Point) *Assignment {
 	return &Assignment{Pts: pts, Sectors: make([][]geom.Sector, len(pts))}
+}
+
+// WithSpatialIndex attaches a prebuilt spatial grid over exactly this
+// assignment's points, sparing InducedDigraph its own indexing pass. The
+// grid is a deterministic pure function of the point set (the same
+// spatial.NewGrid(pts, 0) the digraph build would run), so sharing one —
+// as the live-instance repair path does with the EMST splice — changes
+// no results. A grid over a different point count is ignored.
+func (a *Assignment) WithSpatialIndex(g *spatial.Grid) *Assignment {
+	a.spatialIdx = g
+	return a
 }
 
 // Add attaches a sector to sensor u.
@@ -125,7 +139,10 @@ func (a *Assignment) InducedDigraph() *graph.Digraph {
 	if n == 0 || !hasRange {
 		return g
 	}
-	idx := spatial.NewGrid(a.Pts, 0)
+	idx := a.spatialIdx
+	if idx == nil || idx.Len() != n {
+		idx = spatial.NewGrid(a.Pts, 0)
+	}
 	var eu, ev []int32
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 1 && n >= parallelDigraphMin {
@@ -200,10 +217,7 @@ func (a *Assignment) scanSensors(idx *spatial.Grid, lo, hi int, eu, ev []int32) 
 		}
 		pu := pts[u]
 		buf = idx.Within(pu, geom.MaxRadius(secs), buf[:0])
-		// Sort the handful of candidates so adjacency lists come out
-		// sorted (the invariant Dedup used to establish); candidates are
-		// distinct by construction, so no dedup pass is needed.
-		graph.InsertionSort(buf)
+		start := len(ev)
 		for _, v := range buf {
 			if v == u {
 				continue
@@ -216,6 +230,11 @@ func (a *Assignment) scanSensors(idx *spatial.Grid, lo, hi int, eu, ev []int32) 
 				}
 			}
 		}
+		// Sort just the accepted out-neighbors (typically a handful of
+		// the candidates) so adjacency lists come out sorted — the
+		// invariant HasEdge's binary search and Dedup rely on; candidates
+		// are distinct by construction, so no dedup pass is needed.
+		graph.InsertionSort(ev[start:])
 	}
 	return eu, ev
 }

@@ -43,10 +43,12 @@ func OrientBatch(items []BatchItem, workers int) []BatchResult {
 // OrientBatchCtx is OrientBatch with cooperative cancellation: each
 // worker checks the context before starting an item, and items not yet
 // started when the deadline passes are marked with ctx.Err() instead of
-// oriented. An item already running is not interrupted — orientation is
-// pure CPU work between checkpoints — so cancellation bounds new work,
-// not in-flight work. This is how the service layer propagates HTTP
-// deadlines into the orientation pool.
+// oriented. An item already running is additionally interrupted at the
+// construction's own checkpoints when its orienter implements
+// ContextOrienter (the tour 2-opt repair loop polls every few moves);
+// constructions without checkpoints still run to completion once
+// started. This is how the service layer propagates HTTP deadlines into
+// the orientation pool.
 func OrientBatchCtx(ctx context.Context, items []BatchItem, workers int) []BatchResult {
 	out := make([]BatchResult, len(items))
 	if len(items) == 0 {
@@ -65,12 +67,18 @@ func OrientBatchCtx(ctx context.Context, items []BatchItem, workers int) []Batch
 			return
 		}
 		if it.Algo == "" || it.Algo == DefaultOrienterName {
-			out[i].Asg, out[i].Res, out[i].Err = Orient(it.Pts, it.K, it.Phi)
+			out[i].Asg, out[i].Res, out[i].Err = OrientCtx(ctx, it.Pts, it.K, it.Phi)
 			return
 		}
 		o, ok := LookupOrienter(it.Algo)
 		if !ok {
 			out[i].Err = fmt.Errorf("core: unknown orienter %q", it.Algo)
+			return
+		}
+		// Constructions with internal cancellation checkpoints get the
+		// batch context; the rest run to completion once started.
+		if co, ok := o.(ContextOrienter); ok {
+			out[i].Asg, out[i].Res, out[i].Err = co.OrientCtx(ctx, it.Pts, it.K, it.Phi)
 			return
 		}
 		out[i].Asg, out[i].Res, out[i].Err = o.Orient(it.Pts, it.K, it.Phi)

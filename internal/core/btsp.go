@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -89,10 +90,30 @@ func TourBottleneck(pts []geom.Point, tour []int) float64 {
 // O(n) bottleneck scan × O(n) candidate scan per move with
 // O(log n + |near(a, L)| + shorter-arc).
 func TwoOptBottleneck(pts []geom.Point, tour []int, maxIters int) []int {
+	out, _ := TwoOptBottleneckCtx(context.Background(), pts, tour, maxIters)
+	return out
+}
+
+// twoOptCheckpointMask sets the cancellation granularity of the 2-opt
+// repair loop: the context is polled every 64 accepted moves, cheap
+// against the grid query each move already pays.
+const twoOptCheckpointMask = 63
+
+// TwoOptBottleneckCtx is TwoOptBottleneck with cancellation checkpoints
+// inside the repair loop: the context is polled every few accepted moves,
+// and an expired deadline abandons the optimization with ctx.Err()
+// instead of burning the remaining moves to completion. This is how an
+// abandoned tour solve stops consuming its pool slot once the requester
+// is gone (the engine propagates HTTP deadlines here through
+// OrientBatchCtx and the ContextOrienter hook).
+func TwoOptBottleneckCtx(ctx context.Context, pts []geom.Point, tour []int, maxIters int) ([]int, error) {
 	n := len(tour)
 	out := append([]int(nil), tour...)
 	if n < 4 {
-		return out
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	pos := make([]int, len(pts)) // pos[v] = index of vertex v in out
 	for i, v := range out {
@@ -114,6 +135,11 @@ func TwoOptBottleneck(pts []geom.Point, tour []int, maxIters int) []int {
 	grid := spatial.NewGrid(pts, 0)
 	var buf []int
 	for iter := 0; iter < maxIters; iter++ {
+		if iter&twoOptCheckpointMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Pop entries until the top is a live hop: u and v adjacent in
 		// the current tour (reversals flip direction but keep adjacency,
 		// and lengths are pairwise distances, so they never go stale).
@@ -122,7 +148,7 @@ func TwoOptBottleneck(pts []geom.Point, tour []int, maxIters int) []int {
 		for {
 			top, ok := h.peek()
 			if !ok {
-				return out // cannot happen: every live hop has an entry
+				return out, nil // cannot happen: every live hop has an entry
 			}
 			pu, pv := pos[top.u], pos[top.v]
 			if out[next(pu)] == top.v {
@@ -180,7 +206,7 @@ func TwoOptBottleneck(pts []geom.Point, tour []int, maxIters int) []int {
 		h.push(hopEntry{len: pts[out[p]].Dist(pts[out[next(p)]]), u: out[p], v: out[next(p)]})
 		h.push(hopEntry{len: pts[out[hi]].Dist(pts[out[next(hi)]]), u: out[hi], v: out[next(hi)]})
 	}
-	return out
+	return out, nil
 }
 
 // reverseArc reverses tour positions lo..hi (cyclic, inclusive),
@@ -413,21 +439,33 @@ func OrientTour(pts []geom.Point, tour []int, k int, phi float64) (*antenna.Assi
 // that is better, and to the exact solver on tiny instances. Returns the
 // tour and its bottleneck.
 func BestTour(pts []geom.Point) ([]int, float64) {
+	tour, b, _ := BestTourCtx(context.Background(), pts)
+	return tour, b
+}
+
+// BestTourCtx is BestTour under a context: the 2-opt repair loop — the
+// dominant cost at large n — polls the context between moves, so an
+// expired request abandons the solve promptly with ctx.Err() instead of
+// finishing a tour nobody is waiting for.
+func BestTourCtx(ctx context.Context, pts []geom.Point) ([]int, float64, error) {
 	n := len(pts)
 	if n == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	if n <= 11 {
 		if t, b, ok := ExactBottleneckTour(pts); ok {
-			return t, b
+			return t, b, nil
 		}
 	}
 	tree := mst.Euclidean(pts)
-	sc := TwoOptBottleneck(pts, ShortcutTour(tree), 4*n)
+	sc, err := TwoOptBottleneckCtx(ctx, pts, ShortcutTour(tree), 4*n)
+	if err != nil {
+		return nil, 0, err
+	}
 	cu := CubeTour(tree)
 	bs, bc := TourBottleneck(pts, sc), TourBottleneck(pts, cu)
 	if bc < bs {
-		return cu, bc
+		return cu, bc, nil
 	}
-	return sc, bs
+	return sc, bs, nil
 }

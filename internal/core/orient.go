@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,16 +24,32 @@ import (
 //	k=4: φ ≥ 2π/5 → Theorem 2 (r=1);  else Theorem 6 (r ≤ √2).
 //	k≥5: bidirected MST (r=1).
 func Orient(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error) {
+	return OrientCtx(context.Background(), pts, k, phi)
+}
+
+// OrientCtx is Orient under a context: the dispatch arms with internal
+// cancellation checkpoints (today the bottleneck-tour rows, whose 2-opt
+// repair dominates at large n) abandon the solve with ctx.Err() once the
+// context is done; the remaining arms run to completion and the context
+// is honored between phases by the caller.
+func OrientCtx(ctx context.Context, pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
 	}
 	if phi < 0 || math.IsNaN(phi) {
 		return nil, nil, fmt.Errorf("core: invalid spread budget %v", phi)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	// The branch table couples each construction with the guarantee it
 	// provides (see dispatchBranches); dispatchGuarantee reads the same
 	// table, so claim and construction cannot diverge.
-	asg, res := dispatchBranchFor(k, phi).run(pts, k, phi)
+	b := dispatchBranchFor(k, phi)
+	if b.runCtx != nil {
+		return b.runCtx(ctx, pts, k, phi)
+	}
+	asg, res := b.run(pts, k, phi)
 	return asg, res, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -69,6 +70,21 @@ type Orienter interface {
 	// Orient runs the construction. Callers must not rely on the
 	// self-reported Result for correctness — use package verify.
 	Orient(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error)
+}
+
+// ContextOrienter is implemented by orienters whose constructions carry
+// cancellation checkpoints: OrientCtx abandons the solve with ctx.Err()
+// at the next checkpoint once the context is done, instead of burning the
+// abandoned computation to completion. Orientation is pure CPU work, so
+// checkpoint granularity is per-construction — today the tour 2-opt
+// repair loop (the long pole at large n) polls every few accepted moves;
+// constructions without internal checkpoints honor the context only
+// between phases. The engine's orientation pool (OrientBatchCtx) and the
+// planner's Race prefer this interface when an orienter provides it.
+type ContextOrienter interface {
+	Orienter
+	// OrientCtx runs the construction under the context.
+	OrientCtx(ctx context.Context, pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error)
 }
 
 // DefaultOrienterName selects the paper's Table-1 dispatcher.
@@ -146,12 +162,15 @@ func Orienters() []Orienter {
 }
 
 // funcOrienter adapts plain functions to the Orienter interface; every
-// built-in construction registers through it.
+// built-in construction registers through it. Constructions with
+// cancellation checkpoints set orientCtx as well, which upgrades the
+// orienter to a ContextOrienter.
 type funcOrienter struct {
 	info      OrienterInfo
 	supports  func(k int, phi float64) bool
 	guarantee func(k int, phi float64) Guarantee
 	orient    func(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error)
+	orientCtx func(ctx context.Context, pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error)
 }
 
 func (f *funcOrienter) Info() OrienterInfo { return f.info }
@@ -177,17 +196,38 @@ func (f *funcOrienter) Orient(pts []geom.Point, k int, phi float64) (*antenna.As
 	return f.orient(pts, k, phi)
 }
 
+// OrientCtx runs the construction under a context when it has internal
+// checkpoints, falling back to the plain construction otherwise (the
+// context is then honored only by the caller between phases).
+func (f *funcOrienter) OrientCtx(ctx context.Context, pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error) {
+	if !f.Supports(k, phi) {
+		return nil, nil, fmt.Errorf("core: orienter %q does not support k=%d phi=%.6f", f.info.Name, k, phi)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if f.orientCtx != nil {
+		return f.orientCtx(ctx, pts, k, phi)
+	}
+	return f.orient(pts, k, phi)
+}
+
 // tourStretch is the proven bottleneck of the constructive tour: hops in
 // the cube of the MST span at most three tree edges (Sekanina).
 const tourStretch = 3
 
 // table1Branch couples one arm of the Table-1 dispatcher with the
 // guarantee that arm provides, so the construction Orient runs and the
-// claim dispatchGuarantee declares can never diverge.
+// claim dispatchGuarantee declares can never diverge. emstLocal marks
+// the full-cover arm, whose per-sensor output is a pure function of that
+// sensor's EMST neighborhood (see EMSTLocalBudget); runCtx, when set,
+// is the construction with cancellation checkpoints.
 type table1Branch struct {
 	matches   func(k int, phi float64) bool
 	guarantee func(k int, phi float64) Guarantee
 	run       func(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result)
+	runCtx    func(ctx context.Context, pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error)
+	emstLocal bool
 }
 
 // dispatchBranches is the Table-1 dispatch in paper order; the final
@@ -202,6 +242,7 @@ var dispatchBranches = []table1Branch{
 		run: func(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result) {
 			return OrientFullCover(pts, k, phi, false)
 		},
+		emstLocal: true,
 	},
 	{ // Theorem 6: four zero-spread chains.
 		matches:   func(k int, phi float64) bool { return k == 4 },
@@ -238,7 +279,29 @@ var dispatchBranches = []table1Branch{
 		matches:   func(k int, phi float64) bool { return true },
 		guarantee: tourGuarantee,
 		run:       runTour,
+		runCtx:    runTourCtx,
 	},
+}
+
+// EMSTLocalBudget reports whether the named orienter at budget (k, φ)
+// runs the full-cover construction, whose per-sensor sectors are a pure
+// function of that sensor's own EMST neighborhood (CoverSectors over the
+// tree-neighbor rays). That locality is what makes live-instance repair
+// exact (internal/instance): re-running the rule for just the sensors
+// whose EMST neighborhood changed reproduces the from-scratch assignment,
+// so a spliced revision verifies identically to a full solve.
+func EMSTLocalBudget(algo string, k int, phi float64) bool {
+	if k < 1 || phi < 0 || math.IsNaN(phi) || math.IsInf(phi, 0) {
+		return false
+	}
+	switch algo {
+	case "cover":
+		o, ok := LookupOrienter("cover")
+		return ok && o.Supports(k, phi)
+	case DefaultOrienterName:
+		return dispatchBranchFor(k, phi).emstLocal
+	}
+	return false
 }
 
 // dispatchBranchFor returns the Table-1 branch for (k, φ); the tour
@@ -293,11 +356,22 @@ func tourGuarantee(k int, phi float64) Guarantee {
 // runTour is the shared tour construction behind the dispatcher's
 // fallback branch and the registered "tour" orienter.
 func runTour(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result) {
-	tour, _ := BestTour(pts)
+	asg, res, _ := runTourCtx(context.Background(), pts, k, phi)
+	return asg, res
+}
+
+// runTourCtx is runTour with the batch context threaded into the 2-opt
+// repair loop: an expired request stops the optimization at the next
+// checkpoint instead of burning the abandoned solve to completion.
+func runTourCtx(ctx context.Context, pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error) {
+	tour, _, err := BestTourCtx(ctx, pts)
+	if err != nil {
+		return nil, nil, err
+	}
 	asg, res := OrientTour(pts, tour, k, phi)
 	res.Bound = tourStretch
 	res.Guarantee = tourStretch
-	return asg, res
+	return asg, res, nil
 }
 
 func init() {
@@ -313,6 +387,7 @@ func init() {
 		supports:  func(k int, phi float64) bool { return true },
 		guarantee: dispatchGuarantee,
 		orient:    Orient,
+		orientCtx: OrientCtx,
 	})
 
 	RegisterOrienter(&funcOrienter{
@@ -368,5 +443,6 @@ func init() {
 			asg, res := runTour(pts, k, phi)
 			return asg, res, nil
 		},
+		orientCtx: runTourCtx,
 	})
 }

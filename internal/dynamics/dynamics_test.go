@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/instance"
 	"repro/internal/pointset"
 )
 
@@ -132,5 +133,39 @@ func TestRunScenario(t *testing.T) {
 	stages, err = RunScenario(pts, Scenario{K: 5, Phi: 0, Step: 0, MaxFails: 0}, rng)
 	if err != nil || len(stages) == 0 {
 		t.Fatalf("default scenario failed: %v", err)
+	}
+}
+
+func TestRunScenarioThroughLiveInstance(t *testing.T) {
+	// On an EMST-local budget (k=5 full cover) the scenario's stages must
+	// be served by the live-instance repair path, with per-stage kind and
+	// latency reported from the manager.
+	rng := rand.New(rand.NewSource(7))
+	pts := pointset.Uniform(rng, 120, 11)
+	stages, err := RunScenario(pts, Scenario{K: 5, Phi: 0, Step: 2, MaxFails: 8, Algo: "cover"}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental := 0
+	for _, st := range stages {
+		if !st.Repair.Strong {
+			t.Fatalf("stage %d not verified", st.CumulativeFailed)
+		}
+		switch st.Repair.Kind {
+		case instance.RepairIncremental:
+			incremental++
+		case instance.RepairFull:
+		default:
+			t.Fatalf("stage %d: unexpected repair kind %q", st.CumulativeFailed, st.Repair.Kind)
+		}
+		if st.Repair.Latency <= 0 {
+			t.Fatalf("stage %d: no latency recorded", st.CumulativeFailed)
+		}
+		if st.Repair.Churn == 0 {
+			t.Fatalf("stage %d: removals next to tree edges must churn sectors", st.CumulativeFailed)
+		}
+	}
+	if incremental == 0 {
+		t.Fatal("no stage took the incremental repair path on an EMST-local budget")
 	}
 }

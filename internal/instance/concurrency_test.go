@@ -1,0 +1,127 @@
+package instance_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/solution"
+)
+
+// TestConcurrentBatchesSerialize: N goroutines hammering one instance
+// with unconditional batches must serialize into exactly N consecutive
+// revisions, each applying its batch exactly once (run under -race in
+// CI). The final sensor count proves no batch was lost or double-applied.
+func TestConcurrentBatchesSerialize(t *testing.T) {
+	const writers = 8
+	const perWriter = 5
+	m := newTestManager(instance.Config{History: writers*perWriter + 1})
+	pts := testPoints(150, 11)
+	if _, err := m.Create(context.Background(), "c", pts, coverBudget()); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	seen := make([]atomic.Bool, writers*perWriter+2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				snap, err := m.Apply(context.Background(), "c", 0, []instance.Op{
+					{Op: solution.OpAdd, X: float64(w) + 0.25, Y: float64(i) + 0.25},
+				})
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if snap.Rev < 2 || int(snap.Rev) >= len(seen) {
+					t.Errorf("writer %d: revision %d out of range", w, snap.Rev)
+					return
+				}
+				if seen[snap.Rev].Swap(true) {
+					t.Errorf("revision %d returned twice", snap.Rev)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	snap, err := m.Get("c", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1 + writers*perWriter); snap.Rev != want {
+		t.Fatalf("final revision %d, want %d", snap.Rev, want)
+	}
+	if want := 150 + writers*perWriter; snap.Sol.N != want {
+		t.Fatalf("final n %d, want %d: a batch was lost or double-applied", snap.Sol.N, want)
+	}
+	for r := 2; r <= writers*perWriter+1; r++ {
+		if !seen[r].Load() {
+			t.Fatalf("revision %d never returned", r)
+		}
+	}
+	// Every retained revision is dense and decodable against its
+	// predecessor via the delta codec.
+	for r := uint64(2); r <= snap.Rev; r++ {
+		delta, err := m.Delta("c", r)
+		if err != nil {
+			t.Fatalf("delta rev %d: %v", r, err)
+		}
+		base, err := m.Get("c", r-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := solution.ApplyDelta(base.Sol, delta)
+		if err != nil {
+			t.Fatalf("apply delta rev %d: %v", r, err)
+		}
+		if next.N != base.Sol.N+1 {
+			t.Fatalf("rev %d: n %d after %d", r, next.N, base.Sol.N)
+		}
+	}
+}
+
+// TestConcurrentIfMatchExactlyOne: with every writer conditioning on the
+// same revision, exactly one batch wins and the rest answer ErrConflict
+// — the optimistic-concurrency contract behind HTTP 409.
+func TestConcurrentIfMatchExactlyOne(t *testing.T) {
+	const writers = 6
+	m := newTestManager(instance.Config{})
+	if _, err := m.Create(context.Background(), "c", testPoints(120, 12), coverBudget()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var wins, conflicts atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, err := m.Apply(context.Background(), "c", 1, []instance.Op{
+				{Op: solution.OpAdd, X: float64(w), Y: 1},
+			})
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, instance.ErrConflict):
+				conflicts.Add(1)
+			default:
+				t.Errorf("writer %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if wins.Load() != 1 || conflicts.Load() != writers-1 {
+		t.Fatalf("wins=%d conflicts=%d, want 1/%d", wins.Load(), conflicts.Load(), writers-1)
+	}
+	snap, _ := m.Get("c", 0)
+	if snap.Rev != 2 || snap.Sol.N != 121 {
+		t.Fatalf("final rev=%d n=%d, want 2/121", snap.Rev, snap.Sol.N)
+	}
+}

@@ -1,0 +1,229 @@
+package instance_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/instance"
+	"repro/internal/service"
+	"repro/internal/solution"
+)
+
+// newTestManager wires a Manager to a private engine, the same adapter
+// the antennad server uses.
+func newTestManager(cfg instance.Config) *instance.Manager {
+	eng := service.NewEngine(service.Options{})
+	cfg.Solve = func(ctx context.Context, pts []geom.Point, b instance.Budget) (*solution.Solution, error) {
+		sol, _, err := eng.Solve(ctx, service.Request{Pts: pts, K: b.K, Phi: b.Phi, Algo: b.Algo, Objective: b.Objective})
+		return sol, err
+	}
+	return instance.NewManager(cfg)
+}
+
+func testPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 14, Y: rng.Float64() * 14}
+	}
+	return pts
+}
+
+func coverBudget() instance.Budget {
+	return instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	m := newTestManager(instance.Config{History: 4})
+	ctx := context.Background()
+	pts := testPoints(220, 5)
+
+	snap, err := m.Create(ctx, "net", pts, coverBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rev != 1 || snap.Repair != instance.RepairNone || !snap.Sol.Verified {
+		t.Fatalf("create snapshot wrong: %+v", snap)
+	}
+	if _, err := m.Create(ctx, "net", pts, coverBudget()); !errors.Is(err, instance.ErrExists) {
+		t.Fatalf("duplicate id err = %v", err)
+	}
+
+	// A small batch must repair incrementally and stay verified.
+	ops := []instance.Op{
+		{Op: solution.OpMove, Index: 7, X: pts[7].X + 0.3, Y: pts[7].Y - 0.2},
+		{Op: solution.OpAdd, X: 7.5, Y: 7.5},
+	}
+	snap2, err := m.Apply(ctx, "net", 1, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Rev != 2 {
+		t.Fatalf("rev = %d, want 2", snap2.Rev)
+	}
+	if snap2.Repair != instance.RepairIncremental {
+		t.Fatalf("repair = %q, want incremental", snap2.Repair)
+	}
+	if !snap2.Sol.Verified {
+		t.Fatal("repaired revision not verified")
+	}
+	if snap2.Sol.N != 221 {
+		t.Fatalf("n = %d, want 221", snap2.Sol.N)
+	}
+	if snap2.Changed == 0 || snap2.Changed > 60 {
+		t.Fatalf("changed = %d, want a small positive count", snap2.Changed)
+	}
+	if snap2.DirtyFrac <= 0 || snap2.DirtyFrac > 0.25 {
+		t.Fatalf("dirty fraction = %v", snap2.DirtyFrac)
+	}
+
+	// Stale If-Match answers ErrConflict and does not advance.
+	if _, err := m.Apply(ctx, "net", 1, ops); !errors.Is(err, instance.ErrConflict) {
+		t.Fatalf("stale If-Match err = %v", err)
+	}
+	if got, _ := m.Get("net", 0); got.Rev != 2 {
+		t.Fatalf("conflict advanced the instance to %d", got.Rev)
+	}
+
+	// The delta reconstructs the revision byte-identically.
+	delta, err := m.Delta("net", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Get("net", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := solution.ApplyDelta(base.Sol, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt.EncodeBinary(), snap2.Sol.EncodeBinary()) {
+		t.Fatal("delta did not reconstruct the revision byte-identically")
+	}
+	if full := len(snap2.Sol.EncodeBinary()); len(delta) >= full/4 {
+		t.Fatalf("delta %d bytes vs full %d: not a delta", len(delta), full)
+	}
+	if _, err := m.Delta("net", 1); err == nil {
+		t.Fatal("revision 1 must have no delta")
+	}
+
+	// History is bounded: old revisions evict.
+	cur := snap2
+	for i := 0; i < 5; i++ {
+		cur, err = m.Apply(ctx, "net", 0, []instance.Op{{Op: solution.OpMove, Index: i, X: float64(i), Y: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cur.Rev != 7 {
+		t.Fatalf("rev = %d, want 7", cur.Rev)
+	}
+	if _, err := m.Get("net", 2); !errors.Is(err, instance.ErrEvicted) {
+		t.Fatalf("evicted revision err = %v", err)
+	}
+	if _, err := m.Get("net", 99); !errors.Is(err, instance.ErrNotFound) {
+		t.Fatalf("future revision err = %v", err)
+	}
+
+	ls := m.List()
+	if len(ls) != 1 || ls[0].ID != "net" || ls[0].Rev != 7 || ls[0].Repairs == 0 {
+		t.Fatalf("list = %+v", ls)
+	}
+	if !m.Delete("net") || m.Delete("net") {
+		t.Fatal("delete must succeed once")
+	}
+	if _, err := m.Get("net", 0); !errors.Is(err, instance.ErrNotFound) {
+		t.Fatalf("deleted instance err = %v", err)
+	}
+}
+
+// TestRepairDisabledThreshold: a negative threshold turns every batch
+// into a full solve (the benchmark baseline mode), and a batch whose
+// dirty region crosses the threshold falls back too.
+func TestRepairDisabledThreshold(t *testing.T) {
+	ctx := context.Background()
+	pts := testPoints(200, 6)
+
+	m := newTestManager(instance.Config{RepairThreshold: -1})
+	if _, err := m.Create(ctx, "a", pts, coverBudget()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Apply(ctx, "a", 0, []instance.Op{{Op: solution.OpAdd, X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Repair != instance.RepairFull {
+		t.Fatalf("repair = %q, want full with repair disabled", snap.Repair)
+	}
+
+	m2 := newTestManager(instance.Config{})
+	if _, err := m2.Create(ctx, "b", pts, coverBudget()); err != nil {
+		t.Fatal(err)
+	}
+	// Freshen 40% of the instance: far beyond the default threshold.
+	var bulk []instance.Op
+	for i := 0; i < 80; i++ {
+		bulk = append(bulk, instance.Op{Op: solution.OpMove, Index: i, X: float64(i) * 0.1, Y: 20})
+	}
+	snap, err = m2.Apply(ctx, "b", 0, bulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Repair != instance.RepairFull {
+		t.Fatalf("repair = %q, want full above the dirty threshold", snap.Repair)
+	}
+	if !snap.Sol.Verified {
+		t.Fatal("full fallback must still verify")
+	}
+}
+
+// TestNonLocalBudgetAlwaysFullSolves: budgets outside the EMST-local
+// region (here the tour construction) never take the splice path, but
+// still revision correctly.
+func TestNonLocalBudgetAlwaysFullSolves(t *testing.T) {
+	ctx := context.Background()
+	m := newTestManager(instance.Config{})
+	if _, err := m.Create(ctx, "t", testPoints(80, 7), instance.Budget{K: 1, Phi: 0, Algo: "tour"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Apply(ctx, "t", 0, []instance.Op{{Op: solution.OpAdd, X: 3, Y: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Repair != instance.RepairFull || !snap.Sol.Verified {
+		t.Fatalf("tour budget snapshot: %+v", snap)
+	}
+}
+
+// TestApplyValidation: malformed batches are rejected without bumping
+// the revision.
+func TestApplyValidation(t *testing.T) {
+	ctx := context.Background()
+	m := newTestManager(instance.Config{})
+	if _, err := m.Create(ctx, "v", testPoints(60, 8), coverBudget()); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]instance.Op{
+		nil,
+		{{Op: solution.OpRemove, Index: 999}},
+		{{Op: solution.OpMove, Index: 0, X: math.Inf(1), Y: 0}},
+	}
+	for i, ops := range cases {
+		if _, err := m.Apply(ctx, "v", 0, ops); err == nil {
+			t.Fatalf("case %d: bad batch accepted", i)
+		}
+	}
+	if snap, _ := m.Get("v", 0); snap.Rev != 1 {
+		t.Fatalf("rejected batches advanced the revision to %d", snap.Rev)
+	}
+	if _, err := m.Apply(ctx, "ghost", 0, []instance.Op{{Op: solution.OpAdd}}); !errors.Is(err, instance.ErrNotFound) {
+		t.Fatalf("unknown id err = %v", err)
+	}
+}

@@ -1,0 +1,417 @@
+package instance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/antenna"
+	"repro/internal/geom"
+	"repro/internal/mst"
+	"repro/internal/solution"
+)
+
+// Manager owns the live instances of one process. All methods are safe
+// for concurrent use; mutation batches on one instance serialize under
+// that instance's lock, so revision numbers are deterministic and every
+// revision's artifact reflects exactly one batch.
+type Manager struct {
+	cfg     Config
+	metrics Metrics
+
+	mu     sync.RWMutex
+	byID   map[string]*inst
+	nextID uint64
+}
+
+// inst is one live instance. applyMu serializes mutation batches and is
+// held across their (possibly long) solves; mu guards only the published
+// state (pts, rev, history, repair state, deleted) and is held for
+// microseconds, so Get, List, and the metrics renderer never wait behind
+// an in-flight solve. Lock order: applyMu before mu.
+type inst struct {
+	applyMu sync.Mutex
+	mu      sync.Mutex
+	deleted bool
+
+	id     string
+	budget Budget
+
+	pts []geom.Point
+	rev uint64
+	// repairState: the exactly maintained EMST and the current
+	// assignment, present only while the budget is EMST-local and the
+	// instance is repairable (nil after a fallback-ineligible solve).
+	tree *mst.Tree
+	asg  *antenna.Assignment
+
+	// history holds the most recent revisions, oldest first; the last
+	// entry is the current revision.
+	history []revision
+
+	repairs, fulls uint64
+}
+
+// revision is one retained history entry.
+type revision struct {
+	rev     uint64
+	sol     *solution.Solution
+	ops     []Op // batch that produced it (nil for revision 1)
+	repair  string
+	dirty   float64
+	changed int
+	elapsed time.Duration
+}
+
+// NewManager builds a manager; Config.Solve is required.
+func NewManager(cfg Config) *Manager {
+	if cfg.Solve == nil {
+		panic("instance: Config.Solve is required")
+	}
+	if cfg.RepairThreshold == 0 {
+		cfg.RepairThreshold = DefaultRepairThreshold
+	}
+	if cfg.History <= 0 {
+		cfg.History = DefaultHistory
+	}
+	if cfg.MaxInstances <= 0 {
+		cfg.MaxInstances = DefaultMaxInstances
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	m := &Manager{cfg: cfg, byID: make(map[string]*inst)}
+	m.metrics.initMetrics()
+	return m
+}
+
+// Metrics exposes the manager's counters and histograms.
+func (m *Manager) Metrics() *Metrics { return &m.metrics }
+
+// Create registers a new instance and solves revision 1 through the full
+// engine path. An empty id asks the manager to assign "i-<seq>".
+func (m *Manager) Create(ctx context.Context, id string, pts []geom.Point, b Budget) (*Snapshot, error) {
+	if err := validateBudget(b); err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if !finite(p) {
+			return nil, fmt.Errorf("instance: point %d is not finite", i)
+		}
+	}
+	// Cheap admission checks before the expensive solve. A concurrent
+	// create can still race past them, so publication re-checks below —
+	// these just keep the common rejections (full manager, reused id)
+	// from burning a full solve each.
+	m.mu.RLock()
+	full := len(m.byID) >= m.cfg.MaxInstances
+	_, dup := m.byID[id]
+	m.mu.RUnlock()
+	if full {
+		return nil, ErrFull
+	}
+	if dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	start := time.Now()
+	sol, err := m.cfg.Solve(ctx, pts, b)
+	if err != nil {
+		return nil, err
+	}
+	in := &inst{budget: b, pts: append([]geom.Point(nil), pts...), rev: 1}
+	in.history = []revision{{rev: 1, sol: sol, repair: RepairNone, changed: sol.N, elapsed: time.Since(start)}}
+	m.adoptRepairState(in, sol)
+
+	m.mu.Lock()
+	if len(m.byID) >= m.cfg.MaxInstances {
+		m.mu.Unlock()
+		return nil, ErrFull
+	}
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("i-%d", m.nextID)
+	} else if _, dup := m.byID[id]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	in.id = id
+	m.byID[id] = in
+	m.mu.Unlock()
+
+	m.metrics.Created.Add(1)
+	in.mu.Lock() // the instance is published; snapshot under its lock
+	defer in.mu.Unlock()
+	return in.snapshotLocked(), nil
+}
+
+// Apply runs one mutation batch against the instance, producing the next
+// revision. ifMatch, when non-zero, is a conditional write: the batch
+// applies only if the instance is still at that revision (stale values
+// answer ErrConflict, the HTTP 409). Batches on one instance serialize;
+// each sees the points the previous batch left behind.
+func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op) (*Snapshot, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("instance: empty mutation batch")
+	}
+	if len(ops) > m.cfg.MaxBatch {
+		return nil, fmt.Errorf("instance: batch of %d ops exceeds limit %d", len(ops), m.cfg.MaxBatch)
+	}
+	for i, op := range ops {
+		if (op.Op == solution.OpAdd || op.Op == solution.OpMove) && !finite(geom.Point{X: op.X, Y: op.Y}) {
+			return nil, fmt.Errorf("instance: op %d: coordinates not finite", i)
+		}
+	}
+	in, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	// applyMu serializes batches and stays held across the solve; the
+	// state mutex is taken only around the reads and the final swap, so
+	// concurrent Get/List/metrics never wait behind a solve. The state
+	// read below is safe without further coordination: only Apply
+	// mutates it, and Apply is serialized here.
+	in.applyMu.Lock()
+	defer in.applyMu.Unlock()
+	in.mu.Lock()
+	deleted, curRev := in.deleted, in.rev
+	in.mu.Unlock()
+	if deleted {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if ifMatch != 0 && ifMatch != curRev {
+		m.metrics.Conflicts.Add(1)
+		return nil, fmt.Errorf("%w: instance %q is at revision %d, not %d", ErrConflict, id, curRev, ifMatch)
+	}
+
+	start := time.Now()
+	old2new, nNew, fresh, err := solution.PlanOps(len(in.pts), ops)
+	if err != nil {
+		return nil, err
+	}
+	newPts, err := solution.ApplyPointOps(in.pts, ops)
+	if err != nil || len(newPts) != nNew {
+		panic("instance: PlanOps and ApplyPointOps disagree") // same semantics by construction
+	}
+	m.metrics.Batches.Add(1)
+
+	rev := revision{rev: curRev + 1, ops: append([]Op(nil), ops...)}
+	var rs *repairState
+	if m.cfg.RepairThreshold > 0 {
+		rs = m.tryRepair(in, newPts, old2new, fresh)
+	}
+	var adopt bool
+	if rs != nil {
+		rev.sol, rev.repair, rev.dirty, rev.changed = rs.sol, RepairIncremental, rs.dirtyFrac, rs.changed
+		m.metrics.Repairs.Add(1)
+	} else {
+		sol, err := m.cfg.Solve(ctx, newPts, in.budget)
+		if err != nil {
+			return nil, err // revision not bumped; the batch did not happen
+		}
+		rev.sol, rev.repair, rev.dirty = sol, RepairFull, 1
+		rev.changed = changedSectors(in.currentSol(), sol, old2new)
+		adopt = true
+		m.metrics.FullSolves.Add(1)
+	}
+	rev.elapsed = time.Since(start)
+
+	// Rebuild the repair state for full solves before publishing — still
+	// outside the state mutex (adoptRepairState recomputes the EMST).
+	newRepair := repairHandoff{tree: nil, asg: nil}
+	if rs != nil {
+		newRepair.tree, newRepair.asg = rs.tree, rs.asg
+	} else if adopt {
+		newRepair.tree, newRepair.asg = m.buildRepairState(in.budget, rev.sol, newPts)
+	}
+
+	in.mu.Lock()
+	in.pts = newPts
+	in.rev = rev.rev
+	in.tree, in.asg = newRepair.tree, newRepair.asg
+	if rs != nil {
+		in.repairs++
+	} else {
+		in.fulls++
+	}
+	in.history = append(in.history, rev)
+	if len(in.history) > m.cfg.History {
+		in.history = in.history[len(in.history)-m.cfg.History:]
+	}
+	snap := in.snapshotLocked()
+	in.mu.Unlock()
+
+	m.metrics.DirtyFrac.observe(rev.dirty)
+	m.metrics.ChurnSeconds.observe(rev.elapsed.Seconds())
+	return snap, nil
+}
+
+// Get returns a snapshot of the given revision (0 = current). Revisions
+// older than the history window answer ErrEvicted.
+func (m *Manager) Get(id string, rev uint64) (*Snapshot, error) {
+	in, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.deleted {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	r, err := in.revisionLocked(rev)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{ID: in.id, Rev: r.rev, Sol: r.sol, Repair: r.repair,
+		DirtyFrac: r.dirty, Changed: r.changed, Elapsed: r.elapsed}, nil
+}
+
+// Delta returns the ADLT encoding of the given revision (0 = current)
+// against its predecessor. Revision 1 has no base and answers an error.
+func (m *Manager) Delta(id string, rev uint64) ([]byte, error) {
+	in, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.deleted {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	r, err := in.revisionLocked(rev)
+	if err != nil {
+		return nil, err
+	}
+	if r.rev <= 1 {
+		return nil, fmt.Errorf("instance: revision 1 has no delta base")
+	}
+	base, err := in.revisionLocked(r.rev - 1)
+	if err != nil {
+		return nil, err
+	}
+	return solution.EncodeDelta(base.sol, r.sol, r.ops)
+}
+
+// List returns a summary row per live instance, sorted by id.
+func (m *Manager) List() []Summary {
+	m.mu.RLock()
+	insts := make([]*inst, 0, len(m.byID))
+	for _, in := range m.byID {
+		insts = append(insts, in)
+	}
+	m.mu.RUnlock()
+	out := make([]Summary, 0, len(insts))
+	for _, in := range insts {
+		in.mu.Lock()
+		if !in.deleted {
+			sol := in.currentSol()
+			out = append(out, Summary{ID: in.id, Rev: in.rev, N: len(in.pts),
+				K: in.budget.K, Phi: in.budget.Phi, Algo: sol.Algo,
+				Verified: sol.Verified, Repairs: in.repairs, Fulls: in.fulls})
+		}
+		in.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Delete removes an instance; false when it does not exist.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	in, ok := m.byID[id]
+	if ok {
+		delete(m.byID, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	in.mu.Lock()
+	in.deleted = true
+	in.mu.Unlock()
+	m.metrics.Deleted.Add(1)
+	return true
+}
+
+func (m *Manager) lookup(id string) (*inst, error) {
+	m.mu.RLock()
+	in, ok := m.byID[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return in, nil
+}
+
+// currentSol returns the latest revision's artifact; callers hold in.mu.
+func (in *inst) currentSol() *solution.Solution {
+	return in.history[len(in.history)-1].sol
+}
+
+// revisionLocked finds a retained revision; callers hold in.mu.
+func (in *inst) revisionLocked(rev uint64) (*revision, error) {
+	if rev == 0 {
+		return &in.history[len(in.history)-1], nil
+	}
+	if rev > in.rev {
+		return nil, fmt.Errorf("%w: instance %q has no revision %d (at %d)", ErrNotFound, in.id, rev, in.rev)
+	}
+	for i := range in.history {
+		if in.history[i].rev == rev {
+			return &in.history[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: instance %q revision %d (history keeps %d)", ErrEvicted, in.id, rev, len(in.history))
+}
+
+// snapshotLocked renders the current revision; callers hold in.mu (or
+// exclusively own the inst, as Create does).
+func (in *inst) snapshotLocked() *Snapshot {
+	r := in.history[len(in.history)-1]
+	return &Snapshot{ID: in.id, Rev: r.rev, Sol: r.sol, Repair: r.repair,
+		DirtyFrac: r.dirty, Changed: r.changed, Elapsed: r.elapsed}
+}
+
+// changedSectors counts sensors whose sector list differs from the
+// previous revision after index remapping — the delta's payload size and
+// the dynamics harness's churn measure.
+func changedSectors(prev, next *solution.Solution, old2new []int) int {
+	inherited := make([]int, next.N)
+	for i := range inherited {
+		inherited[i] = -1
+	}
+	for o, n := range old2new {
+		if n >= 0 {
+			inherited[n] = o
+		}
+	}
+	changed := 0
+	for i := 0; i < next.N; i++ {
+		o := inherited[i]
+		if o < 0 || !wireSectorsEqual(prev.Sectors[o], next.Sectors[i]) {
+			changed++
+		}
+	}
+	return changed
+}
+
+func wireSectorsEqual(a, b []solution.Sector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func finite(p geom.Point) bool {
+	return !(isNaNOrInf(p.X) || isNaNOrInf(p.Y))
+}
+
+func isNaNOrInf(v float64) bool {
+	return v != v || v > 1e308 || v < -1e308
+}

@@ -1,0 +1,137 @@
+package instance
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics are the manager's cumulative counters and distributions. The
+// row names rendered by WriteMetrics are part of the operational
+// contract documented in docs/OPERATIONS.md.
+type Metrics struct {
+	Created              atomic.Uint64
+	Deleted              atomic.Uint64
+	Batches              atomic.Uint64
+	Repairs              atomic.Uint64
+	FullSolves           atomic.Uint64
+	RepairFallbacks      atomic.Uint64
+	RepairVerifyFailures atomic.Uint64
+	Conflicts            atomic.Uint64
+	// DirtyFrac distributes the per-revision dirty fraction (re-aimed
+	// sensors / n); ChurnSeconds the server-side revision latency.
+	DirtyFrac    histogram
+	ChurnSeconds histogram
+}
+
+// histogram is a fixed-bucket Prometheus-style histogram: per-bucket
+// counts, a sum, and a total. Bounds are fixed at construction
+// (initMetrics); observations above the last bound land in the +Inf
+// bucket.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Default bucket bounds: dirty fractions span "a few sensors" to "whole
+// instance"; churn latencies span a sub-millisecond repair to a slow
+// full solve.
+var (
+	dirtyBounds = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1}
+	churnBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5}
+)
+
+// initMetrics sizes the histograms; called once by NewManager.
+func (m *Metrics) initMetrics() {
+	m.DirtyFrac.bounds = dirtyBounds
+	m.DirtyFrac.counts = make([]uint64, len(dirtyBounds)+1)
+	m.ChurnSeconds.bounds = churnBounds
+	m.ChurnSeconds.counts = make([]uint64, len(churnBounds)+1)
+}
+
+// observe records one sample.
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// writeHistogram renders one histogram in Prometheus text format.
+func writeHistogram(w io.Writer, name, help string, h *histogram) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n", name, cum, name, h.sum, name, h.n); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteMetrics renders the instance tier's rows in Prometheus text
+// format: global counters, the dirty-fraction and churn-latency
+// histograms, and one labeled row set per live instance.
+func (m *Manager) WriteMetrics(w io.Writer) error {
+	mm := &m.metrics
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"antennad_instances_created_total", "instances created", mm.Created.Load()},
+		{"antennad_instances_deleted_total", "instances deleted", mm.Deleted.Load()},
+		{"antennad_instance_batches_total", "mutation batches applied", mm.Batches.Load()},
+		{"antennad_instance_repairs_total", "revisions served by incremental repair", mm.Repairs.Load()},
+		{"antennad_instance_full_solves_total", "revisions served by a full engine solve", mm.FullSolves.Load()},
+		{"antennad_instance_repair_fallbacks_total", "repair attempts abandoned before verification (splice bail or dirty threshold)", mm.RepairFallbacks.Load()},
+		{"antennad_instance_repair_verify_failures_total", "repairs rejected by re-verification and re-solved in full", mm.RepairVerifyFailures.Load()},
+		{"antennad_instance_conflicts_total", "conditional batches rejected on a stale revision", mm.Conflicts.Load()},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if err := writeHistogram(w, "antennad_instance_dirty_fraction", "fraction of sensors re-aimed per revision", &mm.DirtyFrac); err != nil {
+		return err
+	}
+	if err := writeHistogram(w, "antennad_instance_churn_seconds", "server-side latency of producing a revision", &mm.ChurnSeconds); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# HELP antennad_instances live instances\n# TYPE antennad_instances gauge\nantennad_instances %d\n", len(m.List())); err != nil {
+		return err
+	}
+	for _, s := range m.List() {
+		if _, err := fmt.Fprintf(w,
+			"antennad_instance_revision{instance=%q} %d\nantennad_instance_sensors{instance=%q} %d\nantennad_instance_repaired_total{instance=%q} %d\nantennad_instance_resolved_total{instance=%q} %d\n",
+			s.ID, s.Rev, s.ID, s.N, s.ID, s.Repairs, s.ID, s.Fulls); err != nil {
+			return err
+		}
+	}
+	return nil
+}

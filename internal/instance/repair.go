@@ -1,0 +1,301 @@
+package instance
+
+import (
+	"strings"
+
+	"repro/internal/antenna"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mst"
+	"repro/internal/plan"
+	"repro/internal/solution"
+	"repro/internal/spatial"
+	"repro/internal/verify"
+)
+
+// repairState is a successfully repaired revision before publication.
+type repairState struct {
+	sol       *solution.Solution
+	tree      *mst.Tree
+	asg       *antenna.Assignment
+	dirtyFrac float64
+	// changed counts sensors whose wire sectors differ from the previous
+	// revision — computable over just the dirty set, since clean sensors
+	// alias their previous sectors by construction.
+	changed int
+}
+
+// repairHandoff carries freshly built repair state into the publication
+// critical section.
+type repairHandoff struct {
+	tree *mst.Tree
+	asg  *antenna.Assignment
+}
+
+// buildRepairState (re)builds the maintained EMST and assignment after a
+// full solve, when the budget is EMST-local and the artifact is
+// repairable; nils otherwise, so every later batch full-solves. The tree
+// is rebuilt with the same deterministic mst.Euclidean the construction
+// ran, so the maintained state is exactly the construction's own
+// substrate. Pure with respect to the instance — callers run it outside
+// the state mutex and publish the result.
+func (m *Manager) buildRepairState(b Budget, sol *solution.Solution, pts []geom.Point) (*mst.Tree, *antenna.Assignment) {
+	if !m.repairEligible(b, sol) {
+		return nil, nil
+	}
+	asg, err := sol.Assignment(pts)
+	if err != nil {
+		return nil, nil
+	}
+	return mst.Euclidean(pts), asg
+}
+
+// adoptRepairState installs buildRepairState's output on an unpublished
+// instance (Create's path).
+func (m *Manager) adoptRepairState(in *inst, sol *solution.Solution) {
+	in.tree, in.asg = m.buildRepairState(in.budget, sol, in.pts)
+}
+
+// repairEligible decides whether incremental repair may serve this
+// instance: the resolved construction must be EMST-local at the budget
+// (core.EMSTLocalBudget), the artifact must be verified, and — for
+// planner-selected instances — the selection must be the deterministic
+// a-priori decision (a raced winner is instance-measured, so a mutated
+// instance could legitimately select differently; those instances
+// full-solve every batch).
+func (m *Manager) repairEligible(b Budget, sol *solution.Solution) bool {
+	if !sol.Verified || m.cfg.RepairThreshold <= 0 {
+		return false
+	}
+	algo := b.Algo
+	if algo == "" {
+		if b.Objective.Deadline > 0 || strings.Contains(sol.Objective, "race=") {
+			return false
+		}
+		d, err := (&plan.Planner{}).Plan(b.Objective, b.K, b.Phi)
+		if err != nil || d.Winner != sol.Algo {
+			return false
+		}
+		algo = d.Winner
+	}
+	return core.EMSTLocalBudget(algo, b.K, b.Phi)
+}
+
+// minRepairN is the instance size below which a full solve is cheaper
+// than maintaining repair state.
+const minRepairN = 16
+
+// tryRepair attempts the incremental path for one batch; nil falls the
+// caller back to a full solve. The steps, each of which can bail:
+//
+//  1. Splice the maintained EMST exactly under the batch
+//     (mst.SpliceEMST).
+//  2. Diff the trees: the dirty sensors are the fresh ones plus every
+//     sensor whose tree neighborhood changed. Bail when the dirty
+//     fraction crosses the configured threshold.
+//  3. Re-aim only the dirty sensors through the construction's own
+//     per-sensor rule (core.CoverSectors over the new tree
+//     neighborhood); every clean sensor keeps its sectors.
+//  4. Re-verify the spliced assignment in full against the same
+//     a-priori guarantee the engine would enforce, with the maintained
+//     tree's bottleneck as l_max. A failed verification bails — the
+//     full solve then produces and verifies the revision instead, so an
+//     unrepairable geometry costs latency, never correctness.
+func (m *Manager) tryRepair(in *inst, newPts []geom.Point, old2new []int, fresh []int) *repairState {
+	if in.tree == nil || in.asg == nil || len(newPts) < minRepairN {
+		return nil
+	}
+	prev := in.currentSol()
+	grid := spatial.NewGrid(newPts, 0)
+	newTree, touched, ok := mst.SpliceEMSTIndexed(in.tree, newPts, grid, old2new, fresh)
+	if !ok {
+		m.metrics.RepairFallbacks.Add(1)
+		return nil
+	}
+	var dirty []int
+	if touched != nil {
+		dirty = dirtyFromTouched(len(newPts), touched, fresh)
+	} else {
+		// The splice could not cheaply certify its change set (tie
+		// rewiring in degree repair): diff the trees.
+		dirty = dirtyVertices(in.tree, newTree, old2new, fresh)
+	}
+	frac := float64(len(dirty)) / float64(len(newPts))
+	if frac > m.cfg.RepairThreshold {
+		m.metrics.RepairFallbacks.Add(1)
+		return nil
+	}
+
+	// Splice sectors: clean sensors alias their previous (immutable)
+	// sector slices under their new indices; dirty sensors re-run the
+	// cover rule over their new tree neighborhood.
+	asg := antenna.New(newPts).WithSpatialIndex(grid)
+	for o, n := range old2new {
+		if n >= 0 {
+			asg.Sectors[n] = in.asg.Sectors[o]
+		}
+	}
+	adj := newTree.Adj
+	for _, u := range dirty {
+		targets := make([]geom.Point, len(adj[u]))
+		for i, v := range adj[u] {
+			targets[i] = newPts[v]
+		}
+		asg.Sectors[u] = core.CoverSectors(newPts[u], targets, in.budget.K)
+	}
+
+	orienter, ok := core.LookupOrienter(resolvedAlgo(in.budget, prev))
+	if !ok {
+		return nil
+	}
+	guar, ok := orienter.Guarantee(in.budget.K, in.budget.Phi)
+	if !ok {
+		return nil
+	}
+	budgets := plan.VerifyBudgets(guar)
+	budgets.KnownLMax = newTree.LMax()
+	rep := verify.Check(asg, budgets)
+	if !rep.OK() {
+		m.metrics.RepairVerifyFailures.Add(1)
+		return nil
+	}
+
+	// Wire sectors: clean sensors alias the previous artifact's
+	// (immutable) wire slices; only the re-aimed sensors re-encode.
+	wire := make([][]solution.Sector, len(newPts))
+	new2old := make([]int, len(newPts))
+	for i := range new2old {
+		new2old[i] = -1
+	}
+	for o, n := range old2new {
+		if n >= 0 {
+			wire[n] = prev.Sectors[o]
+			new2old[n] = o
+		}
+	}
+	changed := 0
+	for _, u := range dirty {
+		secs := asg.Sectors[u]
+		ws := make([]solution.Sector, len(secs))
+		for i, sec := range secs {
+			ws[i] = solution.Sector{Start: sec.Start, Spread: sec.Spread, Radius: sec.Radius}
+		}
+		if len(ws) == 0 {
+			ws = nil
+		}
+		if o := new2old[u]; o < 0 || !wireSectorsEqual(prev.Sectors[o], ws) {
+			changed++
+		}
+		wire[u] = ws
+	}
+
+	sol := &solution.Solution{
+		Version:      solution.Version,
+		PointsDigest: solution.Digest(newPts),
+		N:            len(newPts),
+		K:            in.budget.K,
+		Phi:          in.budget.Phi,
+		Objective:    prev.Objective,
+		Planned:      prev.Planned,
+		Algo:         prev.Algo,
+		Construction: prev.Construction,
+		Guarantee:    prev.Guarantee,
+		Sectors:      wire,
+		LMax:         rep.LMax,
+		Bound:        prev.Bound,
+		ProvedBound:  prev.ProvedBound,
+		RadiusUsed:   rep.MaxRadius,
+		RadiusRatio:  rep.RadiusRatio,
+		SpreadUsed:   rep.MaxSpread,
+		Edges:        rep.Edges,
+		Verified:     true,
+	}
+	return &repairState{sol: sol, tree: newTree, asg: asg, dirtyFrac: frac, changed: changed}
+}
+
+// resolvedAlgo names the registered orienter the instance runs under —
+// the explicit budget algo, or the planner winner recorded in the
+// artifact.
+func resolvedAlgo(b Budget, sol *solution.Solution) string {
+	if b.Algo != "" {
+		return b.Algo
+	}
+	return sol.Algo
+}
+
+// dirtyFromTouched dedups the splice's change log into the sorted dirty
+// set: fresh sensors plus every settled sensor whose adjacency changed.
+func dirtyFromTouched(n int, touched, fresh []int) []int {
+	mark := make([]bool, n)
+	for _, v := range fresh {
+		mark[v] = true
+	}
+	for _, v := range touched {
+		mark[v] = true
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if mark[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dirtyVertices returns the new-index sensors whose EMST neighborhood
+// changed: every fresh sensor, plus both endpoints of every edge in the
+// symmetric difference of the old tree (mapped through the batch's index
+// mapping) and the spliced tree. Settled sensors keep their positions,
+// so index equality is position equality and the edge diff is exact.
+func dirtyVertices(oldTree, newTree *mst.Tree, old2new []int, fresh []int) []int {
+	n := newTree.N()
+	isFresh := make([]bool, n)
+	mark := make([]bool, n)
+	for _, v := range fresh {
+		isFresh[v] = true
+		mark[v] = true
+	}
+	oldEdges := make(map[uint64]bool, len(oldTree.Edges()))
+	for _, e := range oldTree.Edges() {
+		nu, nv := old2new[e[0]], old2new[e[1]]
+		if nu >= 0 && nv >= 0 && !isFresh[nu] && !isFresh[nv] {
+			oldEdges[packEdge(nu, nv)] = true
+		} else {
+			// An endpoint vanished or freshened: any surviving settled
+			// endpoint lost this edge and must re-aim.
+			if nu >= 0 {
+				mark[nu] = true
+			}
+			if nv >= 0 {
+				mark[nv] = true
+			}
+		}
+	}
+	for _, e := range newTree.Edges() {
+		key := packEdge(e[0], e[1])
+		if oldEdges[key] {
+			delete(oldEdges, key) // unchanged edge
+		} else {
+			mark[e[0]] = true
+			mark[e[1]] = true
+		}
+	}
+	for key := range oldEdges { // old edges that disappeared
+		mark[int(key>>32)] = true
+		mark[int(key&0xffffffff)] = true
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if mark[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func packEdge(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}

@@ -296,7 +296,16 @@ func (p *Planner) Race(ctx context.Context, pts []geom.Point, obj Objective, k i
 		}
 		launched++
 		go func(i int, o core.Orienter) {
-			asg, res, err := o.Orient(pts, k, phi)
+			// Candidates with cancellation checkpoints stop at the race
+			// deadline instead of burning the lost run to completion.
+			var asg *antenna.Assignment
+			var res *core.Result
+			var err error
+			if co, ok := o.(core.ContextOrienter); ok {
+				asg, res, err = co.OrientCtx(ctx, pts, k, phi)
+			} else {
+				asg, res, err = o.Orient(pts, k, phi)
+			}
 			out := raceOutcome{idx: i}
 			if err == nil && len(res.Violations) == 0 {
 				out.ok = true

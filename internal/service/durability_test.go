@@ -213,8 +213,12 @@ func TestDeadlineExpiry(t *testing.T) {
 	}
 
 	// Deadline passing mid-solve: the caller is unblocked promptly even
-	// though the abandoned orientation finishes in the background.
-	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	// though the abandoned orientation finishes in the background. The
+	// deadline must be long enough that the solve reliably *starts*
+	// (validate + digest + pool dispatch, with -race headroom) — a solve
+	// refused before it began has nothing to salvage — yet far below the
+	// n=20000 solve time so it always expires mid-flight.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel2()
 	begin = time.Now()
 	_, _, err = eng.Solve(ctx2, req)

@@ -16,6 +16,7 @@
 package service
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -117,6 +118,13 @@ type Options struct {
 	// joins the objective's cache key, so raced and a-priori artifacts
 	// never alias.
 	DefaultRace time.Duration
+	// RepairThreshold is the live-instance dirty fraction above which an
+	// incremental repair falls back to a full solve (0 selects
+	// instance.DefaultRepairThreshold; negative disables repair).
+	RepairThreshold float64
+	// InstanceHistory bounds retained revisions per live instance (≤ 0
+	// selects instance.DefaultHistory).
+	InstanceHistory int
 }
 
 // Engine turns requests into verified solution artifacts.
@@ -130,12 +138,39 @@ type Engine struct {
 	flightMu sync.Mutex
 	flights  map[solution.Key]*flight
 
+	// Negative cache: requests that failed deterministically (no
+	// feasible orienter for the budget/objective) are remembered so a
+	// hot loop of retries answers from memory instead of re-planning.
+	negMu sync.Mutex
+	neg   map[solution.Key]error
+	negLL *list.List // front = most recent; evicts from the back
+
 	batchMu sync.Mutex
 	pending []*batchJob
 	kick    chan struct{}
 	started sync.Once
 	closed  bool
 }
+
+// negCacheCap bounds the negative cache; infeasible keys are tiny, so a
+// few thousand cover any realistic churn of bad budgets.
+const negCacheCap = 4096
+
+// InfeasibleError marks a request that can never succeed at its budget:
+// the planner found no orienter whose guarantee satisfies the objective,
+// or the explicitly named orienter rejects the (k, φ) region. The
+// outcome is a pure function of the request, so the engine caches it
+// negatively and answers repeats without re-planning.
+type InfeasibleError struct {
+	// Err is the underlying planner or registry error.
+	Err error
+}
+
+// Error renders the underlying error.
+func (e *InfeasibleError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *InfeasibleError) Unwrap() error { return e.Err }
 
 // flight is one in-progress solve that identical concurrent requests
 // attach to instead of solving again. The leader fills sol/err and
@@ -159,8 +194,42 @@ func NewEngine(opts Options) *Engine {
 		store:   opts.Store,
 		opts:    opts,
 		flights: make(map[solution.Key]*flight),
+		neg:     make(map[solution.Key]error),
+		negLL:   list.New(),
 		kick:    make(chan struct{}, 1),
 	}
+}
+
+// negLookup answers a remembered infeasible request, if any.
+func (e *Engine) negLookup(key solution.Key) (error, bool) {
+	e.negMu.Lock()
+	defer e.negMu.Unlock()
+	err, ok := e.neg[key]
+	return err, ok
+}
+
+// negRemember records a deterministic infeasibility, evicting the oldest
+// entries beyond the cap.
+func (e *Engine) negRemember(key solution.Key, err error) {
+	e.negMu.Lock()
+	defer e.negMu.Unlock()
+	if _, dup := e.neg[key]; dup {
+		return
+	}
+	e.neg[key] = err
+	e.negLL.PushFront(key)
+	for e.negLL.Len() > negCacheCap {
+		oldest := e.negLL.Back()
+		e.negLL.Remove(oldest)
+		delete(e.neg, oldest.Value.(solution.Key))
+	}
+}
+
+// NegativeLen reports remembered infeasible requests (metrics).
+func (e *Engine) NegativeLen() int {
+	e.negMu.Lock()
+	defer e.negMu.Unlock()
+	return len(e.neg)
 }
 
 var (
@@ -220,6 +289,12 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, Ca
 			return sol, SourceDisk, nil
 		}
 	}
+	// Negative cache: a budget the portfolio provably cannot serve keeps
+	// failing identically — answer without re-planning.
+	if negErr, ok := e.negLookup(key); ok {
+		e.metrics.NegativeHits.Add(1)
+		return nil, SourceMiss, negErr
+	}
 	if err := ctx.Err(); err != nil {
 		e.noteCtxErr(err)
 		return nil, SourceMiss, err
@@ -251,6 +326,10 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, Ca
 	e.flightMu.Unlock()
 
 	f.sol, f.err = e.solveMiss(ctx, req, key)
+	var inf *InfeasibleError
+	if errors.As(f.err, &inf) {
+		e.negRemember(key, f.err)
+	}
 	// Remove the flight before releasing waiters: any request arriving
 	// after this point sees the cache fill instead of a stale flight.
 	e.flightMu.Lock()
@@ -274,12 +353,12 @@ func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (
 	}
 	orienter, ok := core.LookupOrienter(algo)
 	if !ok {
-		return nil, fmt.Errorf("service: unknown orienter %q", algo)
+		return nil, &InfeasibleError{Err: fmt.Errorf("service: unknown orienter %q", algo)}
 	}
 	guar, ok := orienter.Guarantee(req.K, req.Phi)
 	if !ok {
-		return nil, fmt.Errorf("service: orienter %q does not support k=%d phi=%.6f (region: %s)",
-			algo, req.K, req.Phi, orienter.Info().Region)
+		return nil, &InfeasibleError{Err: fmt.Errorf("service: orienter %q does not support k=%d phi=%.6f (region: %s)",
+			algo, req.K, req.Phi, orienter.Info().Region)}
 	}
 
 	// A race already oriented the winner on this instance; reuse that
@@ -387,7 +466,9 @@ func (e *Engine) selectAlgo(ctx context.Context, req Request) (string, *plan.Dec
 		d, err = e.planner.Plan(req.Objective, req.K, req.Phi)
 	}
 	if err != nil {
-		return "", nil, err
+		// An empty shortlist is a property of the budget and objective
+		// alone — deterministic, hence negatively cacheable.
+		return "", nil, &InfeasibleError{Err: err}
 	}
 	return d.Winner, &d, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/instance"
 	"repro/internal/plan"
 	"repro/internal/pointset"
 )
@@ -103,22 +104,27 @@ func (o orientRequest) points() ([]geom.Point, error) {
 
 // Server wires an Engine to the HTTP API.
 type Server struct {
-	eng   *Engine
-	start time.Time
+	eng       *Engine
+	instances *instance.Manager
+	start     time.Time
 	// inflight is the bounded /orient queue: a semaphore sized by
 	// Options.MaxInflight, nil when unbounded.
 	inflight chan struct{}
 }
 
 // NewServer returns a server over the engine, honoring the engine's
-// MaxInflight and Deadline options on /orient.
+// MaxInflight and Deadline options on /orient, with a live-instance
+// manager solving through the same engine.
 func NewServer(eng *Engine) *Server {
-	s := &Server{eng: eng, start: time.Now()}
+	s := &Server{eng: eng, instances: NewInstanceManager(eng), start: time.Now()}
 	if n := eng.opts.MaxInflight; n > 0 {
 		s.inflight = make(chan struct{}, n)
 	}
 	return s
 }
+
+// Instances exposes the server's live-instance manager (tests, CLIs).
+func (s *Server) Instances() *instance.Manager { return s.instances }
 
 // Handler returns the API mux.
 func (s *Server) Handler() http.Handler {
@@ -128,7 +134,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/algos", s.handleAlgos)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /instances", s.handleInstanceCreate)
+	mux.HandleFunc("GET /instances", s.handleInstanceList)
+	mux.HandleFunc("GET /instances/{id}", s.handleInstanceGet)
+	mux.HandleFunc("PATCH /instances/{id}", s.handleInstancePatch)
+	mux.HandleFunc("DELETE /instances/{id}", s.handleInstanceDelete)
 	return mux
+}
+
+// requestCtx applies the engine's per-request deadline, when set.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if d := s.eng.opts.Deadline; d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return r.Context(), func() {}
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -142,6 +161,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return false
 	}
+	return decodeJSON(w, r, dst)
+}
+
+// decodeJSON parses a request body without a method check — for handlers
+// whose mux registration already pins the method (the /instances routes).
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 128<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
@@ -317,4 +342,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.eng.WriteMetrics(w)
+	_ = s.instances.WriteMetrics(w)
 }

@@ -22,6 +22,7 @@ type Metrics struct {
 	BatchedItems     atomic.Uint64
 	Shed             atomic.Uint64
 	DeadlineExceeded atomic.Uint64
+	NegativeHits     atomic.Uint64
 }
 
 // Metrics returns the engine's counters.
@@ -48,6 +49,8 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		{"antennad_deadline_exceeded_total", "requests abandoned on an expired deadline", "counter", m.DeadlineExceeded.Load()},
 		{"antennad_cache_hits_total", "artifact cache lookups that hit", "counter", hits},
 		{"antennad_cache_misses_total", "artifact cache lookups that missed (includes requests later rejected)", "counter", misses},
+		{"antennad_negative_hits_total", "infeasible requests answered from the negative cache without re-planning", "counter", m.NegativeHits.Load()},
+		{"antennad_negative_entries", "infeasible request keys currently remembered", "gauge", uint64(e.NegativeLen())},
 		{"antennad_plan_total", "planner selections", "counter", m.PlanCalls.Load()},
 		{"antennad_races_total", "planner shortlist races", "counter", m.Races.Load()},
 		{"antennad_orient_errors_total", "orientation failures", "counter", m.OrientErrors.Load()},

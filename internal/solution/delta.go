@@ -1,0 +1,402 @@
+package solution
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// The ADLT delta codec ships a live instance's revision as a patch
+// against its predecessor artifact instead of a full re-encoding: the
+// base artifact's digest, the mutation batch that produced the revision,
+// the sector lists of only the sensors the repair actually re-aimed, and
+// the revision's scalar tail (measured radii, verification record). For
+// the localized repairs of internal/instance the changed-sector list is a
+// handful of sensors, so a delta is orders of magnitude smaller than the
+// ~24-bytes-per-antenna full artifact. Layout spec: WIRE_FORMAT.md.
+
+// OpKind discriminates the point mutations of a live instance.
+type OpKind uint8
+
+const (
+	// OpAdd appends a new sensor at (X, Y).
+	OpAdd OpKind = 1 + iota
+	// OpRemove deletes the sensor at Index; the indices of all later
+	// sensors shift down by one.
+	OpRemove
+	// OpMove relocates the sensor at Index to (X, Y), keeping its index.
+	OpMove
+)
+
+// String renders the op kind as its wire name.
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpMove:
+		return "move"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its name ("add"|"remove"|"move").
+func (k OpKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses an op-kind name.
+func (k *OpKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "add":
+		*k = OpAdd
+	case "remove":
+		*k = OpRemove
+	case "move":
+		*k = OpMove
+	default:
+		return fmt.Errorf("solution: unknown op kind %q (add|remove|move)", s)
+	}
+	return nil
+}
+
+// PointOp is one mutation of a live instance's sensor set — the shared
+// vocabulary of the instance manager (internal/instance), the antennad
+// instance API, and the ADLT delta codec. Ops within a batch apply
+// sequentially, each seeing the index space the previous ones left
+// behind.
+type PointOp struct {
+	Op    OpKind  `json:"op"`
+	Index int     `json:"index,omitempty"` // OpRemove / OpMove target
+	X     float64 `json:"x,omitempty"`     // OpAdd / OpMove coordinates
+	Y     float64 `json:"y,omitempty"`
+}
+
+// PlanOps simulates a batch over an index space of size nOld and returns
+// the mapping it induces: old2new[i] is the new index of old sensor i
+// (-1 when removed), nNew the new sensor count, and fresh the ascending
+// new indices whose position is not inherited from the old set (added
+// sensors, and moved sensors under their final coordinates). This one
+// function defines the batch semantics for every consumer — the instance
+// manager applies it to points, the delta codec to sector lists.
+func PlanOps(nOld int, ops []PointOp) (old2new []int, nNew int, fresh []int, err error) {
+	type slot struct {
+		old   int // -1 for added sensors
+		fresh bool
+	}
+	cur := make([]slot, nOld)
+	for i := range cur {
+		cur[i] = slot{old: i}
+	}
+	for oi, op := range ops {
+		switch op.Op {
+		case OpAdd:
+			cur = append(cur, slot{old: -1, fresh: true})
+		case OpRemove:
+			if op.Index < 0 || op.Index >= len(cur) {
+				return nil, 0, nil, fmt.Errorf("solution: op %d: remove index %d out of range [0, %d)", oi, op.Index, len(cur))
+			}
+			cur = append(cur[:op.Index], cur[op.Index+1:]...)
+		case OpMove:
+			if op.Index < 0 || op.Index >= len(cur) {
+				return nil, 0, nil, fmt.Errorf("solution: op %d: move index %d out of range [0, %d)", oi, op.Index, len(cur))
+			}
+			cur[op.Index].fresh = true
+		default:
+			return nil, 0, nil, fmt.Errorf("solution: op %d: unknown kind %d", oi, op.Op)
+		}
+	}
+	old2new = make([]int, nOld)
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	for i, s := range cur {
+		if s.fresh {
+			fresh = append(fresh, i)
+		}
+		if s.old >= 0 && !s.fresh {
+			old2new[s.old] = i
+		}
+	}
+	return old2new, len(cur), fresh, nil
+}
+
+// ApplyPointOps materializes a batch over a point slice with the
+// sequential semantics of PlanOps — the one op-application routine
+// shared by the instance manager and the benchmarks' shadow copies.
+func ApplyPointOps(pts []geom.Point, ops []PointOp) ([]geom.Point, error) {
+	out := append([]geom.Point(nil), pts...)
+	for oi, op := range ops {
+		switch op.Op {
+		case OpAdd:
+			out = append(out, geom.Point{X: op.X, Y: op.Y})
+		case OpRemove:
+			if op.Index < 0 || op.Index >= len(out) {
+				return nil, fmt.Errorf("solution: op %d: remove index %d out of range [0, %d)", oi, op.Index, len(out))
+			}
+			out = append(out[:op.Index], out[op.Index+1:]...)
+		case OpMove:
+			if op.Index < 0 || op.Index >= len(out) {
+				return nil, fmt.Errorf("solution: op %d: move index %d out of range [0, %d)", oi, op.Index, len(out))
+			}
+			out[op.Index] = geom.Point{X: op.X, Y: op.Y}
+		default:
+			return nil, fmt.Errorf("solution: op %d: unknown kind %d", oi, op.Op)
+		}
+	}
+	return out, nil
+}
+
+// deltaMagic opens every ADLT delta.
+var deltaMagic = [4]byte{'A', 'D', 'L', 'T'}
+
+// DeltaVersion is the current delta schema version.
+const DeltaVersion = 1
+
+// EncodeDelta serializes next as an ADLT patch against base: the batch
+// that produced it plus only the sector lists that differ after index
+// remapping. Both artifacts must share budget and selection metadata (a
+// revision never changes them). ApplyDelta(base, EncodeDelta(base, next,
+// ops)) reproduces next exactly, byte-identical under both full codecs.
+func EncodeDelta(base, next *Solution, ops []PointOp) ([]byte, error) {
+	old2new, nNew, _, err := PlanOps(base.N, ops)
+	if err != nil {
+		return nil, err
+	}
+	if nNew != next.N {
+		return nil, fmt.Errorf("solution: ops map %d sensors to %d, artifact has %d", base.N, nNew, next.N)
+	}
+	inherited := make([]int, next.N) // new index -> old index, -1 = fresh
+	for i := range inherited {
+		inherited[i] = -1
+	}
+	for o, n := range old2new {
+		if n >= 0 {
+			inherited[n] = o
+		}
+	}
+	var w binWriter
+	w.buf.Write(deltaMagic[:])
+	w.u16(DeltaVersion)
+	w.str(base.PointsDigest)
+	w.str(next.PointsDigest)
+	w.u32(uint32(len(ops)))
+	for _, op := range ops {
+		w.u8(uint8(op.Op))
+		w.u32(uint32(op.Index))
+		w.f64(op.X)
+		w.f64(op.Y)
+	}
+	changed := 0
+	var body binWriter
+	for i := 0; i < next.N; i++ {
+		if o := inherited[i]; o >= 0 && sectorsEqual(base.Sectors[o], next.Sectors[i]) {
+			continue
+		}
+		changed++
+		body.u32(uint32(i))
+		secs := next.Sectors[i]
+		body.u16(uint16(len(secs)))
+		for _, sec := range secs {
+			body.f64(sec.Start)
+			body.f64(sec.Spread)
+			body.f64(sec.Radius)
+		}
+	}
+	w.u32(uint32(changed))
+	w.buf.Write(body.buf.Bytes())
+	writeScalarTail(&w, next)
+	return w.buf.Bytes(), nil
+}
+
+// DeltaInfo is the decoded header of an ADLT delta, exposed so callers
+// can route and account for deltas without materializing the artifact.
+type DeltaInfo struct {
+	BaseDigest string
+	NewDigest  string
+	Ops        []PointOp
+	Changed    int
+}
+
+// ApplyDelta reconstructs the next revision's full artifact from its
+// base and an ADLT patch. It fails when the patch was cut against a
+// different base artifact, on any truncation, and on trailing bytes.
+func ApplyDelta(base *Solution, data []byte) (*Solution, error) {
+	next, _, err := decodeDelta(base, data)
+	return next, err
+}
+
+// DecodeDeltaInfo parses just the header of an ADLT patch.
+func DecodeDeltaInfo(data []byte) (*DeltaInfo, error) {
+	r := newDeltaReader(data)
+	if r == nil {
+		return nil, fmt.Errorf("solution: bad delta magic")
+	}
+	info := &DeltaInfo{BaseDigest: r.str(), NewDigest: r.str()}
+	nops := int(r.u32())
+	if r.err == nil && nops > len(r.data)-r.off {
+		return nil, fmt.Errorf("solution: op count %d exceeds remaining bytes", nops)
+	}
+	for i := 0; i < nops && r.err == nil; i++ {
+		info.Ops = append(info.Ops, PointOp{Op: OpKind(r.u8()), Index: int(r.u32()), X: r.f64(), Y: r.f64()})
+	}
+	info.Changed = int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	return info, nil
+}
+
+// newDeltaReader validates magic and version and positions the reader at
+// the base-digest field; nil on a foreign stream.
+func newDeltaReader(data []byte) *binReader {
+	r := &binReader{data: data}
+	var magic [4]byte
+	copy(magic[:], r.take(4))
+	if r.err != nil || magic != deltaMagic {
+		return nil
+	}
+	if v := int(r.u16()); r.err != nil || v != DeltaVersion {
+		return nil
+	}
+	return r
+}
+
+func decodeDelta(base *Solution, data []byte) (*Solution, *DeltaInfo, error) {
+	r := newDeltaReader(data)
+	if r == nil {
+		return nil, nil, fmt.Errorf("solution: bad delta magic or version")
+	}
+	info := &DeltaInfo{BaseDigest: r.str(), NewDigest: r.str()}
+	if r.err == nil && info.BaseDigest != base.PointsDigest {
+		return nil, nil, fmt.Errorf("solution: delta base %.12s does not match artifact %.12s", info.BaseDigest, base.PointsDigest)
+	}
+	nops := int(r.u32())
+	if r.err == nil && nops > len(r.data)-r.off {
+		return nil, nil, fmt.Errorf("solution: op count %d exceeds remaining bytes", nops)
+	}
+	ops := make([]PointOp, 0, nops)
+	for i := 0; i < nops && r.err == nil; i++ {
+		ops = append(ops, PointOp{Op: OpKind(r.u8()), Index: int(r.u32()), X: r.f64(), Y: r.f64()})
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	info.Ops = ops
+	old2new, nNew, _, err := PlanOps(base.N, ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Inherited sectors survive under their new indices; changed entries
+	// overwrite below.
+	sectors := make([][]Sector, nNew)
+	for o, n := range old2new {
+		if n >= 0 {
+			sectors[n] = base.Sectors[o]
+		}
+	}
+	nChanged := int(r.u32())
+	if r.err == nil && nChanged > len(r.data)-r.off {
+		return nil, nil, fmt.Errorf("solution: changed count %d exceeds remaining bytes", nChanged)
+	}
+	info.Changed = nChanged
+	for i := 0; i < nChanged && r.err == nil; i++ {
+		idx := int(r.u32())
+		cnt := int(r.u16())
+		if r.err != nil || idx < 0 || idx >= nNew {
+			return nil, nil, fmt.Errorf("solution: changed sensor %d out of range [0, %d)", idx, nNew)
+		}
+		if cnt > (len(r.data)-r.off)/24 {
+			return nil, nil, fmt.Errorf("solution: sector count %d exceeds remaining bytes", cnt)
+		}
+		var secs []Sector
+		for j := 0; j < cnt; j++ {
+			secs = append(secs, Sector{Start: r.f64(), Spread: r.f64(), Radius: r.f64()})
+		}
+		sectors[idx] = secs
+	}
+	next := &Solution{Version: Version, PointsDigest: info.NewDigest, Sectors: sectors}
+	readScalarTail(r, next)
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, nil, fmt.Errorf("solution: %d trailing bytes after delta", len(data)-r.off)
+	}
+	if next.N != nNew {
+		return nil, nil, fmt.Errorf("solution: delta tail claims %d sensors, ops map to %d", next.N, nNew)
+	}
+	return next, info, nil
+}
+
+// writeScalarTail emits every Solution field except the version, digest,
+// and sector list — the delta's full-fidelity record of the revision.
+func writeScalarTail(w *binWriter, s *Solution) {
+	w.u32(uint32(s.N))
+	w.u16(uint16(s.K))
+	w.f64(s.Phi)
+	w.str(s.Objective)
+	w.boolean(s.Planned)
+	w.str(s.Algo)
+	w.str(s.Construction)
+	w.str(s.Guarantee.Conn)
+	w.f64(s.Guarantee.Stretch)
+	w.u16(uint16(s.Guarantee.Antennae))
+	w.f64(s.Guarantee.Spread)
+	w.u16(uint16(s.Guarantee.StrongC))
+	w.f64(s.LMax)
+	w.f64(s.Bound)
+	w.f64(s.ProvedBound)
+	w.f64(s.RadiusUsed)
+	w.f64(s.RadiusRatio)
+	w.f64(s.SpreadUsed)
+	w.u32(uint32(s.Edges))
+	w.boolean(s.Verified)
+	w.strs(s.VerifyErrors)
+	w.strs(s.Violations)
+}
+
+func readScalarTail(r *binReader, s *Solution) {
+	s.N = int(r.u32())
+	s.K = int(r.u16())
+	s.Phi = r.f64()
+	s.Objective = r.str()
+	s.Planned = r.boolean()
+	s.Algo = r.str()
+	s.Construction = r.str()
+	s.Guarantee.Conn = r.str()
+	s.Guarantee.Stretch = r.f64()
+	s.Guarantee.Antennae = int(r.u16())
+	s.Guarantee.Spread = r.f64()
+	s.Guarantee.StrongC = int(r.u16())
+	s.LMax = r.f64()
+	s.Bound = r.f64()
+	s.ProvedBound = r.f64()
+	s.RadiusUsed = r.f64()
+	s.RadiusRatio = r.f64()
+	s.SpreadUsed = r.f64()
+	s.Edges = int(r.u32())
+	s.Verified = r.boolean()
+	s.VerifyErrors = r.strs()
+	s.Violations = r.strs()
+}
+
+// sectorsEqual compares wire sector lists exactly: the pipeline is
+// deterministic, so an unchanged sensor re-encodes bit-identically.
+func sectorsEqual(a, b []Sector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package solution
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// deltaTestSolution builds a deterministic synthetic artifact with n
+// sensors, each holding 1-2 sectors derived from the seed.
+func deltaTestSolution(n int, seed int64) *Solution {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Solution{
+		Version:      Version,
+		PointsDigest: "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+		N:            n,
+		K:            2,
+		Phi:          3.14,
+		Algo:         "cover",
+		Construction: "theorem2-cover",
+		Guarantee:    Guarantee{Conn: "symmetric", Stretch: 1, Antennae: 2, Spread: 3.7699, StrongC: 1},
+		Sectors:      make([][]Sector, n),
+		LMax:         1.25,
+		Bound:        1,
+		ProvedBound:  1,
+		RadiusUsed:   1.25,
+		RadiusRatio:  1,
+		SpreadUsed:   2.2,
+		Edges:        2 * (n - 1),
+		Verified:     true,
+	}
+	for i := 0; i < n; i++ {
+		cnt := 1 + rng.Intn(2)
+		for j := 0; j < cnt; j++ {
+			s.Sectors[i] = append(s.Sectors[i], Sector{Start: rng.Float64(), Spread: rng.Float64(), Radius: rng.Float64()})
+		}
+	}
+	return s
+}
+
+func TestPlanOpsSemantics(t *testing.T) {
+	ops := []PointOp{
+		{Op: OpMove, Index: 1, X: 9, Y: 9},
+		{Op: OpRemove, Index: 0},
+		{Op: OpAdd, X: 5, Y: 5},
+	}
+	old2new, nNew, fresh, err := PlanOps(4, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// old 0 removed; old 1 moved (fresh at new 0); old 2 -> 1; old 3 -> 2; added -> 3.
+	if nNew != 4 {
+		t.Fatalf("nNew = %d, want 4", nNew)
+	}
+	if want := []int{-1, -1, 1, 2}; !reflect.DeepEqual(old2new, want) {
+		t.Fatalf("old2new = %v, want %v", old2new, want)
+	}
+	if want := []int{0, 3}; !reflect.DeepEqual(fresh, want) {
+		t.Fatalf("fresh = %v, want %v", fresh, want)
+	}
+
+	if _, _, _, err := PlanOps(2, []PointOp{{Op: OpRemove, Index: 5}}); err == nil {
+		t.Fatal("out-of-range remove must fail")
+	}
+	if _, _, _, err := PlanOps(2, []PointOp{{Op: OpKind(9)}}); err == nil {
+		t.Fatal("unknown op kind must fail")
+	}
+}
+
+// TestDeltaRoundTrip: ApplyDelta(base, EncodeDelta(base, next, ops))
+// reproduces the next artifact byte-identically under both codecs, and
+// the delta is much smaller than the full artifact when churn is small.
+func TestDeltaRoundTrip(t *testing.T) {
+	base := deltaTestSolution(500, 1)
+	ops := []PointOp{
+		{Op: OpMove, Index: 17, X: 1, Y: 2},
+		{Op: OpRemove, Index: 101},
+		{Op: OpAdd, X: 3, Y: 4},
+	}
+	old2new, nNew, fresh, err := PlanOps(base.N, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := deltaTestSolution(nNew, 1) // same rng -> mostly equal sectors
+	next.PointsDigest = "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210"
+	next.LMax, next.RadiusUsed = 1.5, 1.5
+	// Rebuild next's sectors as the repair would: inherited entries carry
+	// over, fresh/touched ones change.
+	next.Sectors = make([][]Sector, nNew)
+	for o, n := range old2new {
+		if n >= 0 {
+			next.Sectors[n] = base.Sectors[o]
+		}
+	}
+	for _, f := range fresh {
+		next.Sectors[f] = []Sector{{Start: 0.5, Spread: 0.25, Radius: 2}}
+	}
+	next.Sectors[40] = []Sector{{Start: 0.1, Spread: 0.2, Radius: 0.3}} // a re-aimed neighbor
+
+	delta, err := EncodeDelta(base, next, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full := len(next.EncodeBinary()); len(delta) >= full/10 {
+		t.Fatalf("delta %d bytes not small against full %d", len(delta), full)
+	}
+	info, err := DecodeDeltaInfo(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BaseDigest != base.PointsDigest || info.NewDigest != next.PointsDigest {
+		t.Fatalf("info digests wrong: %+v", info)
+	}
+	if len(info.Ops) != len(ops) || info.Changed != 3 {
+		t.Fatalf("info ops=%d changed=%d, want %d changed 3", len(info.Ops), info.Changed, len(ops))
+	}
+
+	got, err := ApplyDelta(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.EncodeBinary(), next.EncodeBinary()) {
+		t.Fatal("binary round trip not identical")
+	}
+	gj, _ := got.EncodeJSON()
+	nj, _ := next.EncodeJSON()
+	if !bytes.Equal(gj, nj) {
+		t.Fatal("JSON round trip not identical")
+	}
+}
+
+func TestDeltaRejects(t *testing.T) {
+	base := deltaTestSolution(40, 2)
+	ops := []PointOp{{Op: OpAdd, X: 1, Y: 1}}
+	next := deltaTestSolution(41, 2)
+	next.Sectors = append(append([][]Sector(nil), base.Sectors...), []Sector{{Radius: 1}})
+	delta, err := EncodeDelta(base, next, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := deltaTestSolution(40, 3)
+	other.PointsDigest = "1111111111111111111111111111111111111111111111111111111111111111"
+	if _, err := ApplyDelta(other, delta); err == nil {
+		t.Fatal("wrong base must be rejected")
+	}
+	if _, err := ApplyDelta(base, delta[:len(delta)-3]); err == nil {
+		t.Fatal("truncation must be rejected")
+	}
+	if _, err := ApplyDelta(base, append(append([]byte(nil), delta...), 0)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+	bad := append([]byte(nil), delta...)
+	bad[0] = 'X'
+	if _, err := ApplyDelta(base, bad); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	if _, err := EncodeDelta(base, deltaTestSolution(40, 2), ops); err == nil {
+		t.Fatal("sensor-count mismatch must be rejected")
+	}
+}
+
+func TestOpKindJSON(t *testing.T) {
+	in := []PointOp{{Op: OpAdd, X: 1, Y: 2}, {Op: OpRemove, Index: 3}, {Op: OpMove, Index: 1, X: 4}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `[{"op":"add","x":1,"y":2},{"op":"remove","index":3},{"op":"move","index":1,"x":4}]`; string(data) != want {
+		t.Fatalf("ops JSON = %s", data)
+	}
+	var out []PointOp
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+	if err := json.Unmarshal([]byte(`[{"op":"teleport"}]`), &out); err == nil {
+		t.Fatal("unknown op kind must fail")
+	}
+}

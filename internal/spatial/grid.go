@@ -144,8 +144,33 @@ func (g *Grid) Within(q geom.Point, r float64, dst []int) []int {
 // eligible point exists. It scans concentric cell rings outward and stops
 // once no closer point can exist.
 func (g *Grid) Nearest(q geom.Point, exclude int) int {
+	return g.NearestWhere(q, func(i int) bool { return i != exclude })
+}
+
+// NearestWhere returns the index of the point nearest to q among those
+// accepted by the predicate, or -1 when no accepted point exists. Ties
+// break toward the smaller index, so results are deterministic. It scans
+// concentric cell rings outward and stops once no closer point can exist
+// — the foreign-component queries of the incremental EMST splice
+// (mst.SpliceEMST) run on this.
+func (g *Grid) NearestWhere(q geom.Point, accept func(i int) bool) int {
+	return g.nearestWhere(q, math.Inf(1), accept)
+}
+
+// NearestWhereWithin is NearestWhere with a search cap: points farther
+// than r are never reported and the ring scan gives up beyond it, so a
+// caller holding a best-so-far bound pays only for the disk that could
+// beat it. Returns -1 when no accepted point lies within r.
+func (g *Grid) NearestWhereWithin(q geom.Point, r float64, accept func(i int) bool) int {
+	if r < 0 {
+		return -1
+	}
+	return g.nearestWhere(q, r*r+geom.Eps, accept)
+}
+
+func (g *Grid) nearestWhere(q geom.Point, capD2 float64, accept func(i int) bool) int {
 	best := -1
-	bestD2 := math.Inf(1)
+	bestD2 := capD2
 	if len(g.pts) == 0 {
 		return -1
 	}
@@ -168,18 +193,19 @@ func (g *Grid) Nearest(q geom.Point, exclude int) int {
 					continue
 				}
 				for _, i := range g.bucket(x, y) {
-					if int(i) == exclude {
+					if !accept(int(i)) {
 						continue
 					}
-					if d2 := g.pts[i].Dist2(q); d2 < bestD2 {
+					if d2 := g.pts[i].Dist2(q); d2 < bestD2 || (d2 == bestD2 && best >= 0 && int(i) < best) {
 						bestD2 = d2
 						best = int(i)
 					}
 				}
 			}
 		}
-		if best >= 0 {
-			// Points in rings beyond this bound are provably farther.
+		if !math.IsInf(bestD2, 1) {
+			// Rings beyond this bound provably hold nothing better than
+			// the best found (or the caller's cap).
 			safeRing := int(math.Sqrt(bestD2)/g.cell) + 1
 			if ring >= safeRing {
 				return best
