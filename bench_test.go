@@ -354,6 +354,26 @@ func BenchmarkEngineSolveMiss(b *testing.B) {
 	}
 }
 
+// churnBatch builds one deterministic mutation batch modeling sensor
+// churn: two sensors drift locally (~the mean spacing), one joins, one
+// fails — never reusing the deployment's coordinate stream.
+func churnBatch(rng *rand.Rand, cur []geom.Point, side float64) []instance.Op {
+	drift := func() []float64 {
+		i := rng.Intn(len(cur))
+		p := cur[i]
+		x := math.Min(math.Max(p.X+rng.NormFloat64(), 0), side)
+		y := math.Min(math.Max(p.Y+rng.NormFloat64(), 0), side)
+		return []float64{float64(i), x, y}
+	}
+	d1, d2 := drift(), drift()
+	return []instance.Op{
+		{Op: solution.OpMove, Index: int(d1[0]), X: d1[1], Y: d1[2]},
+		{Op: solution.OpMove, Index: int(d2[0]), X: d2[1], Y: d2[2]},
+		{Op: solution.OpAdd, X: rng.Float64() * side, Y: rng.Float64() * side},
+		{Op: solution.OpRemove, Index: rng.Intn(len(cur))},
+	}
+}
+
 // BenchmarkInstanceChurn measures the live-instance tier under sensor
 // churn at n=2000: "repair" applies a small Add/Remove/Move batch through
 // the incremental path (exact EMST splice + localized re-aim + full
@@ -362,40 +382,38 @@ func BenchmarkEngineSolveMiss(b *testing.B) {
 // revision, the baseline the repair must beat by ≥ 5×. Every repair
 // iteration asserts the incremental path actually served it and stayed
 // verified, so the speedup cannot come from silently degraded work.
+//
+// The wal=* variants rerun the repair mode with crash durability on,
+// pricing the write-ahead log at each fsync policy: wal=always syncs
+// per acknowledgment (every revision crash-durable), wal=interval defers
+// syncs to a 100ms ticker (the production default; must stay within
+// 1.5× of the no-WAL repair baseline), wal=off prices just the codec +
+// buffered write.
 func BenchmarkInstanceChurn(b *testing.B) {
 	const n = 2000
 	budget := instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}
-	// Deterministic per-iteration batches modeling sensor churn: two
-	// sensors drift locally (~the mean spacing), one joins, one fails —
-	// never reusing the deployment's coordinate stream.
-	batch := func(rng *rand.Rand, pts func(int) geom.Point, cur int, side float64) []instance.Op {
-		drift := func() []float64 {
-			i := rng.Intn(cur)
-			p := pts(i)
-			x := math.Min(math.Max(p.X+rng.NormFloat64(), 0), side)
-			y := math.Min(math.Max(p.Y+rng.NormFloat64(), 0), side)
-			return []float64{float64(i), x, y}
-		}
-		d1, d2 := drift(), drift()
-		return []instance.Op{
-			{Op: solution.OpMove, Index: int(d1[0]), X: d1[1], Y: d1[2]},
-			{Op: solution.OpMove, Index: int(d2[0]), X: d2[1], Y: d2[2]},
-			{Op: solution.OpAdd, X: rng.Float64() * side, Y: rng.Float64() * side},
-			{Op: solution.OpRemove, Index: rng.Intn(cur)},
-		}
-	}
 	for _, mode := range []struct {
 		name      string
 		threshold float64
 		want      string
+		wal       instance.SyncPolicy
+		hasWAL    bool
 	}{
-		{"repair", 0, instance.RepairIncremental},
-		{"full-solve", -1, instance.RepairFull},
+		{"repair", 0, instance.RepairIncremental, "", false},
+		{"repair/wal=always", 0, instance.RepairIncremental, instance.SyncAlways, true},
+		{"repair/wal=interval", 0, instance.RepairIncremental, instance.SyncInterval, true},
+		{"repair/wal=off", 0, instance.RepairIncremental, instance.SyncOff, true},
+		{"full-solve", -1, instance.RepairFull, "", false},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			eng := service.NewEngine(service.Options{RepairThreshold: mode.threshold})
+			opts := service.Options{RepairThreshold: mode.threshold}
+			if mode.hasWAL {
+				opts.InstanceWAL = &instance.WALConfig{Dir: b.TempDir(), Policy: mode.wal}
+			}
+			eng := service.NewEngine(opts)
 			defer eng.Close()
 			m := service.NewInstanceManager(eng)
+			defer m.Close()
 			pts := benchPoints(n)
 			side := math.Sqrt(float64(n))
 			if _, err := m.Create(context.Background(), "churn", pts, budget); err != nil {
@@ -405,7 +423,7 @@ func BenchmarkInstanceChurn(b *testing.B) {
 			cur := append([]geom.Point(nil), pts...)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ops := batch(rng, func(j int) geom.Point { return cur[j] }, len(cur), side)
+				ops := churnBatch(rng, cur, side)
 				snap, err := m.Apply(context.Background(), "churn", 0, ops)
 				if err != nil {
 					b.Fatal(err)
@@ -423,6 +441,62 @@ func BenchmarkInstanceChurn(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkInstanceRecovery measures crash-recovery replay: one
+// instance at n=2000 with 64 churn revisions in its write-ahead log is
+// recovered from disk — snapshot decode, per-record checksum + replay,
+// one re-solve, re-verification — per iteration. This is the startup
+// cost a crashed antennad pays per surviving instance.
+func BenchmarkInstanceRecovery(b *testing.B) {
+	const n, revs = 2000, 64
+	dir := b.TempDir()
+	eng := service.NewEngine(service.Options{})
+	defer eng.Close()
+	cfg := func() instance.Config {
+		return instance.Config{
+			Solve: eng.InstanceSolver(),
+			// A log cap far above 64 records keeps compaction out of the
+			// measurement: recovery replays every revision.
+			WAL: &instance.WALConfig{Dir: dir, Policy: instance.SyncOff, MaxLogBytes: 64 << 20},
+		}
+	}
+	m := instance.NewManager(cfg())
+	pts := benchPoints(n)
+	side := math.Sqrt(float64(n))
+	if _, err := m.Create(context.Background(), "churn", pts, instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31007))
+	cur := append([]geom.Point(nil), pts...)
+	for r := 0; r < revs; r++ {
+		ops := churnBatch(rng, cur, side)
+		if _, err := m.Apply(context.Background(), "churn", 0, ops); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		if cur, err = solution.ApplyPointOps(cur, ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m2 := instance.NewManager(cfg())
+		cnt, err := m2.Recover(context.Background())
+		if err != nil || cnt != 1 {
+			b.Fatalf("recovered %d instances, err %v", cnt, err)
+		}
+		b.StopTimer()
+		snap, err := m2.Get("churn", 0)
+		if err != nil || snap.Rev != revs+1 || !snap.Sol.Verified {
+			b.Fatalf("recovered state: snap=%+v err=%v", snap, err)
+		}
+		m2.Close()
+		b.StartTimer()
 	}
 }
 

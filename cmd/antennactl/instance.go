@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/geom"
@@ -32,6 +34,11 @@ import (
 //
 // patch prints the revision envelope and the X-Repair verdict, so an
 // operator can see incremental repairs land from the shell.
+//
+// Every subcommand takes -retries N (default 2): transient failures —
+// 429/503 responses and refused connections — are retried with
+// exponential backoff + jitter, honoring Retry-After, so scripted
+// churn rides out drains, restarts, and load shedding.
 
 // cmdInstance dispatches the instance subcommands.
 func cmdInstance(args []string) error {
@@ -56,17 +63,85 @@ func cmdInstance(args []string) error {
 }
 
 // instanceClient is a thin JSON/HTTP client for one antennad server.
+// Transient failures — 429/503 responses (load shedding, drains, WAL
+// hiccups) and refused connections (restarts) — are retried up to
+// `retries` times with exponential backoff + jitter, honoring the
+// server's Retry-After when present.
 type instanceClient struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retries int
+	// sleep is time.Sleep, swapped out by tests.
+	sleep func(time.Duration)
 }
 
-func newInstanceClient(server string) *instanceClient {
-	return &instanceClient{base: strings.TrimRight(server, "/"), hc: &http.Client{Timeout: 5 * time.Minute}}
+func newInstanceClient(server string, retries int) *instanceClient {
+	return &instanceClient{
+		base:    strings.TrimRight(server, "/"),
+		hc:      &http.Client{Timeout: 5 * time.Minute},
+		retries: retries,
+		sleep:   time.Sleep,
+	}
 }
 
-// do runs one request and fails on non-2xx with the server's error body.
+// retriesFlag registers the shared -retries flag on a subcommand.
+func retriesFlag(fs *flag.FlagSet) *int {
+	return fs.Int("retries", 2, "retry transient failures (429/503, connection refused) this many times")
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// the server shed the request (429) or is temporarily unable to take it
+// (503 — draining, over capacity, or a durability hiccup).
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryableErr reports whether a transport error is safe to retry. Only
+// refused connections qualify: the request never reached the server, so
+// even a non-idempotent PATCH cannot have been applied.
+func retryableErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// retryDelay picks the wait before attempt+1: the server's Retry-After
+// when it sent one, otherwise exponential backoff from 200ms capped at
+// 5s, each with ±50% jitter so stampeding clients spread out.
+func retryDelay(attempt int, resp *http.Response) time.Duration {
+	d := 200 * time.Millisecond << uint(attempt)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	if resp != nil {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				d = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// do runs one request — retrying transient failures — and fails on
+// non-2xx with the server's error body.
 func (c *instanceClient) do(method, path string, body []byte, hdr map[string]string) (*http.Response, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, data, err := c.once(method, path, body, hdr)
+		if err == nil {
+			return resp, data, nil
+		}
+		retryable := retryableErr(err) || (resp != nil && retryableStatus(resp.StatusCode))
+		if !retryable || attempt >= c.retries {
+			return resp, data, err
+		}
+		wait := retryDelay(attempt, resp)
+		fmt.Fprintf(os.Stderr, "antennactl: %v — retry %d/%d in %s\n", err, attempt+1, c.retries, wait.Round(time.Millisecond))
+		c.sleep(wait)
+	}
+}
+
+// once runs a single request attempt.
+func (c *instanceClient) once(method, path string, body []byte, hdr map[string]string) (*http.Response, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -104,6 +179,7 @@ func cmdInstanceCreate(args []string) error {
 	phiStr := fs.String("phi", "1pi", "total spread budget")
 	algo := fs.String("algo", "", "orienter to run (default table1)")
 	id := fs.String("id", "", "instance id (server assigns when empty)")
+	retries := retriesFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,7 +210,7 @@ func cmdInstanceCreate(args []string) error {
 	if err != nil {
 		return err
 	}
-	c := newInstanceClient(*server)
+	c := newInstanceClient(*server, *retries)
 	resp, data, err := c.do("POST", "/instances", payload, nil)
 	if err != nil {
 		return err
@@ -153,10 +229,11 @@ func toWirePoints(pts []geom.Point) []map[string]float64 {
 func cmdInstanceList(args []string) error {
 	fs := flag.NewFlagSet("instance ls", flag.ExitOnError)
 	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
+	retries := retriesFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	_, data, err := newInstanceClient(*server).do("GET", "/instances", nil, nil)
+	_, data, err := newInstanceClient(*server, *retries).do("GET", "/instances", nil, nil)
 	if err != nil {
 		return err
 	}
@@ -189,6 +266,7 @@ func cmdInstanceGet(args []string, delta bool) error {
 	id := fs.String("id", "", "instance id")
 	rev := fs.Uint64("rev", 0, "revision to fetch (0 = current)")
 	out := fs.String("o", "", "write the artifact/delta to this path (default stdout summary)")
+	retries := retriesFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,7 +284,7 @@ func cmdInstanceGet(args []string, delta bool) error {
 	if len(q) > 0 {
 		path += "?" + strings.Join(q, "&")
 	}
-	resp, data, err := newInstanceClient(*server).do("GET", path, nil, nil)
+	resp, data, err := newInstanceClient(*server, *retries).do("GET", path, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -299,6 +377,7 @@ func cmdInstancePatch(args []string) error {
 	id := fs.String("id", "", "instance id")
 	opsFile := fs.String("ops", "", "JSON file holding the mutation batch ([{\"op\":\"move\",...}])")
 	ifMatch := fs.Uint64("if-match", 0, "conditional: apply only at this revision (409 otherwise)")
+	retries := retriesFlag(fs)
 	var ops opList
 	fs.Var(&ops, "op", "one compact op (repeatable): add:x:y | remove:index | move:index:x:y")
 	if err := fs.Parse(args); err != nil {
@@ -329,7 +408,7 @@ func cmdInstancePatch(args []string) error {
 	if *ifMatch > 0 {
 		hdr["If-Match"] = fmt.Sprintf("%q", strconv.FormatUint(*ifMatch, 10))
 	}
-	resp, data, err := newInstanceClient(*server).do("PATCH", "/instances/"+*id, payload, hdr)
+	resp, data, err := newInstanceClient(*server, *retries).do("PATCH", "/instances/"+*id, payload, hdr)
 	if err != nil {
 		return err
 	}
@@ -368,13 +447,14 @@ func cmdInstanceDelete(args []string) error {
 	fs := flag.NewFlagSet("instance rm", flag.ExitOnError)
 	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
 	id := fs.String("id", "", "instance id")
+	retries := retriesFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
-	if _, _, err := newInstanceClient(*server).do("DELETE", "/instances/"+*id, nil, nil); err != nil {
+	if _, _, err := newInstanceClient(*server, *retries).do("DELETE", "/instances/"+*id, nil, nil); err != nil {
 		return err
 	}
 	fmt.Printf("deleted %s\n", *id)

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// testClient wraps a server URL in an instanceClient whose sleeps are
+// recorded instead of slept.
+func testClient(url string, retries int) (*instanceClient, *[]time.Duration) {
+	c := newInstanceClient(url, retries)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	return c, &slept
+}
+
+// A 503 with Retry-After is retried until the server recovers, and the
+// waits honor the server's hint.
+func TestRetryRecoversFrom503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	c, slept := testClient(ts.URL, 3)
+	resp, data, err := c.do("GET", "/instances", nil, nil)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || string(data) != `{"ok":true}` {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, data)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	// Retry-After: 1 → jittered wait in [500ms, 1s].
+	for i, d := range *slept {
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("sleep[%d] = %s, outside the Retry-After:1 jitter window", i, d)
+		}
+	}
+}
+
+// The retry budget is finite: a persistent 429 fails after 1+retries
+// attempts with the server's error body.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "shed", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c, _ := testClient(ts.URL, 2)
+	resp, _, err := c.do("POST", "/instances", []byte(`{}`), nil)
+	if err == nil {
+		t.Fatal("do succeeded against a permanently-shedding server")
+	}
+	if resp == nil || resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("final response %v, want 429", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// Non-transient statuses (409 conflict) are never retried — a stale
+// If-Match must surface immediately.
+func TestRetrySkipsConflict(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "revision mismatch", http.StatusConflict)
+	}))
+	defer ts.Close()
+
+	c, slept := testClient(ts.URL, 5)
+	if _, _, err := c.do("PATCH", "/instances/x", []byte(`{}`), nil); err == nil {
+		t.Fatal("conflict did not error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries on 409)", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v before a non-retryable failure", *slept)
+	}
+}
+
+// A refused connection is retried — the server may be mid-restart — and
+// succeeds once something is listening again. Here it never comes back,
+// so the client fails after exhausting the budget.
+func TestRetryConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // port now refuses connections
+
+	c, slept := testClient(url, 2)
+	if _, _, err := c.do("GET", "/instances", nil, nil); err == nil {
+		t.Fatal("do succeeded against a closed port")
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2 retries on connection refused", len(*slept))
+	}
+}
+
+func TestRetryableErr(t *testing.T) {
+	if !retryableErr(syscall.ECONNREFUSED) {
+		t.Fatal("ECONNREFUSED not retryable")
+	}
+	if retryableErr(syscall.ECONNRESET) {
+		t.Fatal("ECONNRESET retryable: a reset mid-request may have been applied")
+	}
+}
+
+// retryDelay backs off exponentially (with jitter) when the server gave
+// no hint, and never exceeds the 5s cap.
+func TestRetryDelayBackoff(t *testing.T) {
+	for attempt := 0; attempt < 10; attempt++ {
+		base := 200 * time.Millisecond << uint(attempt)
+		if base > 5*time.Second {
+			base = 5 * time.Second
+		}
+		for trial := 0; trial < 20; trial++ {
+			d := retryDelay(attempt, nil)
+			if d < base/2 || d > base {
+				t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, d, base/2, base)
+			}
+		}
+	}
+}

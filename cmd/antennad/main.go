@@ -24,6 +24,19 @@
 //	         [-workers 0] [-batch-window 2ms] [-max-batch 64]
 //	         [-deadline 0] [-max-inflight 0] [-race 0]
 //	         [-repair-threshold 0.25] [-instance-history 32]
+//	         [-wal-dir DIR] [-wal-sync interval] [-wal-sync-interval 100ms]
+//	         [-wal-max-bytes 4194304] [-drain-timeout 15s]
+//
+// With -wal-dir set, every instance mutation is written to a
+// checksummed per-instance write-ahead log before it is acknowledged,
+// and periodic snapshots bound replay time; on startup the server
+// replays snapshot + log tail and resumes each instance at its exact
+// pre-crash revision (torn final records are truncated, recovered
+// artifacts re-verified). On SIGTERM the server drains gracefully:
+// new work is refused with 503 + Retry-After, in-flight requests get
+// -drain-timeout to finish (then their contexts are cancelled), and
+// the WAL is synced before exit. See docs/OPERATIONS.md ("Durability
+// & recovery").
 //
 // Endpoints:
 //
@@ -52,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/instance"
 	"repro/internal/service"
 	"repro/internal/solution"
 )
@@ -70,6 +84,11 @@ func main() {
 	race := flag.Duration("race", 0, "default racing deadline for planner-selected requests; 0 disables racing")
 	repairThreshold := flag.Float64("repair-threshold", 0, "live-instance dirty fraction above which incremental repair falls back to a full solve; 0 = default (0.25), negative disables repair")
 	instanceHistory := flag.Int("instance-history", 0, "revisions retained per live instance; 0 = default (32)")
+	walDir := flag.String("wal-dir", "", "directory for per-instance write-ahead logs; empty disables crash durability")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | off")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "flush cadence for -wal-sync=interval; 0 = default (100ms)")
+	walMaxBytes := flag.Int64("wal-max-bytes", 0, "per-instance log size that triggers snapshot compaction; 0 = default (4 MiB)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish on SIGTERM before their contexts are cancelled")
 	flag.Parse()
 
 	var store *solution.Store
@@ -81,6 +100,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "antennad: artifact store %s (%d resident)\n", store.Root(), store.Len())
+	}
+	var walCfg *instance.WALConfig
+	if *walDir != "" {
+		policy, err := instance.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "antennad:", err)
+			os.Exit(2)
+		}
+		walCfg = &instance.WALConfig{
+			Dir:         *walDir,
+			Policy:      policy,
+			Interval:    *walSyncInterval,
+			MaxLogBytes: *walMaxBytes,
+		}
 	}
 	eng := service.NewEngine(service.Options{
 		CacheSize:       *cache,
@@ -94,12 +127,25 @@ func main() {
 		DefaultRace:     *race,
 		RepairThreshold: *repairThreshold,
 		InstanceHistory: *instanceHistory,
+		InstanceWAL:     walCfg,
 	})
 	defer eng.Close()
+	api := service.NewServer(eng)
+	if walCfg != nil {
+		n, err := api.Instances().Recover(context.Background())
+		if err != nil {
+			// Recover is continue-on-error per instance: n instances are
+			// live, err aggregates the directories it had to abandon.
+			fmt.Fprintln(os.Stderr, "antennad: wal recovery:", err)
+		}
+		fmt.Fprintf(os.Stderr, "antennad: wal %s (%s sync, %d instances recovered)\n", *walDir, *walSync, n)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(eng).Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -110,10 +156,24 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: refuse new work (503 + Retry-After) while
+		// in-flight requests finish under -drain-timeout; past the
+		// deadline their contexts are cancelled so Shutdown can return.
+		api.BeginDrain()
+		fmt.Fprintf(os.Stderr, "antennad: draining (up to %s)\n", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "antennad: shutdown:", err)
+			fmt.Fprintln(os.Stderr, "antennad: drain deadline expired, aborting in-flight requests:", err)
+			api.AbortInflight()
+			abortCtx, abortCancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer abortCancel()
+			_ = srv.Shutdown(abortCtx)
+		}
+		// Final WAL sync: every acknowledged revision is on disk before
+		// the process exits.
+		if err := api.Instances().Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "antennad: wal close:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "antennad: drained, bye")

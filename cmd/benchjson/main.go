@@ -202,23 +202,46 @@ func main() {
 	// Live-instance churn: a small drift/join/fail batch served by the
 	// incremental repair path vs the same batch with repair disabled (a
 	// full engine solve per revision) — the headline numbers of the
-	// streaming-churn scenario class.
+	// streaming-churn scenario class. The wal=* variants rerun the repair
+	// mode with the write-ahead log on at each fsync policy; wal=interval
+	// (the production default) must stay within 1.5× of the no-WAL
+	// repair baseline.
 	churnModes := []struct {
 		name      string
 		threshold float64
 		want      string
+		wal       instance.SyncPolicy
 	}{
-		{"repair", 0, instance.RepairIncremental},
-		{"full-solve", -1, instance.RepairFull},
+		{"repair", 0, instance.RepairIncremental, ""},
+		{"repair/wal=always", 0, instance.RepairIncremental, instance.SyncAlways},
+		{"repair/wal=interval", 0, instance.RepairIncremental, instance.SyncInterval},
+		{"repair/wal=off", 0, instance.RepairIncremental, instance.SyncOff},
+		{"full-solve", -1, instance.RepairFull, ""},
 	}
 	for _, mode := range churnModes {
 		mode := mode
 		benches = append(benches, bench{
 			"BenchmarkInstanceChurn/" + mode.name + "/n=2000",
 			func(b *testing.B) {
-				eng := service.NewEngine(service.Options{RepairThreshold: mode.threshold})
+				opts := service.Options{RepairThreshold: mode.threshold}
+				var walDir string
+				if mode.wal != "" {
+					dir, err := os.MkdirTemp("", "benchwal")
+					if err != nil {
+						b.Fatal(err)
+					}
+					walDir = dir
+					opts.InstanceWAL = &instance.WALConfig{Dir: dir, Policy: mode.wal}
+				}
+				eng := service.NewEngine(opts)
 				defer eng.Close()
 				m := service.NewInstanceManager(eng)
+				defer func() {
+					m.Close()
+					if walDir != "" {
+						os.RemoveAll(walDir)
+					}
+				}()
 				pts := benchPoints(2000)
 				side := math.Sqrt(2000)
 				budget := instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}
@@ -248,6 +271,58 @@ func main() {
 			},
 		})
 	}
+	// Crash-recovery replay: one instance at n=2000 with 64 churn
+	// revisions in its write-ahead log, recovered from disk per iteration
+	// — the startup cost a crashed antennad pays per surviving instance.
+	benches = append(benches, bench{
+		"BenchmarkInstanceRecovery/n=2000/revs=64",
+		func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "benchrecover")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			eng := service.NewEngine(service.Options{})
+			defer eng.Close()
+			cfg := func() instance.Config {
+				return instance.Config{
+					Solve: eng.InstanceSolver(),
+					WAL:   &instance.WALConfig{Dir: dir, Policy: instance.SyncOff, MaxLogBytes: 64 << 20},
+				}
+			}
+			m := instance.NewManager(cfg())
+			pts := benchPoints(2000)
+			side := math.Sqrt(2000)
+			if _, err := m.Create(context.Background(), "churn", pts, instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(31007))
+			cur := append([]geom.Point(nil), pts...)
+			for r := 0; r < 64; r++ {
+				ops := churnBatch(rng, cur, side)
+				if _, err := m.Apply(context.Background(), "churn", 0, ops); err != nil {
+					b.Fatal(err)
+				}
+				if cur, err = solution.ApplyPointOps(cur, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m2 := instance.NewManager(cfg())
+				cnt, err := m2.Recover(context.Background())
+				if err != nil || cnt != 1 {
+					b.Fatalf("recovered %d instances, err %v", cnt, err)
+				}
+				b.StopTimer()
+				m2.Close()
+				b.StartTimer()
+			}
+		},
+	})
 	// One bench per registered orienter at its representative budget: the
 	// portfolio's perf trajectory.
 	for _, o := range core.Orienters() {

@@ -1,0 +1,352 @@
+// Package faultfs is the filesystem seam of the durable tiers: a small
+// FS interface that internal/solution's artifact store and
+// internal/instance's write-ahead log perform every file operation
+// through. Production code runs on the OS passthrough; tests wrap it in
+// an Injector that makes the failures a real fleet throws — ENOSPC
+// mid-write, a write torn after k bytes, a rename that never lands, a
+// sync the disk refuses — deterministic and repeatable, so "degrades to
+// a cache miss" and "recovers every acknowledged revision" are testable
+// properties instead of hopes.
+package faultfs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FS is the set of filesystem operations the durable tiers use. All
+// paths are OS paths; semantics match the os package functions of the
+// same name.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	// CreateTemp creates a new temp file in dir (os.CreateTemp pattern
+	// semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenFile opens a file with the given flags (O_CREATE|O_APPEND for
+	// log files).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	Stat(path string) (os.FileInfo, error)
+	Chtimes(path string, atime, mtime time.Time) error
+	Truncate(path string, size int64) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	WalkDir(root string, fn fs.WalkDirFunc) error
+	// SyncDir fsyncs a directory, making renames and creates within it
+	// durable on filesystems that require it.
+	SyncDir(path string) error
+}
+
+// File is an open file handle of an FS.
+type File interface {
+	Write(p []byte) (int, error)
+	Close() error
+	Sync() error
+	Truncate(size int64) error
+	Name() string
+}
+
+// OS is the passthrough FS production code runs on.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) Stat(path string) (os.FileInfo, error) {
+	return os.Stat(path)
+}
+func (osFS) Chtimes(path string, atime, mtime time.Time) error {
+	return os.Chtimes(path, atime, mtime)
+}
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) {
+	return os.ReadDir(path)
+}
+func (osFS) WalkDir(root string, fn fs.WalkDirFunc) error {
+	return filepath.WalkDir(root, fn)
+}
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Op names one FS operation class for fault matching.
+type Op string
+
+// Operation classes an Injector can target.
+const (
+	OpMkdirAll   Op = "mkdirall"
+	OpReadFile   Op = "readfile"
+	OpCreateTemp Op = "createtemp"
+	OpOpenFile   Op = "openfile"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpStat       Op = "stat"
+	OpChtimes    Op = "chtimes"
+	OpTruncate   Op = "truncate"
+	OpReadDir    Op = "readdir"
+	OpWalkDir    Op = "walkdir"
+	OpSyncDir    Op = "syncdir"
+	// OpWrite and OpSync target handle operations on files opened (or
+	// temp-created) through the injector; the fault matches against the
+	// file's path.
+	OpWrite Op = "write"
+	OpSync  Op = "sync"
+)
+
+// Fault is one armed failure: when an operation of kind Op whose path
+// contains Path runs, the fault fires — after skipping the first After
+// matching calls, for at most Count firings (0 = every match).
+type Fault struct {
+	// Op is the operation class the fault targets.
+	Op Op
+	// Path, when non-empty, restricts the fault to paths containing it
+	// as a substring.
+	Path string
+	// Err is returned by the faulted operation (required).
+	Err error
+	// After skips that many matching operations before firing, so a
+	// fault can hit "the third append" deterministically.
+	After int
+	// Count bounds how many times the fault fires; 0 fires forever.
+	Count int
+	// PartialBytes, for OpWrite faults, writes that prefix of the
+	// buffer through to the real file before returning Err — a torn
+	// write, the on-disk shape of a crash mid-append.
+	PartialBytes int
+
+	fired int
+	seen  int
+}
+
+// Injector wraps an FS and fails operations per its armed faults. Safe
+// for concurrent use. A zero-fault injector is a pure passthrough.
+type Injector struct {
+	under FS
+
+	mu     sync.Mutex
+	faults []*Fault
+	ops    map[Op]uint64 // per-class operation counts (observability)
+}
+
+// NewInjector wraps an FS (nil selects the OS passthrough).
+func NewInjector(under FS) *Injector {
+	if under == nil {
+		under = OS
+	}
+	return &Injector{under: under, ops: make(map[Op]uint64)}
+}
+
+// Inject arms one fault and returns the injector for chaining.
+func (in *Injector) Inject(f Fault) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = append(in.faults, &f)
+	return in
+}
+
+// Clear disarms every fault.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+}
+
+// OpCount reports how many operations of the class went through the
+// injector (fired or not).
+func (in *Injector) OpCount(op Op) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops[op]
+}
+
+// check consults the armed faults for one operation. It returns the
+// fault to apply, or nil to pass the operation through.
+func (in *Injector) check(op Op, path string) *Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops[op]++
+	for _, f := range in.faults {
+		if f.Op != op || (f.Path != "" && !strings.Contains(path, f.Path)) {
+			continue
+		}
+		if f.seen < f.After {
+			f.seen++
+			continue
+		}
+		if f.Count > 0 && f.fired >= f.Count {
+			continue
+		}
+		f.fired++
+		return f
+	}
+	return nil
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if f := in.check(OpMkdirAll, path); f != nil {
+		return f.Err
+	}
+	return in.under.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if f := in.check(OpReadFile, path); f != nil {
+		return nil, f.Err
+	}
+	return in.under.ReadFile(path)
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if f := in.check(OpCreateTemp, dir); f != nil {
+		return nil, f.Err
+	}
+	file, err := in.under.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: file}, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := in.check(OpOpenFile, name); f != nil {
+		return nil, f.Err
+	}
+	file, err := in.under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: file}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.check(OpRename, newpath); f != nil {
+		return f.Err
+	}
+	return in.under.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(path string) error {
+	if f := in.check(OpRemove, path); f != nil {
+		return f.Err
+	}
+	return in.under.Remove(path)
+}
+
+func (in *Injector) RemoveAll(path string) error {
+	if f := in.check(OpRemove, path); f != nil {
+		return f.Err
+	}
+	return in.under.RemoveAll(path)
+}
+
+func (in *Injector) Stat(path string) (os.FileInfo, error) {
+	if f := in.check(OpStat, path); f != nil {
+		return nil, f.Err
+	}
+	return in.under.Stat(path)
+}
+
+func (in *Injector) Chtimes(path string, atime, mtime time.Time) error {
+	if f := in.check(OpChtimes, path); f != nil {
+		return f.Err
+	}
+	return in.under.Chtimes(path, atime, mtime)
+}
+
+func (in *Injector) Truncate(path string, size int64) error {
+	if f := in.check(OpTruncate, path); f != nil {
+		return f.Err
+	}
+	return in.under.Truncate(path, size)
+}
+
+func (in *Injector) ReadDir(path string) ([]os.DirEntry, error) {
+	if f := in.check(OpReadDir, path); f != nil {
+		return nil, f.Err
+	}
+	return in.under.ReadDir(path)
+}
+
+func (in *Injector) WalkDir(root string, fn fs.WalkDirFunc) error {
+	if f := in.check(OpWalkDir, root); f != nil {
+		return f.Err
+	}
+	return in.under.WalkDir(root, fn)
+}
+
+func (in *Injector) SyncDir(path string) error {
+	if f := in.check(OpSyncDir, path); f != nil {
+		return f.Err
+	}
+	return in.under.SyncDir(path)
+}
+
+// injectedFile threads handle operations back through the injector so
+// write and sync faults can target files by path.
+type injectedFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injectedFile) Write(p []byte) (int, error) {
+	if f := jf.in.check(OpWrite, jf.f.Name()); f != nil {
+		n := f.PartialBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if wrote, err := jf.f.Write(p[:n]); err != nil {
+				return wrote, err
+			}
+		}
+		return n, f.Err
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injectedFile) Close() error { return jf.f.Close() }
+
+func (jf *injectedFile) Sync() error {
+	if f := jf.in.check(OpSync, jf.f.Name()); f != nil {
+		return f.Err
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injectedFile) Truncate(size int64) error {
+	if f := jf.in.check(OpTruncate, jf.f.Name()); f != nil {
+		return f.Err
+	}
+	return jf.f.Truncate(size)
+}
+
+func (jf *injectedFile) Name() string { return jf.f.Name() }

@@ -1,0 +1,107 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// A zero-fault injector must behave exactly like the OS.
+func TestInjectorPassthrough(t *testing.T) {
+	inj := NewInjector(nil)
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := inj.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	f, err := inj.OpenFile(filepath.Join(sub, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := inj.ReadFile(filepath.Join(sub, "x"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := inj.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}
+
+// After/Count gating: the fault skips the first After matches and fires
+// at most Count times.
+func TestInjectorAfterCount(t *testing.T) {
+	inj := NewInjector(nil)
+	dir := t.TempDir()
+	inj.Inject(Fault{Op: OpReadFile, Err: syscall.EIO, After: 1, Count: 2})
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false, true} // call 1 skipped, 2-3 fire, 4 exhausted
+	for i, ok := range want {
+		_, err := inj.ReadFile(path)
+		if (err == nil) != ok {
+			t.Fatalf("call %d: err=%v, want ok=%v", i+1, err, ok)
+		}
+		if err != nil && !errors.Is(err, syscall.EIO) {
+			t.Fatalf("call %d: err=%v, want EIO", i+1, err)
+		}
+	}
+	if n := inj.OpCount(OpReadFile); n != 4 {
+		t.Fatalf("OpCount = %d, want 4", n)
+	}
+}
+
+// Partial writes leave exactly PartialBytes on disk — the torn-write
+// shape crash recovery has to digest.
+func TestInjectorPartialWrite(t *testing.T) {
+	inj := NewInjector(nil)
+	path := filepath.Join(t.TempDir(), "torn")
+	inj.Inject(Fault{Op: OpWrite, Path: "torn", Err: syscall.ENOSPC, PartialBytes: 3, Count: 1})
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Write = %d, %v; want 3, ENOSPC", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "abc" {
+		t.Fatalf("on disk %q, want %q", got, "abc")
+	}
+}
+
+// Path substring matching must not fire on unrelated files.
+func TestInjectorPathMatch(t *testing.T) {
+	inj := NewInjector(nil)
+	dir := t.TempDir()
+	inj.Inject(Fault{Op: OpRemove, Path: "victim", Err: syscall.EIO})
+	for _, name := range []string{"victim", "bystander"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inj.Remove(filepath.Join(dir, "bystander")); err != nil {
+		t.Fatalf("Remove bystander: %v", err)
+	}
+	if err := inj.Remove(filepath.Join(dir, "victim")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Remove victim: %v, want EIO", err)
+	}
+	inj.Clear()
+	if err := inj.Remove(filepath.Join(dir, "victim")); err != nil {
+		t.Fatalf("Remove after Clear: %v", err)
+	}
+}

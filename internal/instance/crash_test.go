@@ -1,0 +1,192 @@
+package instance_test
+
+// The crash-recovery property harness: generate a WAL under churn with
+// sync=always (every Apply's return is an acknowledgment of durable
+// state), then kill the process at arbitrary log offsets by truncating
+// a copy of the WAL directory — including mid-record, the torn-tail
+// shape — and assert that replay recovers exactly the acknowledged
+// state whose log prefix survived: same revision counter, same pointset
+// digest, same verification record. Under sync=always no acknowledged
+// revision may ever be lost.
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/solution"
+)
+
+// ack is one acknowledged durable state: after Apply returned, the log
+// held exactly walSize bytes (sync=always makes the stat an upper bound
+// on what any crash can lose).
+type ack struct {
+	rev      uint64
+	digest   string
+	verified bool
+	walSize  int64
+}
+
+// copyTree clones the WAL root so each simulated crash starts from the
+// same on-disk image.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copyTree: %v", err)
+	}
+}
+
+func TestCrashRecoveryProperty(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20260807))
+
+	// Phase 1: churn one instance under sync=always, recording every
+	// acknowledged state and the log size it was durable at.
+	m := walManagerAt(dir, instance.SyncAlways, nil)
+	pts := testPoints(32, 41)
+	created, err := m.Create(ctx, "net", pts, fakeBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := walFile(t, dir)
+	acks := []ack{{rev: created.Rev, digest: created.Sol.PointsDigest, verified: created.Sol.Verified, walSize: 0}}
+	for i := 0; i < 24; i++ {
+		var ops []instance.Op
+		switch i % 3 {
+		case 0:
+			ops = []instance.Op{{Op: solution.OpMove, Index: rng.Intn(len(pts)), X: rng.Float64() * 14, Y: rng.Float64() * 14}}
+		case 1:
+			ops = []instance.Op{{Op: solution.OpAdd, X: rng.Float64() * 14, Y: rng.Float64() * 14}}
+		case 2:
+			ops = []instance.Op{
+				{Op: solution.OpRemove, Index: rng.Intn(16)},
+				{Op: solution.OpAdd, X: rng.Float64() * 14, Y: rng.Float64() * 14},
+			}
+		}
+		snap, err := m.Apply(ctx, "net", 0, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, ack{rev: snap.Rev, digest: snap.Sol.PointsDigest, verified: snap.Sol.Verified, walSize: info.Size()})
+	}
+	m.Close()
+	final, err := os.Stat(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: crash at arbitrary offsets. Record boundaries, mid-record
+	// offsets, zero, and the intact file all appear.
+	offsets := []int64{0, 1, final.Size(), final.Size() - 1, final.Size() - 7}
+	for _, a := range acks[1:] {
+		offsets = append(offsets, a.walSize) // exact record boundaries
+	}
+	for len(offsets) < 40 {
+		offsets = append(offsets, rng.Int63n(final.Size()+1))
+	}
+
+	for _, off := range offsets {
+		crashDir := t.TempDir()
+		copyTree(t, dir, crashDir)
+		cwf := walFile(t, crashDir)
+		if err := os.Truncate(cwf, off); err != nil {
+			t.Fatal(err)
+		}
+
+		m2 := walManagerAt(crashDir, instance.SyncAlways, nil)
+		n, err := m2.Recover(ctx)
+		if err != nil || n != 1 {
+			t.Fatalf("offset %d: Recover = %d, %v", off, n, err)
+		}
+		got, err := m2.Get("net", 0)
+		if err != nil {
+			t.Fatalf("offset %d: Get: %v", off, err)
+		}
+		// The expected state is the acknowledged entry with the largest
+		// durable log prefix that fits the crash offset.
+		want := acks[0]
+		for _, a := range acks {
+			if a.walSize <= off {
+				want = a
+			}
+		}
+		if got.Rev != want.rev || got.Sol.PointsDigest != want.digest || got.Sol.Verified != want.verified {
+			t.Fatalf("offset %d: recovered rev=%d digest=%.12s verified=%v; want rev=%d digest=%.12s verified=%v",
+				off, got.Rev, got.Sol.PointsDigest, got.Sol.Verified, want.rev, want.digest, want.verified)
+		}
+		// Liveness: the recovered instance accepts the next conditional
+		// batch at its exact counter.
+		next, err := m2.Apply(ctx, "net", got.Rev, []instance.Op{{Op: solution.OpAdd, X: 1, Y: 1}})
+		if err != nil || next.Rev != got.Rev+1 {
+			t.Fatalf("offset %d: Apply after recovery: %v, %v", off, next, err)
+		}
+		m2.Close()
+	}
+}
+
+// Under sync=always, a crash that loses nothing of the log (the common
+// SIGKILL case: the file is intact, the process just died) must lose no
+// acknowledged revision — the strongest form of the durability promise.
+func TestCrashRecoveryNoAcknowledgedLoss(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	m := walManagerAt(dir, instance.SyncAlways, nil)
+	pts := testPoints(24, 43)
+	if _, err := m.Create(ctx, "net", pts, fakeBudget()); err != nil {
+		t.Fatal(err)
+	}
+	var last *instance.Snapshot
+	var err error
+	for i := 0; i < 12; i++ {
+		if last, err = m.Apply(ctx, "net", 0, drift(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: simulate SIGKILL by abandoning the manager entirely.
+	m2 := walManagerAt(dir, instance.SyncAlways, nil)
+	if n, err := m2.Recover(ctx); n != 1 || err != nil {
+		t.Fatalf("Recover = %d, %v", n, err)
+	}
+	got, err := m2.Get("net", 0)
+	if err != nil || got.Rev != last.Rev || got.Sol.PointsDigest != last.Sol.PointsDigest {
+		t.Fatalf("recovered %+v, %v; want rev %d", got, err, last.Rev)
+	}
+	m2.Close()
+	m.Close()
+}

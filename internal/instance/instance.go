@@ -75,6 +75,11 @@ type Config struct {
 	MaxInstances int
 	// MaxBatch bounds ops per mutation batch (≤ 0 selects DefaultMaxBatch).
 	MaxBatch int
+	// WAL, when non-nil, makes the manager crash-durable: creates and
+	// mutation batches are logged (wal.go) before they are acknowledged,
+	// and Recover replays the log at startup. Nil keeps the tier purely
+	// in-memory.
+	WAL *WALConfig
 }
 
 // Defaults for Config fields.
@@ -94,6 +99,10 @@ const (
 	RepairIncremental = "incremental"
 	// RepairNone marks revision 1 (instance creation).
 	RepairNone = "none"
+	// RepairRecovered marks a revision restored by WAL replay after a
+	// restart: the artifact was re-derived by a full engine solve over
+	// the replayed pointset and re-verified.
+	RepairRecovered = "recovered"
 )
 
 // Package errors, matched with errors.Is by the HTTP layer.
@@ -108,6 +117,10 @@ var (
 	ErrExists = errors.New("instance: id already exists")
 	// ErrFull: the manager is at MaxInstances.
 	ErrFull = errors.New("instance: manager at capacity")
+	// ErrDurability: the WAL could not make a create or batch durable;
+	// the mutation was not acknowledged and the revision not bumped
+	// (HTTP 503 — retryable once the disk recovers).
+	ErrDurability = errors.New("instance: durability failure")
 )
 
 // Op aliases the wire-level mutation op; see solution.PointOp for the

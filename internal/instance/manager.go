@@ -20,10 +20,15 @@ import (
 type Manager struct {
 	cfg     Config
 	metrics Metrics
+	wal     *walManager // nil when durability is disabled
 
 	mu     sync.RWMutex
 	byID   map[string]*inst
 	nextID uint64
+	// reserved holds ids whose WAL directory is being written ahead of
+	// publication, so a concurrent Create of the same id cannot clobber
+	// the directory and the id stays taken across the unlocked write.
+	reserved map[string]struct{}
 }
 
 // inst is one live instance. applyMu serializes mutation batches and is
@@ -41,6 +46,8 @@ type inst struct {
 
 	pts []geom.Point
 	rev uint64
+	// wal is the instance's open durability state (nil when disabled).
+	wal *instWAL
 	// repairState: the exactly maintained EMST and the current
 	// assignment, present only while the budget is EMST-local and the
 	// instance is repairable (nil after a fallback-ineligible solve).
@@ -82,9 +89,21 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	m := &Manager{cfg: cfg, byID: make(map[string]*inst)}
+	m := &Manager{cfg: cfg, byID: make(map[string]*inst), reserved: make(map[string]struct{})}
 	m.metrics.initMetrics()
+	if cfg.WAL != nil {
+		m.wal = newWALManager(*cfg.WAL, &m.metrics)
+	}
 	return m
+}
+
+// Close stops the durability layer: final sync of every open log, then
+// the handles are closed. A manager without a WAL closes trivially.
+func (m *Manager) Close() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.close()
 }
 
 // Metrics exposes the manager's counters and histograms.
@@ -102,11 +121,11 @@ func (m *Manager) Create(ctx context.Context, id string, pts []geom.Point, b Bud
 		}
 	}
 	// Cheap admission checks before the expensive solve. A concurrent
-	// create can still race past them, so publication re-checks below —
-	// these just keep the common rejections (full manager, reused id)
-	// from burning a full solve each.
+	// create can still race past them, so the reservation below
+	// re-checks — these just keep the common rejections (full manager,
+	// reused id) from burning a full solve each.
 	m.mu.RLock()
-	full := len(m.byID) >= m.cfg.MaxInstances
+	full := len(m.byID)+len(m.reserved) >= m.cfg.MaxInstances
 	_, dup := m.byID[id]
 	m.mu.RUnlock()
 	if full {
@@ -124,8 +143,11 @@ func (m *Manager) Create(ctx context.Context, id string, pts []geom.Point, b Bud
 	in.history = []revision{{rev: 1, sol: sol, repair: RepairNone, changed: sol.N, elapsed: time.Since(start)}}
 	m.adoptRepairState(in, sol)
 
+	// Reserve the id so the WAL write below owns its directory
+	// exclusively and the id stays taken while the lock is released;
+	// publication consumes the reservation.
 	m.mu.Lock()
-	if len(m.byID) >= m.cfg.MaxInstances {
+	if len(m.byID)+len(m.reserved) >= m.cfg.MaxInstances {
 		m.mu.Unlock()
 		return nil, ErrFull
 	}
@@ -135,8 +157,31 @@ func (m *Manager) Create(ctx context.Context, id string, pts []geom.Point, b Bud
 	} else if _, dup := m.byID[id]; dup {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	} else if _, dup := m.reserved[id]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
 	in.id = id
+	m.reserved[id] = struct{}{}
+	m.mu.Unlock()
+
+	// Write-ahead: the instance becomes durable (snapshot + empty log,
+	// synced) before it becomes visible. A creation that cannot be made
+	// durable is not acknowledged.
+	if m.wal != nil {
+		iw, werr := m.wal.create(id, b, in.pts, sol)
+		if werr != nil {
+			m.mu.Lock()
+			delete(m.reserved, id)
+			m.mu.Unlock()
+			m.metrics.WALAppendErrors.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrDurability, werr)
+		}
+		in.wal = iw
+	}
+
+	m.mu.Lock()
+	delete(m.reserved, id)
 	m.byID[id] = in
 	m.mu.Unlock()
 
@@ -224,6 +269,20 @@ func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op
 		newRepair.tree, newRepair.asg = rs.tree, rs.asg
 	} else if adopt {
 		newRepair.tree, newRepair.asg = m.buildRepairState(in.budget, rev.sol, newPts)
+	}
+
+	// Write-ahead: the batch is logged (and, under SyncAlways, on stable
+	// storage) before the revision becomes visible. A batch that cannot
+	// be made durable is not acknowledged and the revision not bumped.
+	if in.wal != nil {
+		err := m.wal.append(in.wal, walRecord{
+			rev: rev.rev, ops: rev.ops,
+			digest: rev.sol.PointsDigest, verified: rev.sol.Verified,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		m.wal.maybeCompact(in.wal, in.id, rev.rev, in.budget, newPts, rev.sol)
 	}
 
 	in.mu.Lock()
@@ -330,6 +389,9 @@ func (m *Manager) Delete(id string) bool {
 	in.mu.Lock()
 	in.deleted = true
 	in.mu.Unlock()
+	if in.wal != nil {
+		m.wal.remove(in.id, in.wal)
+	}
 	m.metrics.Deleted.Add(1)
 	return true
 }

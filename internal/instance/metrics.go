@@ -19,6 +19,14 @@ type Metrics struct {
 	RepairFallbacks      atomic.Uint64
 	RepairVerifyFailures atomic.Uint64
 	Conflicts            atomic.Uint64
+	// WAL counters (all zero while durability is disabled).
+	WALAppends          atomic.Uint64
+	WALAppendErrors     atomic.Uint64
+	WALSyncs            atomic.Uint64
+	WALSnapshots        atomic.Uint64
+	WALRecovered        atomic.Uint64
+	WALTornTails        atomic.Uint64
+	WALRecoveryFailures atomic.Uint64
 	// DirtyFrac distributes the per-revision dirty fraction (re-aimed
 	// sensors / n); ChurnSeconds the server-side revision latency.
 	DirtyFrac    histogram
@@ -111,6 +119,13 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 		{"antennad_instance_repair_fallbacks_total", "repair attempts abandoned before verification (splice bail or dirty threshold)", mm.RepairFallbacks.Load()},
 		{"antennad_instance_repair_verify_failures_total", "repairs rejected by re-verification and re-solved in full", mm.RepairVerifyFailures.Load()},
 		{"antennad_instance_conflicts_total", "conditional batches rejected on a stale revision", mm.Conflicts.Load()},
+		{"antennad_instance_wal_appends_total", "WAL records appended", mm.WALAppends.Load()},
+		{"antennad_instance_wal_append_errors_total", "WAL appends or snapshots that failed (mutation not acknowledged)", mm.WALAppendErrors.Load()},
+		{"antennad_instance_wal_syncs_total", "WAL fsyncs issued", mm.WALSyncs.Load()},
+		{"antennad_instance_wal_snapshots_total", "snapshot compactions", mm.WALSnapshots.Load()},
+		{"antennad_instance_wal_recovered_total", "instances recovered by WAL replay at startup", mm.WALRecovered.Load()},
+		{"antennad_instance_wal_torn_tails_total", "torn or truncated final WAL records cut at recovery", mm.WALTornTails.Load()},
+		{"antennad_instance_wal_recovery_failures_total", "instance directories that failed to recover", mm.WALRecoveryFailures.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/antenna"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/instance"
 	"repro/internal/plan"
 	"repro/internal/solution"
 	"repro/internal/verify"
@@ -125,6 +126,10 @@ type Options struct {
 	// InstanceHistory bounds retained revisions per live instance (≤ 0
 	// selects instance.DefaultHistory).
 	InstanceHistory int
+	// InstanceWAL, when non-nil, makes the live-instance tier
+	// crash-durable: creates and mutation batches are write-ahead logged
+	// and replayed by Manager.Recover at startup (see internal/instance).
+	InstanceWAL *instance.WALConfig
 }
 
 // Engine turns requests into verified solution artifacts.

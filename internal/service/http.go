@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -110,6 +111,13 @@ type Server struct {
 	// inflight is the bounded /orient queue: a semaphore sized by
 	// Options.MaxInflight, nil when unbounded.
 	inflight chan struct{}
+	// draining flips on BeginDrain: new work is answered 503 while
+	// in-flight requests run to completion (or until AbortInflight).
+	draining atomic.Bool
+	// abortCtx is merged into every request context by the middleware;
+	// AbortInflight cancels it when the drain deadline expires.
+	abortCtx    context.Context
+	abortCancel context.CancelFunc
 }
 
 // NewServer returns a server over the engine, honoring the engine's
@@ -120,13 +128,29 @@ func NewServer(eng *Engine) *Server {
 	if n := eng.opts.MaxInflight; n > 0 {
 		s.inflight = make(chan struct{}, n)
 	}
+	s.abortCtx, s.abortCancel = context.WithCancel(context.Background())
 	return s
 }
 
 // Instances exposes the server's live-instance manager (tests, CLIs).
 func (s *Server) Instances() *instance.Manager { return s.instances }
 
-// Handler returns the API mux.
+// BeginDrain stops accepting new work: every request except /healthz
+// and /metrics answers 503 + Retry-After while in-flight requests run
+// to completion. Call before http.Server.Shutdown so the listener keeps
+// answering (with refusals) instead of connection-resetting clients.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AbortInflight cancels the context of every in-flight request — the
+// drain deadline's last resort, after which solves unwind with
+// context.Canceled and Shutdown can return.
+func (s *Server) AbortInflight() { s.abortCancel() }
+
+// Handler returns the API mux wrapped in the hardening middleware:
+// per-request panic recovery and the drain gate.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/orient", s.handleOrient)
@@ -139,7 +163,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /instances/{id}", s.handleInstanceGet)
 	mux.HandleFunc("PATCH /instances/{id}", s.handleInstancePatch)
 	mux.HandleFunc("DELETE /instances/{id}", s.handleInstanceDelete)
-	return mux
+	return s.middleware(mux)
+}
+
+// middleware hardens every route: a panicking handler answers 500 and
+// increments antennad_panics_total instead of killing the process (the
+// net/http default only saves the connection, not the observability);
+// a draining server refuses new work with 503 while /healthz and
+// /metrics stay reachable for the balancer and the scraper; and the
+// drain-abort context is merged into the request's so AbortInflight
+// reaches every in-flight solve.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.eng.metrics.Panics.Add(1)
+				// Best effort: if the handler already wrote headers this
+				// is a no-op on the status line.
+				httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+			}
+		}()
+		if s.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		stop := context.AfterFunc(s.abortCtx, cancel)
+		defer stop()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // requestCtx applies the engine's per-request deadline, when set.
@@ -331,9 +385,15 @@ func (s *Server) handleAlgos(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
 	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		// The balancer should fail over, but the body still reports.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"ok":       true,
+		"ok":       !draining,
+		"draining": draining,
 		"uptime_s": int(time.Since(s.start) / time.Second),
 		"algos":    strings.Join(core.OrienterNames(), ","),
 	})
@@ -341,6 +401,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	_, _ = fmt.Fprintf(w, "# HELP antennad_draining whether the server is refusing new work ahead of shutdown\n# TYPE antennad_draining gauge\nantennad_draining %d\n", draining)
 	_ = s.eng.WriteMetrics(w)
 	_ = s.instances.WriteMetrics(w)
 }

@@ -39,13 +39,14 @@ func (e *Engine) InstanceSolver() instance.SolveFunc {
 }
 
 // NewInstanceManager builds a live-instance manager that full-solves
-// through the engine, honoring the engine's RepairThreshold and
-// InstanceHistory options.
+// through the engine, honoring the engine's RepairThreshold,
+// InstanceHistory, and InstanceWAL options.
 func NewInstanceManager(e *Engine) *instance.Manager {
 	return instance.NewManager(instance.Config{
 		Solve:           e.InstanceSolver(),
 		RepairThreshold: e.opts.RepairThreshold,
 		History:         e.opts.InstanceHistory,
+		WAL:             e.opts.InstanceWAL,
 	})
 }
 
@@ -102,6 +103,11 @@ func instanceError(w http.ResponseWriter, err error) {
 	case errors.Is(err, instance.ErrEvicted):
 		httpError(w, http.StatusGone, "%v", err)
 	case errors.Is(err, instance.ErrFull):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, instance.ErrDurability):
+		// The WAL could not acknowledge the mutation (disk trouble); the
+		// state is unchanged and the batch is safe to retry.
 		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):

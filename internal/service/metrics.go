@@ -23,6 +23,9 @@ type Metrics struct {
 	Shed             atomic.Uint64
 	DeadlineExceeded atomic.Uint64
 	NegativeHits     atomic.Uint64
+	// Panics counts handler panics caught by the recovery middleware
+	// (each answered 500; the process stays up).
+	Panics atomic.Uint64
 }
 
 // Metrics returns the engine's counters.
@@ -47,6 +50,7 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		{"antennad_coalesced_total", "requests that shared an identical in-flight solve", "counter", m.Coalesced.Load()},
 		{"antennad_shed_total", "requests shed with 429 by the inflight bound", "counter", m.Shed.Load()},
 		{"antennad_deadline_exceeded_total", "requests abandoned on an expired deadline", "counter", m.DeadlineExceeded.Load()},
+		{"antennad_panics_total", "handler panics recovered by the middleware", "counter", m.Panics.Load()},
 		{"antennad_cache_hits_total", "artifact cache lookups that hit", "counter", hits},
 		{"antennad_cache_misses_total", "artifact cache lookups that missed (includes requests later rejected)", "counter", misses},
 		{"antennad_negative_hits_total", "infeasible requests answered from the negative cache without re-planning", "counter", m.NegativeHits.Load()},

@@ -7,12 +7,13 @@ import (
 	"fmt"
 	"io/fs"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // Store is the durable L2 artifact tier behind the in-memory Cache: a
@@ -30,6 +31,7 @@ import (
 type Store struct {
 	root     string
 	maxBytes int64
+	fs       faultfs.FS
 
 	mu      sync.Mutex
 	bytes   int64
@@ -65,13 +67,23 @@ const storeExt = ".asol"
 // resident size is scanned once at open and maintained incrementally
 // afterwards.
 func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	return OpenStoreFS(dir, maxBytes, faultfs.OS)
+}
+
+// OpenStoreFS is OpenStore over an explicit filesystem — the seam the
+// fault-injection tests use to throw ENOSPC, torn renames, and read
+// corruption at the store.
+func OpenStoreFS(dir string, maxBytes int64, fsys faultfs.FS) (*Store, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultStoreBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("solution: open store: %w", err)
 	}
-	st := &Store{root: dir, maxBytes: maxBytes}
+	st := &Store{root: dir, maxBytes: maxBytes, fs: fsys}
 	for _, e := range st.scan() {
 		st.bytes += e.size
 		st.entries++
@@ -132,7 +144,7 @@ func (st *Store) path(k Key) string {
 // mtime so the eviction sweep treats it as recently used.
 func (st *Store) Get(k Key) (*Solution, bool) {
 	p := st.path(k)
-	data, err := os.ReadFile(p)
+	data, err := st.fs.ReadFile(p)
 	if err != nil {
 		st.misses.Add(1)
 		return nil, false
@@ -148,7 +160,7 @@ func (st *Store) Get(k Key) (*Solution, bool) {
 		return nil, false
 	}
 	now := time.Now()
-	_ = os.Chtimes(p, now, now)
+	_ = st.fs.Chtimes(p, now, now)
 	st.hits.Add(1)
 	return sol, true
 }
@@ -162,11 +174,11 @@ func (st *Store) Put(k Key, s *Solution) error {
 	data := encodeStoreFile(s)
 	st.sweep(int64(len(data)))
 	p := st.path(k)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := st.fs.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		st.writeErrors.Add(1)
 		return fmt.Errorf("solution: store put: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	tmp, err := st.fs.CreateTemp(filepath.Dir(p), ".tmp-*")
 	if err != nil {
 		st.writeErrors.Add(1)
 		return fmt.Errorf("solution: store put: %w", err)
@@ -184,10 +196,10 @@ func (st *Store) Put(k Key, s *Solution) error {
 		st.mu.Lock()
 		var prev int64
 		replaced := false
-		if info, statErr := os.Stat(p); statErr == nil {
+		if info, statErr := st.fs.Stat(p); statErr == nil {
 			prev, replaced = info.Size(), true
 		}
-		if err = os.Rename(tmp.Name(), p); err == nil {
+		if err = st.fs.Rename(tmp.Name(), p); err == nil {
 			st.bytes += int64(len(data)) - prev
 			if !replaced {
 				st.entries++
@@ -196,7 +208,7 @@ func (st *Store) Put(k Key, s *Solution) error {
 		st.mu.Unlock()
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
+		st.fs.Remove(tmp.Name())
 		st.writeErrors.Add(1)
 		return fmt.Errorf("solution: store put: %w", err)
 	}
@@ -221,7 +233,7 @@ type storeEntry struct {
 // scan walks the shard directories for artifact files.
 func (st *Store) scan() []storeEntry {
 	var out []storeEntry
-	_ = filepath.WalkDir(st.root, func(p string, d fs.DirEntry, err error) error {
+	_ = st.fs.WalkDir(st.root, func(p string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(p) != storeExt {
 			return nil
 		}
@@ -263,7 +275,7 @@ func (st *Store) sweep(incoming int64) {
 // must not double-subtract its size.
 func (st *Store) removeFile(p string, size int64, evicted bool) {
 	st.mu.Lock()
-	if err := os.Remove(p); err != nil {
+	if err := st.fs.Remove(p); err != nil {
 		st.mu.Unlock()
 		return
 	}

@@ -1,0 +1,174 @@
+package solution
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// faultStore builds a store over an injector for one test.
+func faultStore(t *testing.T) (*Store, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.NewInjector(nil)
+	st, err := OpenStoreFS(t.TempDir(), 1<<20, inj)
+	if err != nil {
+		t.Fatalf("OpenStoreFS: %v", err)
+	}
+	return st, inj
+}
+
+func storeSol(digest string) *Solution {
+	return &Solution{
+		Version:      Version,
+		PointsDigest: digest,
+		N:            3,
+		K:            2,
+		Phi:          1.5,
+		Algo:         "cover",
+		Guarantee:    Guarantee{Conn: "symmetric", Stretch: 2, Antennae: 2, Spread: 1.5},
+		Sectors:      [][]Sector{{{Start: 0, Spread: 1.5, Radius: 1}}, nil, nil},
+		Verified:     true,
+	}
+}
+
+// ENOSPC mid-write must fail the Put, leave no artifact behind, and keep
+// the store serving: the next fault-free Put of the same key must land
+// and be readable.
+func TestStoreFaultENOSPCMidWrite(t *testing.T) {
+	st, inj := faultStore(t)
+	key := Key{Digest: "d-enospc-aaaaaaaaaaaa", K: 2, Phi: 1.5, Mode: "algo=cover"}
+	sol := storeSol(key.Digest)
+
+	inj.Inject(faultfs.Fault{Op: faultfs.OpWrite, Path: ".tmp-", Err: syscall.ENOSPC, PartialBytes: 7, Count: 1})
+	if err := st.Put(key, sol); err == nil {
+		t.Fatalf("Put under ENOSPC succeeded")
+	}
+	if st.Stats().WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", st.Stats().WriteErrors)
+	}
+	if _, ok := st.Get(key); ok {
+		t.Fatalf("Get returned an artifact after a failed write")
+	}
+	// Self-heal: the store is a cache — the retry must succeed.
+	if err := st.Put(key, sol); err != nil {
+		t.Fatalf("Put after ENOSPC cleared: %v", err)
+	}
+	got, ok := st.Get(key)
+	if !ok || got.PointsDigest != key.Digest {
+		t.Fatalf("Get after self-heal: ok=%v", ok)
+	}
+}
+
+// A torn rename (temp written, rename never lands) must fail the Put
+// without publishing a partial artifact and without corrupting the byte
+// accounting for later writes.
+func TestStoreFaultTornRename(t *testing.T) {
+	st, inj := faultStore(t)
+	key := Key{Digest: "d-torn-bbbbbbbbbbbbbb", K: 2, Phi: 1.5, Mode: "algo=cover"}
+	sol := storeSol(key.Digest)
+
+	inj.Inject(faultfs.Fault{Op: faultfs.OpRename, Path: storeExt, Err: syscall.EIO, Count: 1})
+	if err := st.Put(key, sol); err == nil {
+		t.Fatalf("Put under torn rename succeeded")
+	}
+	if _, ok := st.Get(key); ok {
+		t.Fatalf("Get served an artifact whose rename never landed")
+	}
+	if n := st.Len(); n != 0 {
+		t.Fatalf("Len = %d after torn rename, want 0", n)
+	}
+	if err := st.Put(key, sol); err != nil {
+		t.Fatalf("Put after torn rename cleared: %v", err)
+	}
+	if _, ok := st.Get(key); !ok {
+		t.Fatalf("Get missed after successful rewrite")
+	}
+	if n := st.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+// Read corruption — bytes flipped on disk — must degrade to a miss that
+// deletes the damaged file, and the following Put must self-heal the
+// entry.
+func TestStoreFaultReadCorruption(t *testing.T) {
+	st, _ := faultStore(t)
+	key := Key{Digest: "d-corrupt-cccccccccccc", K: 2, Phi: 1.5, Mode: "algo=cover"}
+	sol := storeSol(key.Digest)
+	if err := st.Put(key, sol); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Flip a payload byte in the single resident artifact file.
+	var victim string
+	filepath.Walk(st.Root(), func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, storeExt) {
+			victim = p
+		}
+		return nil
+	})
+	if victim == "" {
+		t.Fatalf("no artifact file found")
+	}
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	if _, ok := st.Get(key); ok {
+		t.Fatalf("Get served a corrupted artifact")
+	}
+	stats := st.Stats()
+	if stats.Corruptions != 1 || stats.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 corruption + 1 miss", stats)
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Fatalf("corrupted file still on disk (err=%v)", err)
+	}
+	// Self-heal: rewrite and read back.
+	if err := st.Put(key, sol); err != nil {
+		t.Fatalf("Put after corruption: %v", err)
+	}
+	if _, ok := st.Get(key); !ok {
+		t.Fatalf("Get missed after self-heal")
+	}
+}
+
+// A read error that is not a missing file (EIO from the device) must
+// also degrade to a miss, never an engine-visible failure.
+func TestStoreFaultReadError(t *testing.T) {
+	st, inj := faultStore(t)
+	key := Key{Digest: "d-eio-dddddddddddddddd", K: 2, Phi: 1.5, Mode: "algo=cover"}
+	if err := st.Put(key, storeSol(key.Digest)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	inj.Inject(faultfs.Fault{Op: faultfs.OpReadFile, Path: storeExt, Err: syscall.EIO, Count: 1})
+	if _, ok := st.Get(key); ok {
+		t.Fatalf("Get served through a device read error")
+	}
+	if _, ok := st.Get(key); !ok {
+		t.Fatalf("Get missed after the transient read error cleared")
+	}
+}
+
+// MkdirAll failure on the shard directory must fail the Put cleanly and
+// leave the store usable.
+func TestStoreFaultMkdir(t *testing.T) {
+	st, inj := faultStore(t)
+	key := Key{Digest: "d-mkdir-eeeeeeeeeeeeee", K: 2, Phi: 1.5, Mode: "algo=cover"}
+	inj.Inject(faultfs.Fault{Op: faultfs.OpMkdirAll, Err: syscall.ENOSPC, Count: 1})
+	if err := st.Put(key, storeSol(key.Digest)); err == nil {
+		t.Fatalf("Put under mkdir fault succeeded")
+	}
+	if err := st.Put(key, storeSol(key.Digest)); err != nil {
+		t.Fatalf("Put after fault cleared: %v", err)
+	}
+}
