@@ -5,9 +5,16 @@
 // Usage:
 //
 //	benchjson [-o BENCH_baseline.json] [-benchtime 1s]
+//	benchjson -check-fleet BENCH_fleet.json
+//
+// -check-fleet validates a fleetsim soak file instead of running the
+// benchmarks: every row must decode strictly (unknown fields rejected)
+// against the fleet/v1 report schema — the CI gate that keeps
+// BENCH_fleet.json machine-readable as the format evolves.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -21,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/delaunay"
+	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/instance"
 	"repro/internal/mst"
@@ -29,6 +37,38 @@ import (
 	"repro/internal/service"
 	"repro/internal/solution"
 )
+
+// checkFleet strictly validates a BENCH_fleet.json row array. Any
+// unknown field, unknown schema tag, or malformed row fails the file.
+func checkFleet(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("%s: not a row array: %w", path, err)
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("%s: no rows", path)
+	}
+	for i, row := range raw {
+		dec := json.NewDecoder(bytes.NewReader(row))
+		dec.DisallowUnknownFields()
+		var rep fleet.Report
+		if err := dec.Decode(&rep); err != nil {
+			return fmt.Errorf("%s: row %d does not match the %s schema: %w", path, i, fleet.Schema, err)
+		}
+		if rep.Schema != fleet.Schema {
+			return fmt.Errorf("%s: row %d has schema %q, want %q", path, i, rep.Schema, fleet.Schema)
+		}
+		if rep.Totals.Ops == 0 {
+			return fmt.Errorf("%s: row %d records no operations", path, i)
+		}
+	}
+	fmt.Printf("%s: %d rows, schema %s ok\n", path, len(raw), fleet.Schema)
+	return nil
+}
 
 // benchPoints mirrors the deterministic workload generator of the root
 // bench suite (same seed formula), so numbers here are comparable with
@@ -78,7 +118,15 @@ func main() {
 	testing.Init() // register test.* flags so the benchtime budget is settable
 	out := flag.String("o", "BENCH_baseline.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
+	fleetFile := flag.String("check-fleet", "", "validate this fleetsim soak file against the fleet report schema and exit")
 	flag.Parse()
+	if *fleetFile != "" {
+		if err := checkFleet(*fleetFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

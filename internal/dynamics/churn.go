@@ -1,0 +1,46 @@
+package dynamics
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/solution"
+)
+
+// ChurnBatch builds one mutation batch of the living-network model the
+// scenario harness studies, for a sustained-traffic driver (cmd/fleetsim)
+// rather than a staged experiment: `drifts` sensors relocate within the
+// side×side deployment square, `joins` new sensors come up, and `fails`
+// sensors die. The ops follow the instance tier's sequential semantics —
+// drifts first (indices valid at the current size n), then joins, then
+// failures with indices below n sorted highest-first, exactly the kill
+// ordering RunScenario uses so earlier targets stay untouched by the
+// index shifts of later removals. A batch with joins == fails keeps the
+// instance size invariant, which lets concurrent generators share an
+// instance without index-bound coordination.
+func ChurnBatch(rng *rand.Rand, n, drifts, joins, fails int, side float64) []instance.Op {
+	if n <= 0 {
+		return nil
+	}
+	if fails > n {
+		fails = n
+	}
+	ops := make([]instance.Op, 0, drifts+joins+fails)
+	for i := 0; i < drifts; i++ {
+		ops = append(ops, instance.Op{Op: solution.OpMove, Index: rng.Intn(n),
+			X: rng.Float64() * side, Y: rng.Float64() * side})
+	}
+	for i := 0; i < joins; i++ {
+		ops = append(ops, instance.Op{Op: solution.OpAdd,
+			X: rng.Float64() * side, Y: rng.Float64() * side})
+	}
+	// Failures model the scenario harness's kill waves: distinct
+	// victims, applied highest index first.
+	victims := rng.Perm(n)[:fails]
+	sort.Sort(sort.Reverse(sort.IntSlice(victims)))
+	for _, idx := range victims {
+		ops = append(ops, instance.Op{Op: solution.OpRemove, Index: idx})
+	}
+	return ops
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/instance"
+)
+
+// The soak drives its traffic through a driver so the same mix,
+// oracle, and recovery audit run against either transport: the
+// in-process driver (service.Engine + instance.Manager in this
+// process — the -race-friendly mode CI soaks), or the HTTP driver
+// (a live antennad, optionally spawned and SIGKILLed by the harness).
+//
+// Drivers normalize transport errors onto the sentinels below so the
+// worker loop can classify outcomes without knowing the transport:
+// everything that is not a sentinel counts as unexpected — the soak's
+// failure signal.
+
+var (
+	// errConflict: stale If-Match (409) — expected for the injected
+	// contention slice.
+	errConflict = errors.New("fleet: revision conflict")
+	// errShed: the inflight bound refused the request (429).
+	errShed = errors.New("fleet: shed")
+	// errUnavailable: deadline expiry or drain (503) — expected for the
+	// injected short-deadline slice.
+	errUnavailable = errors.New("fleet: unavailable")
+	// errRace: benign lifecycle races under churn — not-found after a
+	// concurrent delete, exists during a concurrent re-create, evicted
+	// history behind a delta request.
+	errRace = errors.New("fleet: benign lifecycle race")
+)
+
+// classify maps a driver error onto the recorder's outcome vocabulary.
+func classify(err error) outcome {
+	switch {
+	case err == nil:
+		return outcomeOK
+	case errors.Is(err, errConflict):
+		return outcomeConflict
+	case errors.Is(err, errShed):
+		return outcomeShed
+	case errors.Is(err, errUnavailable):
+		return outcomeDeadline
+	case errors.Is(err, errRace):
+		return outcomeRace
+	default:
+		return outcomeUnexpected
+	}
+}
+
+// genSpec asks for a generated deployment (mirrors the wire "gen"
+// object, so both drivers pose identical problems).
+type genSpec struct {
+	Workload string
+	N        int
+	Seed     int64
+	K        int
+	Phi      float64
+	Algo     string
+}
+
+// instSpec describes an instance to create.
+type instSpec struct {
+	Gen genSpec
+}
+
+// driver is one transport for the soak's traffic.
+type driver interface {
+	// Orient solves a one-shot request; source is the X-Cache vocabulary
+	// (memory, disk, miss).
+	Orient(ctx context.Context, g genSpec) (source string, err error)
+	// Create builds a named instance and returns its first revision plus
+	// the materialized sensor count (generator families do not all honor
+	// N exactly — grid rounds to a square, star fields size by arm count
+	// — and mutation index bounds must follow the real count).
+	Create(ctx context.Context, id string, spec instSpec) (rev uint64, n int, err error)
+	// Patch applies a mutation batch; repair is the X-Repair vocabulary
+	// (incremental, full, none).
+	Patch(ctx context.Context, id string, ifMatch uint64, ops []instance.Op) (rev uint64, repair string, err error)
+	// Get reads the current revision.
+	Get(ctx context.Context, id string) (rev uint64, err error)
+	// Delta fetches the ADLT delta from rev to current.
+	Delta(ctx context.Context, id string, rev uint64) error
+	// Delete drops an instance.
+	Delete(ctx context.Context, id string) error
+	// Kill crashes the backend mid-soak (traffic is quiesced first) and
+	// Recover brings it back from its WAL, returning how many instances
+	// the restarted backend recovered.
+	Kill() error
+	Recover(ctx context.Context) (int, error)
+	// Close releases the driver (after the final audit).
+	Close() error
+}
+
+// mapInstanceErr normalizes instance.Manager errors for the in-process
+// driver; the HTTP driver maps status codes onto the same sentinels.
+func mapInstanceErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, instance.ErrConflict):
+		return errConflict
+	case errors.Is(err, instance.ErrNotFound), errors.Is(err, instance.ErrExists),
+		errors.Is(err, instance.ErrEvicted):
+		return errRace
+	case errors.Is(err, instance.ErrFull), errors.Is(err, instance.ErrDurability),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return errUnavailable
+	default:
+		return err
+	}
+}

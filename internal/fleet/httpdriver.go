@@ -1,0 +1,315 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/instance"
+)
+
+// httpDriver soaks a live antennad over its wire surface. Two shapes:
+// pointed at an already-running server (ServerURL; kill cycles
+// unavailable), or owning the process (AntennadBin + Addr + WALDir;
+// Kill SIGKILLs it mid-run and Recover restarts it over the same WAL —
+// the crash-recovery path with none of the in-process shortcuts).
+type httpDriver struct {
+	base   string
+	client *http.Client
+
+	// Process ownership (AntennadBin mode).
+	bin    string
+	addr   string
+	walDir string
+	logf   func(string, ...any)
+	cmd    *exec.Cmd
+}
+
+func newHTTPDriver(cfg Config) (*httpDriver, error) {
+	d := &httpDriver{
+		client: &http.Client{},
+		bin:    cfg.AntennadBin,
+		addr:   cfg.Addr,
+		walDir: cfg.WALDir,
+		logf:   cfg.Logf,
+	}
+	switch {
+	case cfg.AntennadBin != "":
+		if cfg.Addr == "" || cfg.WALDir == "" {
+			return nil, errors.New("fleet: http mode with -antennad needs -addr and -wal-dir")
+		}
+		d.base = "http://" + strings.TrimPrefix(cfg.Addr, "http://")
+		if err := d.spawn(context.Background()); err != nil {
+			return nil, err
+		}
+	case cfg.ServerURL != "":
+		d.base = strings.TrimRight(cfg.ServerURL, "/")
+	default:
+		return nil, errors.New("fleet: http mode needs -server or -antennad")
+	}
+	return d, nil
+}
+
+// spawn starts antennad with SyncAlways durability (the recovery audit
+// demands acknowledged == durable) and waits for /healthz.
+func (d *httpDriver) spawn(ctx context.Context) error {
+	cmd := exec.Command(d.bin,
+		"-addr", d.addr,
+		"-wal-dir", d.walDir,
+		"-wal-sync", "always",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("fleet: spawn antennad: %w", err)
+	}
+	d.cmd = cmd
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		resp, err := d.client.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	return fmt.Errorf("fleet: antennad did not become healthy at %s", d.base)
+}
+
+// statusErr maps a response status onto the soak's sentinels. conflictOK
+// distinguishes the PATCH 409 (stale If-Match — expected contention)
+// from the create 409 (id exists — a benign churn race).
+func statusErr(code int, conflictOK bool) error {
+	switch code {
+	case http.StatusConflict:
+		if conflictOK {
+			return errConflict
+		}
+		return errRace
+	case http.StatusNotFound, http.StatusGone:
+		return errRace
+	case http.StatusTooManyRequests:
+		return errShed
+	case http.StatusServiceUnavailable:
+		return errUnavailable
+	default:
+		return fmt.Errorf("fleet: unexpected status %d", code)
+	}
+}
+
+// transportErr normalizes client-side failures: deadline expiry is the
+// injected 503-class outcome; a refused connection mid-kill is too.
+func transportErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return errUnavailable
+	}
+	return err
+}
+
+func (d *httpDriver) do(ctx context.Context, method, path string, body any, hdr map[string]string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, d.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil, transportErr(err)
+	}
+	return resp, nil
+}
+
+// wireGen/wireCreate/wirePatch mirror the server's request bodies.
+type wireGenSpec struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     int64  `json:"seed"`
+}
+
+func (g genSpec) wire() map[string]any {
+	return map[string]any{
+		"gen":  wireGenSpec{Workload: g.Workload, N: g.N, Seed: g.Seed},
+		"k":    g.K,
+		"phi":  g.Phi,
+		"algo": g.Algo,
+	}
+}
+
+type wireRev struct {
+	Rev uint64 `json:"rev"`
+	N   int    `json:"n"`
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+func (d *httpDriver) Orient(ctx context.Context, g genSpec) (string, error) {
+	resp, err := d.do(ctx, http.MethodPost, "/orient", g.wire(), nil)
+	if err != nil {
+		return "", err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return "", statusErr(resp.StatusCode, false)
+	}
+	return resp.Header.Get("X-Cache"), nil
+}
+
+func (d *httpDriver) Create(ctx context.Context, id string, spec instSpec) (uint64, int, error) {
+	body := spec.Gen.wire()
+	body["id"] = id
+	resp, err := d.do(ctx, http.MethodPost, "/instances", body, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return 0, 0, statusErr(resp.StatusCode, false)
+	}
+	var rev wireRev
+	if err := json.NewDecoder(resp.Body).Decode(&rev); err != nil {
+		return 0, 0, fmt.Errorf("fleet: create response: %w", err)
+	}
+	return rev.Rev, rev.N, nil
+}
+
+func (d *httpDriver) Patch(ctx context.Context, id string, ifMatch uint64, ops []instance.Op) (uint64, string, error) {
+	var hdr map[string]string
+	if ifMatch != 0 {
+		hdr = map[string]string{"If-Match": fmt.Sprintf("%q", strconv.FormatUint(ifMatch, 10))}
+	}
+	resp, err := d.do(ctx, http.MethodPatch, "/instances/"+id, map[string]any{"ops": ops}, hdr)
+	if err != nil {
+		return 0, "", err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", statusErr(resp.StatusCode, true)
+	}
+	var rev wireRev
+	if err := json.NewDecoder(resp.Body).Decode(&rev); err != nil {
+		return 0, "", fmt.Errorf("fleet: patch response: %w", err)
+	}
+	return rev.Rev, resp.Header.Get("X-Repair"), nil
+}
+
+// etagRev parses the server's ETag (`"<rev>"`).
+func etagRev(resp *http.Response) (uint64, error) {
+	tag := strings.Trim(resp.Header.Get("ETag"), `"`)
+	rev, err := strconv.ParseUint(tag, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: bad ETag %q", resp.Header.Get("ETag"))
+	}
+	return rev, nil
+}
+
+func (d *httpDriver) Get(ctx context.Context, id string) (uint64, error) {
+	resp, err := d.do(ctx, http.MethodGet, "/instances/"+id, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, statusErr(resp.StatusCode, false)
+	}
+	return etagRev(resp)
+}
+
+func (d *httpDriver) Delta(ctx context.Context, id string, rev uint64) error {
+	resp, err := d.do(ctx, http.MethodGet, fmt.Sprintf("/instances/%s?rev=%d&delta=1", id, rev), nil, nil)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return statusErr(resp.StatusCode, false)
+	}
+	return nil
+}
+
+func (d *httpDriver) Delete(ctx context.Context, id string) error {
+	resp, err := d.do(ctx, http.MethodDelete, "/instances/"+id, nil, nil)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return statusErr(resp.StatusCode, false)
+	}
+	return nil
+}
+
+// Kill SIGKILLs the owned antennad — a real crash, no drain.
+func (d *httpDriver) Kill() error {
+	if d.cmd == nil {
+		return errors.New("fleet: kill cycles need -antennad (harness-owned process)")
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_ = d.cmd.Wait()
+	d.cmd = nil
+	return nil
+}
+
+// Recover respawns antennad over the same WAL root and counts the
+// instances the restarted process reports.
+func (d *httpDriver) Recover(ctx context.Context) (int, error) {
+	if d.bin == "" {
+		return 0, errors.New("fleet: recover needs -antennad")
+	}
+	if err := d.spawn(ctx); err != nil {
+		return 0, err
+	}
+	resp, err := d.do(ctx, http.MethodGet, "/instances", nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, statusErr(resp.StatusCode, false)
+	}
+	var list []json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return 0, fmt.Errorf("fleet: instance list: %w", err)
+	}
+	return len(list), nil
+}
+
+func (d *httpDriver) Close() error {
+	if d.cmd != nil {
+		_ = d.cmd.Process.Kill()
+		_ = d.cmd.Wait()
+		d.cmd = nil
+	}
+	d.client.CloseIdleConnections()
+	return nil
+}

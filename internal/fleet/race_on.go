@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet
+
+// raceEnabled records in the report whether the soak ran under the race
+// detector (latencies are not comparable across the two build modes).
+const raceEnabled = true

@@ -1,0 +1,173 @@
+package instance_test
+
+// Regression harness for the Delete/Apply WAL race: before deletion was
+// serialized behind the instance's applyMu (with the id reserved for
+// the duration of the directory removal), an Apply that had passed its
+// `deleted` check could append a WAL record — acknowledging a revision
+// — into a directory Delete was concurrently removing, and a Create
+// reusing the id could write a fresh WAL directory (dirFor(id) is
+// deterministic) that the in-flight RemoveAll then clobbered, silently
+// un-persisting a durably acknowledged instance. The hammer below
+// drives Apply, Delete, and Create-same-id concurrently with RemoveAll
+// slowed through the faultfs seam to hold the race window open, then
+// audits the WAL root by recovering into a fresh manager: every id
+// whose last acknowledged operation left it live must recover at
+// exactly the acknowledged revision, and nothing deleted may resurrect.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/instance"
+	"repro/internal/solution"
+)
+
+// slowRemoveFS widens the Delete teardown window: RemoveAll sleeps
+// before delegating, so a concurrent Create of the same id has ample
+// time to write its fresh WAL directory into the unreserved gap the
+// old code left open.
+type slowRemoveFS struct {
+	faultfs.FS
+	delay time.Duration
+}
+
+func (s slowRemoveFS) RemoveAll(path string) error {
+	time.Sleep(s.delay)
+	return s.FS.RemoveAll(path)
+}
+
+// TestDeleteApplyCreateRace hammers a small set of ids, each round
+// racing a batch writer, a deleter (with slowed RemoveAll), and a
+// re-creator of the same id (run under -race in CI). After the hammer,
+// a fresh manager recovering the same WAL root must see exactly the
+// acknowledged end state: live ids at their acknowledged revisions,
+// deleted ids gone, zero recovery failures.
+func TestDeleteApplyCreateRace(t *testing.T) {
+	const rounds = 24
+	dir := t.TempDir()
+	fs := slowRemoveFS{FS: faultfs.OS, delay: 2 * time.Millisecond}
+	walCfg := &instance.WALConfig{Dir: dir, Policy: instance.SyncAlways, FS: fs}
+	m := newTestManager(instance.Config{WAL: walCfg, History: 8})
+
+	pts := testPoints(24, 7)
+	for round := 0; round < rounds; round++ {
+		id := fmt.Sprintf("net-%d", round%4)
+		ctx := context.Background()
+
+		// Seed the round: the id exists (ErrExists when a prior round's
+		// incarnation survived is fine).
+		if _, err := m.Create(ctx, id, pts, coverBudget()); err != nil && !errors.Is(err, instance.ErrExists) {
+			t.Fatalf("round %d: seed create: %v", round, err)
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+
+		// Writer: unconditional batches until the instance disappears.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 4; i++ {
+				_, err := m.Apply(ctx, id, 0, []instance.Op{
+					{Op: solution.OpAdd, X: float64(i) + 0.5, Y: 0.5},
+				})
+				if err != nil {
+					if errors.Is(err, instance.ErrNotFound) {
+						return // deleted under us — expected
+					}
+					t.Errorf("apply %s: %v", id, err)
+					return
+				}
+			}
+		}()
+
+		// Deleter: tear the id down mid-churn; RemoveAll is slow, so the
+		// teardown window stays open while the re-creator races it.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m.Delete(id)
+		}()
+
+		// Re-creator: race a fresh incarnation of the same id. ErrExists
+		// is the documented answer while the old incarnation (or its
+		// reserved teardown window) still owns the id.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err := m.Create(ctx, id, pts[:20], coverBudget())
+			if err != nil && !errors.Is(err, instance.ErrExists) {
+				t.Errorf("re-create %s: %v", id, err)
+			}
+		}()
+
+		close(start)
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+	}
+
+	// The manager's serialized end state is the acknowledgment oracle:
+	// whatever Get answers now is what the WAL must recover.
+	type ackState struct {
+		live bool
+		rev  uint64
+	}
+	acks := make(map[string]ackState)
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("net-%d", i)
+		if snap, err := m.Get(id, 0); err == nil {
+			acks[id] = ackState{live: true, rev: snap.Rev}
+		} else if errors.Is(err, instance.ErrNotFound) {
+			acks[id] = ackState{}
+		} else {
+			t.Fatalf("final get %s: %v", id, err)
+		}
+	}
+
+	// Durability audit: close (final sync) and recover the WAL root into
+	// a fresh manager. Every live id must come back at its acknowledged
+	// revision; nothing else may come back; nothing may fail to recover.
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	m2 := newTestManager(instance.Config{WAL: walCfg})
+	recovered, err := m2.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer m2.Close()
+	if n := m2.Metrics().WALRecoveryFailures.Load(); n != 0 {
+		t.Fatalf("%d instance directories failed to recover", n)
+	}
+	wantLive := 0
+	for id, st := range acks {
+		if !st.live {
+			if _, err := m2.Get(id, 0); !errors.Is(err, instance.ErrNotFound) {
+				t.Errorf("deleted id %s recovered (err=%v) — its WAL directory survived deletion", id, err)
+			}
+			continue
+		}
+		wantLive++
+		snap, err := m2.Get(id, 0)
+		if err != nil {
+			t.Errorf("id %s acknowledged at revision %d but did not recover: %v", id, st.rev, err)
+			continue
+		}
+		if snap.Rev != st.rev {
+			t.Errorf("id %s recovered at revision %d, acknowledged %d", id, snap.Rev, st.rev)
+		}
+	}
+	if recovered != wantLive {
+		t.Fatalf("recovered %d instances, want %d live", recovered, wantLive)
+	}
+}

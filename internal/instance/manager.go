@@ -375,23 +375,39 @@ func (m *Manager) List() []Summary {
 	return out
 }
 
-// Delete removes an instance; false when it does not exist.
+// Delete removes an instance; false when it does not exist. Deletion
+// serializes behind the instance's applyMu: an in-flight Apply either
+// publishes (and logs) its revision entirely before the teardown, or
+// observes `deleted` and answers ErrNotFound — it can never append a
+// WAL record into a directory that is concurrently being removed, which
+// would acknowledge a revision no recovery can replay. While the WAL
+// directory is being removed the id stays reserved, so a Create of the
+// same id cannot write a fresh directory the removal then clobbers; it
+// answers ErrExists until the teardown finishes.
 func (m *Manager) Delete(id string) bool {
 	m.mu.Lock()
 	in, ok := m.byID[id]
 	if ok {
 		delete(m.byID, id)
+		if in.wal != nil {
+			m.reserved[id] = struct{}{}
+		}
 	}
 	m.mu.Unlock()
 	if !ok {
 		return false
 	}
+	in.applyMu.Lock()
 	in.mu.Lock()
 	in.deleted = true
 	in.mu.Unlock()
 	if in.wal != nil {
 		m.wal.remove(in.id, in.wal)
+		m.mu.Lock()
+		delete(m.reserved, id)
+		m.mu.Unlock()
 	}
+	in.applyMu.Unlock()
 	m.metrics.Deleted.Add(1)
 	return true
 }

@@ -178,12 +178,22 @@ func (e *InfeasibleError) Error() string { return e.Err.Error() }
 func (e *InfeasibleError) Unwrap() error { return e.Err }
 
 // flight is one in-progress solve that identical concurrent requests
-// attach to instead of solving again. The leader fills sol/err and
-// closes done.
+// attach to instead of solving again. The solve runs on the flight's
+// own detached context (ctx), never any single caller's: each
+// participant waits with its own context and leaves at its own
+// deadline while the leader goroutine keeps solving for the
+// survivors. refs counts participants (guarded by Engine.flightMu);
+// the last one out cancels ctx, abandoning a solve nobody is waiting
+// for (its result is still salvaged into the cache tiers when it
+// lands). The leader goroutine fills sol/err and closes done.
 type flight struct {
-	done chan struct{}
-	sol  *solution.Solution
-	err  error
+	key    solution.Key
+	done   chan struct{}
+	sol    *solution.Solution
+	err    error
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   int
 }
 
 // NewEngine builds an engine with the given options.
@@ -305,18 +315,18 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, Ca
 		return nil, SourceMiss, err
 	}
 
-	// Single-flight: identical in-flight requests share one solve.
+	// Single-flight: identical in-flight requests share one solve. The
+	// solve runs on the flight's own context, so no participant's
+	// deadline bounds another's: a short-deadline waiter answers 503 at
+	// *its* deadline while the solve keeps running for the survivors,
+	// and a waiter that outlives the caller that started the flight
+	// still receives the artifact.
 	e.flightMu.Lock()
 	if f, ok := e.flights[key]; ok {
+		f.refs++
 		e.flightMu.Unlock()
 		e.metrics.Coalesced.Add(1)
-		select {
-		case <-f.done:
-			return f.sol, SourceMiss, f.err
-		case <-ctx.Done():
-			e.noteCtxErr(ctx.Err())
-			return nil, SourceMiss, ctx.Err()
-		}
+		return e.await(ctx, f)
 	}
 	// Close the leader-handoff window: a previous leader may have filled
 	// the cache and retired its flight between our cache lookup and here.
@@ -326,22 +336,62 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, Ca
 		e.flightMu.Unlock()
 		return sol, SourceMemory, nil
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{key: key, done: make(chan struct{}), ctx: fctx, cancel: cancel, refs: 1}
 	e.flights[key] = f
 	e.flightMu.Unlock()
+	go e.lead(f, req)
+	return e.await(ctx, f)
+}
 
-	f.sol, f.err = e.solveMiss(ctx, req, key)
+// lead runs the shared solve for a flight and retires it: sol/err are
+// filled, the flight leaves the table (after the cache fill inside
+// finish, so a request arriving later sees the cache instead of a
+// stale flight), and done releases every waiter.
+func (e *Engine) lead(f *flight, req Request) {
+	f.sol, f.err = e.solveMiss(f.ctx, req, f.key)
 	var inf *InfeasibleError
 	if errors.As(f.err, &inf) {
-		e.negRemember(key, f.err)
+		e.negRemember(f.key, f.err)
 	}
-	// Remove the flight before releasing waiters: any request arriving
-	// after this point sees the cache fill instead of a stale flight.
 	e.flightMu.Lock()
-	delete(e.flights, key)
+	if e.flights[f.key] == f {
+		delete(e.flights, f.key)
+	}
 	e.flightMu.Unlock()
 	close(f.done)
-	return f.sol, SourceMiss, f.err
+}
+
+// await parks one participant on a flight until the shared solve lands
+// or the participant's own context expires — each caller observes its
+// own deadline, never another caller's.
+func (e *Engine) await(ctx context.Context, f *flight) (*solution.Solution, CacheSource, error) {
+	defer e.leave(f)
+	select {
+	case <-f.done:
+		return f.sol, SourceMiss, f.err
+	case <-ctx.Done():
+		e.noteCtxErr(ctx.Err())
+		return nil, SourceMiss, ctx.Err()
+	}
+}
+
+// leave drops a participant's flight reference. The last one out
+// retires the flight (so a later identical request starts fresh
+// instead of joining a cancelled solve) and cancels the flight
+// context; solveMiss's salvage path still writes the abandoned
+// orientation into both tiers when it lands.
+func (e *Engine) leave(f *flight) {
+	e.flightMu.Lock()
+	f.refs--
+	last := f.refs == 0
+	if last && e.flights[f.key] == f {
+		delete(e.flights, f.key)
+	}
+	e.flightMu.Unlock()
+	if last {
+		f.cancel()
+	}
 }
 
 // solveMiss computes, verifies, and caches the artifact for a request

@@ -71,6 +71,7 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			metricRow{"antennad_store_misses_total", "disk store lookups that missed", "counter", st.Misses},
 			metricRow{"antennad_store_corrupt_total", "disk store files rejected and deleted as corrupt", "counter", st.Corruptions},
 			metricRow{"antennad_store_evictions_total", "disk store files swept by the byte cap", "counter", st.Evictions},
+			metricRow{"antennad_store_sweeps_total", "background byte-cap sweeps started", "counter", st.Sweeps},
 			metricRow{"antennad_store_writes_total", "artifacts written to the disk store", "counter", st.Writes},
 			metricRow{"antennad_store_write_errors_total", "failed disk store writes", "counter", st.WriteErrors},
 			metricRow{"antennad_store_entries", "artifact files currently on disk", "gauge", uint64(st.Entries)},

@@ -1,0 +1,137 @@
+package service
+
+// Regression tests for per-waiter deadlines under single-flight: the
+// shared solve must run on the flight's own context, so no caller's
+// deadline bounds another's. Before the fix, the solve ran under the
+// context of whichever caller started the flight — a waiter with a
+// longer deadline coalescing onto a short-deadline leader inherited
+// the leader's DeadlineExceeded (a spurious 503 with time still on its
+// clock), and the solve died at the leader's deadline instead of
+// continuing for the survivors.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitForFlight blocks until the engine has an in-flight solve, so a
+// test can attach a waiter to a specific leader deterministically.
+func waitForFlight(t *testing.T, eng *Engine) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		eng.flightMu.Lock()
+		n := len(eng.flights)
+		eng.flightMu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no flight registered within 5s")
+}
+
+// TestSingleFlightWaiterOutlivesLeader: a waiter with no deadline
+// coalesces onto a flight whose starter's context then expires. The
+// starter must leave with its own ctx.Err(), and the solve must keep
+// running for the waiter, which receives the verified artifact. The
+// sequencing is deterministic — the starter's context is cancelled
+// only after the Coalesced counter proves the waiter attached — so no
+// deadline/solve-duration margin is assumed.
+func TestSingleFlightWaiterOutlivesLeader(t *testing.T) {
+	eng := NewEngine(Options{})
+	// Big enough that the solve reliably outlives the orchestration
+	// below (flight registration + waiter attach, a few ms).
+	pts := uniformPts(20000, 25)
+	req := Request{Pts: pts, K: 2, Phi: 0, Algo: "tworay"}
+
+	leaderCtx, expireLeader := context.WithCancel(context.Background())
+	defer expireLeader()
+	var wg sync.WaitGroup
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = eng.Solve(leaderCtx, req)
+	}()
+
+	waitForFlight(t, eng)
+	var waiterSol bool
+	var waiterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sol, _, err := eng.Solve(context.Background(), req)
+		waiterErr = err
+		waiterSol = sol != nil && sol.Verified
+	}()
+
+	// Expire the starter only once the waiter is provably attached.
+	attach := time.Now().Add(5 * time.Second)
+	for eng.Metrics().Coalesced.Load() == 0 {
+		if time.Now().After(attach) {
+			t.Fatal("waiter did not attach to the flight within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	expireLeader()
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("flight starter error %v, want its own ctx error", leaderErr)
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter inherited the starter's fate: %v — its own context never expired", waiterErr)
+	}
+	if !waiterSol {
+		t.Fatal("waiter's artifact did not verify")
+	}
+	if got := eng.Metrics().Solves.Load(); got != 1 {
+		t.Fatalf("%d solves, want 1 — the shared solve should survive the starter leaving", got)
+	}
+}
+
+// TestSingleFlightWaiterOwnDeadline: the converse direction — a
+// short-deadline waiter coalescing onto a long-running flight must
+// answer at *its* deadline, not block until the shared solve lands;
+// the solve keeps running and serves the patient caller.
+func TestSingleFlightWaiterOwnDeadline(t *testing.T) {
+	eng := NewEngine(Options{})
+	pts := uniformPts(20000, 26)
+	req := Request{Pts: pts, K: 2, Phi: 0, Algo: "tworay"}
+
+	var wg sync.WaitGroup
+	var leaderSol bool
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sol, _, err := eng.Solve(context.Background(), req)
+		leaderErr = err
+		leaderSol = sol != nil && sol.Verified
+	}()
+
+	waitForFlight(t, eng)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, _, err := eng.Solve(ctx, req)
+	waited := time.Since(begin)
+	wg.Wait()
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("short-deadline waiter error %v, want deadline exceeded", err)
+	}
+	if waited > 10*time.Second {
+		t.Fatalf("short-deadline waiter blocked %v past its deadline", waited)
+	}
+	if leaderErr != nil || !leaderSol {
+		t.Fatalf("patient caller failed (err=%v, verified=%v) — the solve must survive a waiter leaving", leaderErr, leaderSol)
+	}
+	if eng.Metrics().DeadlineExceeded.Load() == 0 {
+		t.Fatal("waiter's deadline expiry was not counted")
+	}
+}

@@ -37,12 +37,21 @@ type Store struct {
 	bytes   int64
 	entries int
 
+	// Byte-cap sweeps are single-flighted onto a background goroutine:
+	// a Put that finds the store over its cap kicks one off (or skips,
+	// when one is already running) instead of scanning and deleting
+	// synchronously on the solve path. sweepWG lets tests and shutdown
+	// wait for an in-flight sweep.
+	sweeping atomic.Bool
+	sweepWG  sync.WaitGroup
+
 	hits        atomic.Uint64
 	misses      atomic.Uint64
 	corruptions atomic.Uint64
 	evictions   atomic.Uint64
 	writes      atomic.Uint64
 	writeErrors atomic.Uint64
+	sweeps      atomic.Uint64
 }
 
 // DefaultStoreBytes is the default on-disk budget: 256 MiB of artifacts.
@@ -102,6 +111,7 @@ type StoreStats struct {
 	Evictions   uint64
 	Writes      uint64
 	WriteErrors uint64
+	Sweeps      uint64
 	Bytes       int64
 	Entries     int
 }
@@ -118,6 +128,7 @@ func (st *Store) Stats() StoreStats {
 		Evictions:   st.evictions.Load(),
 		Writes:      st.writes.Load(),
 		WriteErrors: st.writeErrors.Load(),
+		Sweeps:      st.sweeps.Load(),
 		Bytes:       bytes,
 		Entries:     entries,
 	}
@@ -172,7 +183,6 @@ func (st *Store) Get(k Key) (*Solution, bool) {
 // computed artifact.
 func (st *Store) Put(k Key, s *Solution) error {
 	data := encodeStoreFile(s)
-	st.sweep(int64(len(data)))
 	p := st.path(k)
 	if err := st.fs.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		st.writeErrors.Add(1)
@@ -213,6 +223,10 @@ func (st *Store) Put(k Key, s *Solution) error {
 		return fmt.Errorf("solution: store put: %w", err)
 	}
 	st.writes.Add(1)
+	// Trim after the write lands: the resident size now includes this
+	// artifact exactly, so the sweeper never has to guess whether an
+	// in-flight write is already counted.
+	st.kickSweep()
 	return nil
 }
 
@@ -245,14 +259,44 @@ func (st *Store) scan() []storeEntry {
 	return out
 }
 
-// sweep makes room for incoming bytes by deleting the least recently
-// touched artifacts. Each sweep walks the shard directories (O(resident
-// files)), so it frees an extra 10% of the cap beyond what the incoming
-// write needs — a store sitting at its cap then rescans once per ~10%
-// of turnover instead of on every write.
-func (st *Store) sweep(incoming int64) {
+// kickSweep starts a background byte-cap sweep when the store sits
+// past its cap and no sweep is already running. The write path never
+// pays the sweep itself: the scan, sort, and deletions all happen on
+// the sweeper goroutine with bounded critical sections, so concurrent
+// reads and writes proceed while the store trims. The cost is that the
+// cap is enforced asynchronously — a burst of writes can briefly
+// overshoot it by the burst's size until the sweeper catches up.
+func (st *Store) kickSweep() {
 	st.mu.Lock()
-	over := st.bytes + incoming - st.maxBytes
+	over := st.bytes > st.maxBytes
+	st.mu.Unlock()
+	if !over || !st.sweeping.CompareAndSwap(false, true) {
+		return
+	}
+	st.sweeps.Add(1)
+	st.sweepWG.Add(1)
+	go func() {
+		defer st.sweepWG.Done()
+		defer st.sweeping.Store(false)
+		st.sweep()
+	}()
+}
+
+// waitSweep blocks until any in-flight background sweep finishes —
+// the determinism hook for tests that assert post-sweep state.
+func (st *Store) waitSweep() { st.sweepWG.Wait() }
+
+// sweep trims the store below its cap by deleting the least recently
+// touched artifacts. Each sweep walks the shard directories (O(resident
+// files)), so it frees an extra 10% of the cap beyond the overshoot — a
+// store sitting at its cap then rescans once per ~10% of turnover
+// instead of on every write. The candidate collection (scan + sort)
+// runs without the lock, and each deletion holds it only for that one
+// file, so a long sweep never blocks readers or writers for its full
+// duration.
+func (st *Store) sweep() {
+	st.mu.Lock()
+	over := st.bytes - st.maxBytes
 	st.mu.Unlock()
 	if over <= 0 {
 		return

@@ -203,11 +203,14 @@ func TestStoreSweepOldestFirst(t *testing.T) {
 	if _, ok := st.Get(storeKey(10)); !ok {
 		t.Fatal("expected hit on resident key")
 	}
-	// A fourth insert must sweep the now-coldest entry (key 11).
+	// A fourth insert must sweep the now-coldest entry (key 11). The
+	// sweep runs in the background off the write path; wait for it
+	// before asserting the post-sweep state.
 	k := storeKey(13)
 	if err := st.Put(k, sizedSolution(k, 0)); err != nil {
 		t.Fatal(err)
 	}
+	st.waitSweep()
 	if _, ok := st.Get(storeKey(11)); ok {
 		t.Fatal("coldest entry survived the sweep")
 	}

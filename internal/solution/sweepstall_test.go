@@ -1,0 +1,119 @@
+package solution
+
+// Regression test for store-sweep stalls: the byte-cap sweep used to
+// run synchronously inside Put, so a write landing on an over-cap
+// store paid the whole O(resident) scan + sort + per-file deletion on
+// the solve path — with slow disks, hundreds of milliseconds added to
+// a request. The sweep now runs single-flighted on a background
+// goroutine with bounded (per-file) critical sections: Put returns at
+// write cost, and reads stay fast for the sweep's full duration.
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// slowRemoveFS delegates to the real filesystem but makes every Remove
+// take removeDelay, so a full sweep over the seeded store below is
+// slow enough (~seconds) to measure foreground latency against.
+type slowRemoveFS struct {
+	faultfs.FS
+	delay time.Duration
+}
+
+func (s slowRemoveFS) Remove(path string) error {
+	time.Sleep(s.delay)
+	return s.FS.Remove(path)
+}
+
+// TestStoreSweepDoesNotStallReads seeds a store far over its cap onto
+// a filesystem with slow deletes, triggers the sweep with one Put, and
+// asserts that the Put and concurrent Gets all return in a small
+// fraction of the sweep's duration.
+func TestStoreSweepDoesNotStallReads(t *testing.T) {
+	const (
+		seeded      = 120
+		removeDelay = 5 * time.Millisecond
+		// The sweep must delete ~100 files × removeDelay ≈ 500ms+;
+		// foreground operations must finish far inside that.
+		latencyBound = 250 * time.Millisecond
+	)
+	dir := t.TempDir()
+
+	// Seed the directory over cap through an uncapped store, then age
+	// every file so the upcoming write is strictly the newest.
+	seed, err := OpenStore(dir, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fileSize int64
+	for i := 0; i < seeded; i++ {
+		k := storeKey(i)
+		sol := sizedSolution(k, 0)
+		fileSize = int64(storeHeaderSize + sol.EncodedBinarySize())
+		if err := seed.Put(k, sol); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-time.Hour)
+		if err := os.Chtimes(seed.path(k), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := OpenStoreFS(dir, 20*fileSize, slowRemoveFS{FS: faultfs.OS, delay: removeDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The write that kicks the sweep must not pay for it.
+	hot := storeKey(200)
+	begin := time.Now()
+	if err := st.Put(hot, sizedSolution(hot, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(begin); d > latencyBound {
+		t.Fatalf("Put over a sweeping store took %v, want < %v", d, latencyBound)
+	}
+
+	// Reads (and a second write) during the sweep stay fast. kickSweep
+	// sets sweeping before Put returns, so the sweep is provably still
+	// running on the first iteration.
+	var worstGet time.Duration
+	iterations := 0
+	for st.sweeping.Load() {
+		begin = time.Now()
+		if _, ok := st.Get(hot); !ok {
+			t.Fatal("hot entry missed during sweep")
+		}
+		if d := time.Since(begin); d > worstGet {
+			worstGet = d
+		}
+		st.Stats() // counters take the same lock the sweep cycles
+		iterations++
+		time.Sleep(time.Millisecond)
+	}
+	if iterations == 0 {
+		t.Fatal("sweep finished before any concurrent read was measured")
+	}
+	if worstGet > latencyBound {
+		t.Fatalf("worst Get during sweep took %v, want < %v", worstGet, latencyBound)
+	}
+
+	st.waitSweep()
+	stats := st.Stats()
+	if stats.Sweeps == 0 {
+		t.Fatal("no sweep recorded")
+	}
+	if stats.Evictions == 0 {
+		t.Fatal("sweep evicted nothing")
+	}
+	if stats.Bytes > 20*fileSize {
+		t.Fatalf("resident bytes %d still over cap %d after sweep", stats.Bytes, 20*fileSize)
+	}
+	if _, ok := st.Get(hot); !ok {
+		t.Fatal("newest entry was swept")
+	}
+}
