@@ -124,9 +124,10 @@ func BenchmarkMST(b *testing.B) {
 // decades of n: near-linear (sub-quadratic) growth here is the acceptance
 // bar for the O(n log n) geometry substrate.
 func BenchmarkDelaunayScaling(b *testing.B) {
-	for _, n := range []int{1000, 10000, 100000} {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
 		pts := benchPoints(n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tri, err := delaunay.Build(pts)
 				if err != nil {
@@ -135,6 +136,40 @@ func BenchmarkDelaunayScaling(b *testing.B) {
 				if tri.NumEdges() == 0 {
 					b.Fatal("empty triangulation")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveScaling measures the full verified solve — plan-free
+// engine path: orient at the representative cover budget, then the
+// independent verifier, with the EMST bottleneck prefetched concurrently
+// — across decades up to n=10⁶. Near-linear growth per decade here is
+// the acceptance bar for the single-solve path at scale (gated in CI by
+// benchjson -check-scaling).
+func BenchmarkSolveScaling(b *testing.B) {
+	for _, n := range []int{10000, 100000, 1000000} {
+		pts := benchPoints(n)
+		b.Run(fmt.Sprintf("cover/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := service.NewEngine(service.Options{}) // fresh cache each round
+				b.StartTimer()
+				sol, src, err := eng.Solve(context.Background(),
+					service.Request{Pts: pts, K: 2, Phi: core.Phi2Full, Algo: "cover"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if src.Hit() {
+					b.Fatal("unexpected cache hit")
+				}
+				if len(sol.VerifyErrors) > 0 {
+					b.Fatalf("verification failed: %v", sol.VerifyErrors)
+				}
+				b.StopTimer()
+				eng.Close()
+				b.StartTimer()
 			}
 		})
 	}

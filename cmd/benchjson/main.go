@@ -6,11 +6,17 @@
 //
 //	benchjson [-o BENCH_baseline.json] [-benchtime 1s]
 //	benchjson -check-fleet BENCH_fleet.json
+//	benchjson -check-scaling BENCH_baseline.json [-max-growth 25]
 //
 // -check-fleet validates a fleetsim soak file instead of running the
 // benchmarks: every row must decode strictly (unknown fields rejected)
 // against the fleet/v1 report schema — the CI gate that keeps
 // BENCH_fleet.json machine-readable as the format evolves.
+//
+// -check-scaling audits a baseline file's scaling series (benches named
+// <prefix>/n=<size>): across every whole-decade step the ns/op growth
+// must stay at or below -max-growth, the CI gate that catches an
+// accidentally superlinear substrate before it ships.
 package main
 
 import (
@@ -23,6 +29,9 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -67,6 +76,72 @@ func checkFleet(path string) error {
 		}
 	}
 	fmt.Printf("%s: %d rows, schema %s ok\n", path, len(raw), fleet.Schema)
+	return nil
+}
+
+// checkScaling audits the per-decade growth of every scaling series in a
+// baseline file. Benches named `<prefix>/n=<size>` with the same prefix
+// form a series; for each consecutive pair at sizes (n, 10n) the ns/op
+// ratio must stay at or below maxGrowth. An O(n log n) substrate lands
+// near 11–13× per decade, an accidental O(n²) regression near 100×, so
+// the gate separates them with room for runner noise on either side.
+func checkScaling(path string, maxGrowth float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	type point struct {
+		n  int
+		ns float64
+	}
+	series := make(map[string][]point)
+	var order []string
+	for _, e := range base.Benches {
+		i := strings.LastIndex(e.Name, "/n=")
+		if i < 0 {
+			continue
+		}
+		n, err := strconv.Atoi(e.Name[i+3:])
+		if err != nil || n <= 0 {
+			continue
+		}
+		prefix := e.Name[:i]
+		if _, seen := series[prefix]; !seen {
+			order = append(order, prefix)
+		}
+		series[prefix] = append(series[prefix], point{n: n, ns: e.NsPerOp})
+	}
+	checked := 0
+	for _, prefix := range order {
+		pts := series[prefix]
+		sort.Slice(pts, func(a, b int) bool { return pts[a].n < pts[b].n })
+		for i := 1; i < len(pts); i++ {
+			lo, hi := pts[i-1], pts[i]
+			if hi.n != 10*lo.n || lo.ns <= 0 {
+				continue // only whole-decade steps are gated
+			}
+			growth := hi.ns / lo.ns
+			status := "ok"
+			if growth > maxGrowth {
+				status = "FAIL"
+			}
+			fmt.Printf("%-34s n=%-8d -> n=%-8d growth %6.1fx (max %.1fx) %s\n",
+				prefix, lo.n, hi.n, growth, maxGrowth, status)
+			if growth > maxGrowth {
+				return fmt.Errorf("%s grows %.1fx from n=%d to n=%d (max %.1fx): superlinear regression",
+					prefix, growth, lo.n, hi.n, maxGrowth)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s: no whole-decade scaling pairs found", path)
+	}
+	fmt.Printf("%s: %d decade steps within %.1fx\n", path, checked, maxGrowth)
 	return nil
 }
 
@@ -119,9 +194,18 @@ func main() {
 	out := flag.String("o", "BENCH_baseline.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
 	fleetFile := flag.String("check-fleet", "", "validate this fleetsim soak file against the fleet report schema and exit")
+	scalingFile := flag.String("check-scaling", "", "audit the per-decade growth of the scaling series in this baseline file and exit")
+	maxGrowth := flag.Float64("max-growth", 25, "largest allowed ns/op growth per 10x n step for -check-scaling")
 	flag.Parse()
 	if *fleetFile != "" {
 		if err := checkFleet(*fleetFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scalingFile != "" {
+		if err := checkScaling(*scalingFile, *maxGrowth); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -170,7 +254,7 @@ func main() {
 			}
 		}},
 	}
-	for _, n := range []int{1000, 10000, 100000} {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
 		n := n
 		benches = append(benches, bench{
 			fmt.Sprintf("BenchmarkDelaunayScaling/n=%d", n),
@@ -181,6 +265,36 @@ func main() {
 					if _, err := delaunay.Build(pts); err != nil {
 						b.Fatal(err)
 					}
+				}
+			},
+		})
+	}
+	// Full verified solves across decades up to n=10⁶: orient at the
+	// representative cover budget plus the independent verifier, with the
+	// EMST bottleneck prefetched concurrently — the single-solve scaling
+	// trajectory the -check-scaling gate audits.
+	for _, n := range []int{10000, 100000, 1000000} {
+		n := n
+		benches = append(benches, bench{
+			fmt.Sprintf("BenchmarkSolveScaling/cover/n=%d", n),
+			func(b *testing.B) {
+				pts := benchPoints(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					eng := service.NewEngine(service.Options{}) // fresh cache each round
+					b.StartTimer()
+					sol, _, err := eng.Solve(context.Background(),
+						service.Request{Pts: pts, K: 2, Phi: core.Phi2Full, Algo: "cover"})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(sol.VerifyErrors) > 0 {
+						b.Fatalf("verification failed: %v", sol.VerifyErrors)
+					}
+					b.StopTimer()
+					eng.Close()
+					b.StartTimer()
 				}
 			},
 		})

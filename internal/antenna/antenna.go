@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/spatial"
 )
 
@@ -43,6 +44,24 @@ func (a *Assignment) WithSpatialIndex(g *spatial.Grid) *Assignment {
 	return a
 }
 
+// Reserve pre-sizes every sensor's sector list to hold perSensor entries
+// inside one shared backing array, so the common "exactly k antennae per
+// sensor" orienters Add without any per-sensor allocation. Sensors that
+// outgrow their reservation spill into a private slice on append — the
+// capacity windows are disjoint, so a spill never clobbers a neighbor.
+// Call right after New, before the first Add.
+func (a *Assignment) Reserve(perSensor int) *Assignment {
+	if perSensor <= 0 || len(a.Pts) == 0 {
+		return a
+	}
+	backing := make([]geom.Sector, len(a.Pts)*perSensor)
+	for u := range a.Sectors {
+		off := u * perSensor
+		a.Sectors[u] = backing[off : off : off+perSensor]
+	}
+	return a
+}
+
 // Add attaches a sector to sensor u.
 func (a *Assignment) Add(u int, s geom.Sector) {
 	a.Sectors[u] = append(a.Sectors[u], s)
@@ -67,13 +86,15 @@ func (a *Assignment) AntennaCount(u int) int { return len(a.Sectors[u]) }
 
 // MaxAntennas returns the largest per-sensor antenna count.
 func (a *Assignment) MaxAntennas() int {
-	best := 0
-	for _, s := range a.Sectors {
-		if len(s) > best {
-			best = len(s)
+	return int(a.maxOver(func(lo, hi int) float64 {
+		best := 0
+		for u := lo; u < hi; u++ {
+			if len(a.Sectors[u]) > best {
+				best = len(a.Sectors[u])
+			}
 		}
-	}
-	return best
+		return float64(best)
+	}))
 }
 
 // SpreadAt returns the total angular spread used at sensor u.
@@ -83,21 +104,57 @@ func (a *Assignment) SpreadAt(u int) float64 {
 
 // MaxSpread returns the largest per-sensor total spread.
 func (a *Assignment) MaxSpread() float64 {
-	var best float64
-	for u := range a.Sectors {
-		if s := a.SpreadAt(u); s > best {
-			best = s
+	return a.maxOver(func(lo, hi int) float64 {
+		var best float64
+		for u := lo; u < hi; u++ {
+			if s := a.SpreadAt(u); s > best {
+				best = s
+			}
 		}
-	}
-	return best
+		return best
+	})
 }
 
 // MaxRadius returns the largest antenna radius used anywhere.
 func (a *Assignment) MaxRadius() float64 {
+	return a.maxOver(func(lo, hi int) float64 {
+		var best float64
+		for u := lo; u < hi; u++ {
+			if r := geom.MaxRadius(a.Sectors[u]); r > best {
+				best = r
+			}
+		}
+		return best
+	})
+}
+
+// maxChunk is the sensor block size of the parallel reductions below.
+const maxChunk = 4096
+
+// maxOver reduces f — a pure max over a sensor range — across all
+// sensors, fanning large assignments out by chunk. Max is commutative
+// and duplicate-tolerant, so the result is identical for every worker
+// count.
+func (a *Assignment) maxOver(f func(lo, hi int) float64) float64 {
+	n := a.N()
+	if n < parallelDigraphMin {
+		return f(0, n)
+	}
+	nc := (n + maxChunk - 1) / maxChunk
+	partial := make([]float64, nc)
+	par.For(0, nc, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			end := (c + 1) * maxChunk
+			if end > n {
+				end = n
+			}
+			partial[c] = f(c*maxChunk, end)
+		}
+	})
 	var best float64
-	for _, secs := range a.Sectors {
-		if r := geom.MaxRadius(secs); r > best {
-			best = r
+	for _, v := range partial {
+		if v > best {
+			best = v
 		}
 	}
 	return best

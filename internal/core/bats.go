@@ -38,7 +38,7 @@ func OrientBoundedAngleTree(pts []geom.Point, k int, phi float64) (*antenna.Assi
 	res := newResult("bats", k, phi)
 	res.Bound = batsStretch(phi)
 	res.Guarantee = res.Bound
-	asg := antenna.New(pts)
+	asg := antenna.New(pts).Reserve(1)
 	res.checkf(phi >= math.Pi-geom.AngleEps, "phi %.6f < π not supported by bats", phi)
 	if len(pts) <= 1 {
 		res.bump("trivial")
@@ -47,26 +47,35 @@ func OrientBoundedAngleTree(pts []geom.Point, k int, phi float64) (*antenna.Assi
 	tree := mst.Euclidean(pts)
 	res.LMax = tree.LMax()
 
+	// One geom arena serves every per-vertex gap computation below; the
+	// checkf calls sit behind explicit failure branches so the happy path
+	// never boxes their variadic arguments.
+	sc := geom.GetScratch()
+	defer sc.Release()
+
 	// Regime 1: the EMST is already a φ-bounded-angle tree.
 	worst := 0.0
 	dirs := make([]float64, 0, 8)
+	targets := make([]geom.Point, 0, 8)
 	for u := 0; u < tree.N(); u++ {
 		dirs = dirs[:0]
 		for _, v := range tree.Adj[u] {
 			dirs = append(dirs, geom.Dir(pts[u], pts[v]))
 		}
-		if s := geom.MinCoverSpread(dirs, 1); s > worst {
+		if s := sc.MinCoverSpread(dirs, 1); s > worst {
 			worst = s
 		}
 	}
 	if worst <= phi+geom.AngleEps {
 		for u := 0; u < tree.N(); u++ {
-			targets := make([]geom.Point, len(tree.Adj[u]))
-			for i, v := range tree.Adj[u] {
-				targets[i] = pts[v]
+			targets = targets[:0]
+			for _, v := range tree.Adj[u] {
+				targets = append(targets, pts[v])
 			}
-			s, ok := geom.CoverAllSector(pts[u], targets, 0)
-			res.checkf(ok, "vertex %d has no MST neighbors", u)
+			s, ok := sc.CoverAllSector(pts[u], targets, 0)
+			if !ok {
+				res.checkf(false, "vertex %d has no MST neighbors", u)
+			}
 			var far float64
 			for _, q := range targets {
 				if d := pts[u].Dist(q); d > far {
@@ -85,23 +94,30 @@ func OrientBoundedAngleTree(pts []geom.Point, k int, phi float64) (*antenna.Assi
 			return asg, res
 		}
 		path := CubePath(rooted)
-		res.checkf(len(path) == len(pts), "cube path visits %d of %d sensors", len(path), len(pts))
+		if len(path) != len(pts) {
+			res.checkf(false, "cube path visits %d of %d sensors", len(path), len(pts))
+		}
 		hopBound := tourStretch * res.LMax
 		for i, v := range path {
-			var targets []geom.Point
+			targets = targets[:0]
 			if i > 0 {
 				targets = append(targets, pts[path[i-1]])
 			}
 			if i < len(path)-1 {
 				d := pts[v].Dist(pts[path[i+1]])
-				res.checkf(d <= hopBound+geom.Eps,
-					"path hop %d->%d length %.6f exceeds 3·l_max %.6f", v, path[i+1], d, hopBound)
+				if d > hopBound+geom.Eps {
+					res.checkf(false,
+						"path hop %d->%d length %.6f exceeds 3·l_max %.6f", v, path[i+1], d, hopBound)
+				}
 				targets = append(targets, pts[path[i+1]])
 			}
-			s, ok := geom.CoverAllSector(pts[v], targets, 0)
-			res.checkf(ok, "path vertex %d has no neighbors", v)
-			res.checkf(s.Spread <= math.Pi+geom.AngleEps,
-				"path vertex %d needs spread %.6f > π", v, s.Spread)
+			s, ok := sc.CoverAllSector(pts[v], targets, 0)
+			if !ok {
+				res.checkf(false, "path vertex %d has no neighbors", v)
+			}
+			if s.Spread > math.Pi+geom.AngleEps {
+				res.checkf(false, "path vertex %d needs spread %.6f > π", v, s.Spread)
+			}
 			var far float64
 			for _, q := range targets {
 				if d := pts[v].Dist(q); d > far {

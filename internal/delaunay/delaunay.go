@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"slices"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/spatial"
 )
 
@@ -54,21 +56,12 @@ func (t *Triangulation) NumEdges() int { return len(t.edges) }
 func (t *Triangulation) NumTriangles() int { return len(t.Triangles) }
 
 // circumcircleContains reports whether q lies strictly inside the
-// circumcircle of triangle (a, b, c) given in CCW order, using the
-// standard 3×3 determinant (with a tolerance scaled by magnitude).
+// circumcircle of triangle (a, b, c) given in CCW order. The sign is
+// exact (geom.InCircle: adaptive fast path, expansion fallback), so
+// cocircular ties answer false deterministically regardless of
+// coordinate magnitude — no tolerance band to fall off of.
 func circumcircleContains(a, b, c, q geom.Point) bool {
-	ax := a.X - q.X
-	ay := a.Y - q.Y
-	bx := b.X - q.X
-	by := b.Y - q.Y
-	cx := c.X - q.X
-	cy := c.Y - q.Y
-	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
-		(bx*bx+by*by)*(ax*cy-cx*ay) +
-		(cx*cx+cy*cy)*(ax*by-bx*ay)
-	scale := (ax*ax + ay*ay) * (bx*bx + by*by) * (cx*cx + cy*cy)
-	tol := 1e-12 * (1 + math.Abs(scale))
-	return det > tol
+	return geom.InCircle(a, b, c, q) > 0
 }
 
 // mesh is the mutable triangle-adjacency structure used during
@@ -116,6 +109,21 @@ func (m *mesh) newTri(a, b, c int32) int32 {
 	return t
 }
 
+// growSlots appends k dead slots to the mesh arrays and returns the
+// first new slot index. The parallel commit phase pre-assigns slots from
+// this block instead of drawing from the free list, so the arrays never
+// reallocate while commits are in flight.
+func (m *mesh) growSlots(k int) int32 {
+	base := int32(len(m.dead))
+	for i := 0; i < k; i++ {
+		m.tv = append(m.tv, 0, 0, 0)
+		m.tn = append(m.tn, -1, -1, -1)
+		m.dead = append(m.dead, true)
+		m.isBad = append(m.isBad, false)
+	}
+	return base
+}
+
 func (m *mesh) incircle(t int32, p geom.Point) bool {
 	base := 3 * int(t)
 	return circumcircleContains(m.all[m.tv[base]], m.all[m.tv[base+1]], m.all[m.tv[base+2]], p)
@@ -125,8 +133,11 @@ func (m *mesh) incircle(t int32, p geom.Point) bool {
 // edge p lies strictly to the right of (the most violated one, which keeps
 // the walk from cycling on degenerate inputs). It returns a triangle whose
 // closed interior contains p, or -1 when even the fallback scan fails.
-func (m *mesh) locate(p geom.Point) int32 {
-	t := m.hint
+func (m *mesh) locate(p geom.Point) int32 { return m.locateFrom(p, m.hint) }
+
+// locateFrom is locate with an explicit start triangle; it reads the mesh
+// but never mutates it, so concurrent walks over a frozen mesh are safe.
+func (m *mesh) locateFrom(p geom.Point, t int32) int32 {
 	if t < 0 || int(t) >= len(m.dead) || m.dead[t] {
 		t = m.anyAlive()
 		if t < 0 {
@@ -239,32 +250,36 @@ func (m *mesh) insert(pi int32) bool {
 	// with p strictly left of every boundary edge. Anything else is a
 	// floating-point degeneracy; skip the point rather than corrupt the
 	// mesh.
-	ok := len(m.boundary) >= 3 &&
-		len(m.boundary) == len(m.badList)+2 &&
-		m.boundaryIsSimple()
+	ok := cavityIsDisk(m.badList, m.boundary)
 	if ok {
 		for _, e := range m.boundary {
-			if geom.Orientation(m.all[e.a], m.all[e.b], p) <= 0 {
+			if geom.OrientExact(m.all[e.a], m.all[e.b], p) <= 0 {
 				ok = false
 				break
 			}
 		}
 	}
-	if !ok {
-		for _, t := range m.badList {
-			m.isBad[t] = false
-		}
-		return false
-	}
-
-	// Carve the cavity and fan it from p.
 	for _, t := range m.badList {
 		m.isBad[t] = false
+	}
+	if !ok {
+		return false
+	}
+	m.commitCavity(pi, m.badList, m.boundary)
+	return true
+}
+
+// commitCavity carves the validated cavity and fans it from point pi:
+// kill the bad triangles, create one new triangle per boundary edge,
+// rewire the surviving outer neighbors, and stitch the fan. The caller
+// guarantees the cavity is a star-shaped topological disk around pi.
+func (m *mesh) commitCavity(pi int32, cavity []int32, boundary []bedge) {
+	for _, t := range cavity {
 		m.dead[t] = true
 		m.free = append(m.free, t)
 	}
 	m.newTris = m.newTris[:0]
-	for _, e := range m.boundary {
+	for _, e := range boundary {
 		t := m.newTri(e.a, e.b, pi)
 		m.tn[3*t] = e.outer
 		if e.outer >= 0 {
@@ -280,11 +295,11 @@ func (m *mesh) insert(pi int32) bool {
 	}
 	// Stitch the fan: the neighbor of (b, p) in triangle (a, b, p) is the
 	// new triangle whose boundary edge starts at b.
-	if len(m.boundary) <= 40 {
+	if len(boundary) <= 40 {
 		for i, t := range m.newTris {
-			b := m.boundary[i].b
-			for j := range m.boundary {
-				if m.boundary[j].a == b {
+			b := boundary[i].b
+			for j := range boundary {
+				if boundary[j].a == b {
 					tj := m.newTris[j]
 					m.tn[3*t+1] = tj
 					m.tn[3*tj+2] = t
@@ -293,26 +308,30 @@ func (m *mesh) insert(pi int32) bool {
 			}
 		}
 	} else {
-		startOf := make(map[int32]int32, len(m.boundary))
-		for j := range m.boundary {
-			startOf[m.boundary[j].a] = m.newTris[j]
+		startOf := make(map[int32]int32, len(boundary))
+		for j := range boundary {
+			startOf[boundary[j].a] = m.newTris[j]
 		}
 		for i, t := range m.newTris {
-			tj := startOf[m.boundary[i].b]
+			tj := startOf[boundary[i].b]
 			m.tn[3*t+1] = tj
 			m.tn[3*tj+2] = t
 		}
 	}
 	m.hint = m.newTris[len(m.newTris)-1]
-	return true
 }
 
-func (m *mesh) boundaryIsSimple() bool {
-	k := len(m.boundary)
+// cavityIsDisk checks that a cavity is a topological disk: one simple
+// boundary cycle (unique edge starts) with the Euler count |∂| = |bad|+2.
+func cavityIsDisk(cavity []int32, boundary []bedge) bool {
+	if len(boundary) < 3 || len(boundary) != len(cavity)+2 {
+		return false
+	}
+	k := len(boundary)
 	if k <= 40 {
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
-				if m.boundary[i].a == m.boundary[j].a {
+				if boundary[i].a == boundary[j].a {
 					return false
 				}
 			}
@@ -320,7 +339,7 @@ func (m *mesh) boundaryIsSimple() bool {
 		return true
 	}
 	seen := make(map[int32]struct{}, k)
-	for _, e := range m.boundary {
+	for _, e := range boundary {
 		if _, dup := seen[e.a]; dup {
 			return false
 		}
@@ -348,9 +367,13 @@ func part1by1(v uint32) uint32 {
 // a fixed-seed shuffle split into geometrically growing rounds, each round
 // sorted along a Morton curve. Randomization keeps the expected cavity
 // sizes constant; the in-round spatial sort keeps jump-and-walk short.
-func insertionOrder(pts []geom.Point, min, max geom.Point) []int32 {
+// roundEnds holds the exclusive end position of each round in processing
+// order (ascending); the parallel build batches within rounds because a
+// round is a uniform sample at the mesh's current density, which keeps
+// concurrent cavities mostly disjoint.
+func insertionOrder(pts []geom.Point, min, max geom.Point, workers int) (order []int32, roundEnds []int) {
 	n := len(pts)
-	order := make([]int32, n)
+	order = make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)
 	}
@@ -367,38 +390,64 @@ func insertionOrder(pts []geom.Point, min, max geom.Point) []int32 {
 	}
 	keys := make([]uint64, n)
 	const side = 1 << 16
-	for i, p := range pts {
-		x := uint32((p.X - min.X) / w * (side - 1))
-		y := uint32((p.Y - min.Y) / h * (side - 1))
-		keys[i] = mortonD(x, y)
-	}
+	par.For(workers, n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pts[i]
+			x := uint32((p.X - min.X) / w * (side - 1))
+			y := uint32((p.Y - min.Y) / h * (side - 1))
+			keys[i] = mortonD(x, y)
+		}
+	})
 	bounds := []int{n}
 	for m := n / 2; m > 16; m /= 2 {
 		bounds = append(bounds, m)
 	}
 	bounds = append(bounds, 0)
-	packed := make([]uint64, 0, n)
-	for i := 0; i+1 < len(bounds); i++ {
-		// Sort each round by packed (morton key, index): a plain uint64
-		// sort beats a comparison callback and stays deterministic.
-		seg := order[bounds[i+1]:bounds[i]]
-		packed = packed[:0]
-		for _, v := range seg {
-			packed = append(packed, keys[v]<<32|uint64(uint32(v)))
+	// Sort each round by packed (morton key, index): a plain uint64 sort
+	// beats a comparison callback and stays deterministic. Rounds are
+	// disjoint segments of order, so they sort concurrently.
+	packed := make([]uint64, n)
+	par.For(workers, len(bounds)-1, 1, func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			seg := order[bounds[i+1]:bounds[i]]
+			pk := packed[bounds[i+1]:bounds[i]]
+			for j, v := range seg {
+				pk[j] = keys[v]<<32 | uint64(uint32(v))
+			}
+			slices.Sort(pk)
+			for j, k := range pk {
+				seg[j] = int32(uint32(k))
+			}
 		}
-		slices.Sort(packed)
-		for j, k := range packed {
-			seg[j] = int32(uint32(k))
-		}
+	})
+	for i := len(bounds) - 2; i >= 0; i-- {
+		roundEnds = append(roundEnds, bounds[i])
 	}
-	return order
+	return order, roundEnds
 }
 
 // Build triangulates the points. Inputs with fewer than 3 points, or all
 // collinear, yield a triangulation with no triangles but with the chain
 // edges (for collinear inputs the MST-relevant edges are the consecutive
-// pairs, which Build synthesizes so Kruskal stays correct).
+// pairs, which Build synthesizes so Kruskal stays correct). Above a size
+// cutoff Build inserts concurrently with one worker per CPU; the output
+// is pinned byte-identical to the serial build (see BuildWorkers).
 func Build(pts []geom.Point) (*Triangulation, error) {
+	return BuildWorkers(pts, runtime.GOMAXPROCS(0))
+}
+
+// BuildWorkers is Build with an explicit concurrency level. workers <= 1
+// (or inputs below parallelCutoff) runs the plain serial insertion loop;
+// workers > 1 runs batched BRIO rounds under deterministic reservations
+// (see parallel.go). Each path's output depends only on the point set,
+// never on scheduling: triangles are harvested in canonical order and the
+// edge set is canonically sorted, so any workers >= 2 yields identical
+// bytes, as do repeated runs at any fixed workers. For points in general
+// position the serial and parallel paths also agree with each other;
+// under exact cocircular ties the Delaunay triangulation is not unique
+// and the two insertion orders may legally pick different diagonals
+// (pinned by TestAdversarialParallelBuildDeterminism).
+func BuildWorkers(pts []geom.Point, workers int) (*Triangulation, error) {
 	n := len(pts)
 	t := &Triangulation{Pts: pts}
 	if n < 2 {
@@ -426,34 +475,16 @@ func Build(pts []geom.Point) (*Triangulation, error) {
 	m.isBad = make([]bool, 0, 2*n+4)
 	m.hint = m.newTri(int32(n), int32(n+1), int32(n+2)) // CCW by construction
 
-	for _, pi := range insertionOrder(pts, min, max) {
-		m.insert(pi)
+	order, roundEnds := insertionOrder(pts, min, max, workers)
+	if workers > 1 && n >= parallelCutoff {
+		m.insertParallel(order, roundEnds, workers)
+	} else {
+		for _, pi := range order {
+			m.insert(pi)
+		}
 	}
 
-	// Harvest triangles not touching the super-triangle. Every interior
-	// edge is shared by two alive triangles, so each edge is emitted
-	// exactly once: by the lower-numbered slot of the pair (or by the
-	// harvested side when the neighbor touches the super-triangle or the
-	// mesh boundary).
-	nn := int32(n)
-	isSuper := func(tr int32) bool {
-		return m.tv[3*tr] >= nn || m.tv[3*tr+1] >= nn || m.tv[3*tr+2] >= nn
-	}
-	keys := make([]uint64, 0, 3*len(m.dead)/2)
-	for tr := int32(0); int(tr) < len(m.dead); tr++ {
-		if m.dead[tr] || isSuper(tr) {
-			continue
-		}
-		base := 3 * int(tr)
-		t.Triangles = append(t.Triangles,
-			[3]int{int(m.tv[base]), int(m.tv[base+1]), int(m.tv[base+2])})
-		for i := 0; i < 3; i++ {
-			nb := m.tn[base+i]
-			if nb < 0 || nb > tr || isSuper(nb) {
-				keys = append(keys, packEdge(m.tv[base+i], m.tv[base+(i+1)%3]))
-			}
-		}
-	}
+	keys := m.harvest(t, workers)
 	if len(t.Triangles) == 0 {
 		// Collinear (or otherwise degenerate) input: fall back to the
 		// sorted chain so downstream MST construction remains exact.
@@ -464,7 +495,185 @@ func Build(pts []geom.Point) (*Triangulation, error) {
 	// spanning purposes: hook each isolated point to its nearest neighbor.
 	keys = t.attachIsolated(keys)
 	t.edges = sortEdgeKeys(keys, n)
+	sortTriangles(t.Triangles, workers)
 	return t, nil
+}
+
+// harvest emits the triangles not touching the super-triangle, already
+// rotated minimum-vertex-first, plus the packed edge keys. Every interior
+// edge is shared by two alive triangles, so each edge is emitted exactly
+// once: by the lower-numbered slot of the pair (or by the harvested side
+// when the neighbor touches the super-triangle or the mesh boundary).
+// The scan is a chunked two-pass (count, prefix-sum, fill) so it
+// parallelizes without changing the slot-order output.
+func (m *mesh) harvest(t *Triangulation, workers int) []uint64 {
+	n := len(t.Pts)
+	nn := int32(n)
+	isSuper := func(tr int32) bool {
+		return m.tv[3*tr] >= nn || m.tv[3*tr+1] >= nn || m.tv[3*tr+2] >= nn
+	}
+	nslots := len(m.dead)
+	const chunk = 8192
+	nchunks := (nslots + chunk - 1) / chunk
+	triCnt := make([]int32, nchunks+1)
+	keyCnt := make([]int32, nchunks+1)
+	par.For(workers, nchunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			end := int32(min((c+1)*chunk, nslots))
+			var tc, kc int32
+			for tr := int32(c * chunk); tr < end; tr++ {
+				if m.dead[tr] || isSuper(tr) {
+					continue
+				}
+				tc++
+				base := 3 * int(tr)
+				for i := 0; i < 3; i++ {
+					if nb := m.tn[base+i]; nb < 0 || nb > tr || isSuper(nb) {
+						kc++
+					}
+				}
+			}
+			triCnt[c+1], keyCnt[c+1] = tc, kc
+		}
+	})
+	for c := 0; c < nchunks; c++ {
+		triCnt[c+1] += triCnt[c]
+		keyCnt[c+1] += keyCnt[c]
+	}
+	t.Triangles = make([][3]int, triCnt[nchunks])
+	keys := make([]uint64, keyCnt[nchunks])
+	par.For(workers, nchunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			end := int32(min((c+1)*chunk, nslots))
+			ti, ki := triCnt[c], keyCnt[c]
+			for tr := int32(c * chunk); tr < end; tr++ {
+				if m.dead[tr] || isSuper(tr) {
+					continue
+				}
+				base := 3 * int(tr)
+				a, b, cc := int(m.tv[base]), int(m.tv[base+1]), int(m.tv[base+2])
+				switch {
+				case b < a && b < cc:
+					a, b, cc = b, cc, a
+				case cc < a && cc < b:
+					a, b, cc = cc, a, b
+				}
+				t.Triangles[ti] = [3]int{a, b, cc}
+				ti++
+				for i := 0; i < 3; i++ {
+					if nb := m.tn[base+i]; nb < 0 || nb > tr || isSuper(nb) {
+						keys[ki] = packEdge(m.tv[base+i], m.tv[base+(i+1)%3])
+						ki++
+					}
+				}
+			}
+		}
+	})
+	return keys
+}
+
+// sortTriangles orders the min-vertex-first triangles lexicographically.
+// Together with the rotation done at harvest, the output depends only on
+// which triangles exist, not on mesh slot numbering — the property that
+// lets the parallel and serial builds emit identical bytes.
+func sortTriangles(tris [][3]int, workers int) {
+	if len(tris) == 0 {
+		return
+	}
+	// Vertex indices below 2^21 pack into one uint64 sort key; larger
+	// inputs fall back to a comparison sort.
+	maxV := 0
+	for _, tr := range tris {
+		if tr[1] > maxV {
+			maxV = tr[1]
+		}
+		if tr[2] > maxV {
+			maxV = tr[2]
+		}
+	}
+	if maxV < 1<<21 {
+		keys := make([]uint64, len(tris))
+		par.For(workers, len(tris), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				tr := tris[i]
+				keys[i] = uint64(tr[0])<<42 | uint64(tr[1])<<21 | uint64(tr[2])
+			}
+		})
+		parSortUint64(keys, workers)
+		const m21 = 1<<21 - 1
+		par.For(workers, len(tris), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				tris[i] = [3]int{int(k >> 42), int(k >> 21 & m21), int(k & m21)}
+			}
+		})
+		return
+	}
+	sort.Slice(tris, func(i, j int) bool {
+		a, b := tris[i], tris[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+}
+
+// parSortUint64 sorts keys ascending with a chunked parallel merge sort.
+// The sorted output is unique for a given multiset, so the chunking can
+// never change the result.
+func parSortUint64(keys []uint64, workers int) {
+	n := len(keys)
+	if par.Workers(workers) <= 1 || n < 1<<15 {
+		slices.Sort(keys)
+		return
+	}
+	chunks := 1
+	for chunks < par.Workers(workers) && chunks < 16 {
+		chunks <<= 1
+	}
+	bounds := make([]int, chunks+1)
+	for i := 0; i <= chunks; i++ {
+		bounds[i] = i * n / chunks
+	}
+	par.For(workers, chunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			slices.Sort(keys[bounds[c]:bounds[c+1]])
+		}
+	})
+	scratch := make([]uint64, n)
+	src, dst := keys, scratch
+	for width := 1; width < chunks; width <<= 1 {
+		w2 := 2 * width
+		par.For(workers, chunks/w2, 1, func(plo, phi int) {
+			for p := plo; p < phi; p++ {
+				lo, mid, hi := bounds[w2*p], bounds[w2*p+width], bounds[w2*(p+1)]
+				mergeUint64(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+func mergeUint64(dst, a, b []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
 }
 
 // sortEdgeKeys orders packed (u<<32 | v) edge keys lexicographically with

@@ -1,0 +1,41 @@
+package delaunay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// benchPoints generates points directly (no minimum-separation rejection)
+// so benchmark setup stays O(n) even at n=10⁶.
+func benchPoints(n int) []geom.Point {
+	rng := rand.New(rand.NewSource(5))
+	side := 3.16227766 // ~sqrt(10): keeps density constant as n scales
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * side * float64(n) / 1000, Y: rng.Float64() * side * float64(n) / 1000}
+	}
+	return pts
+}
+
+// BenchmarkBuildWorkers pins the serial-vs-parallel build comparison the
+// CI multicore smoke job reads the speedup criterion from. workers=1 is
+// the plain serial insertion loop; the parallel entries only beat it when
+// GOMAXPROCS grants them real processors.
+func BenchmarkBuildWorkers(b *testing.B) {
+	for _, n := range []int{100_000} {
+		pts := benchPoints(n)
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := BuildWorkers(pts, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -213,11 +213,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	defer drv.Close()
 
+	// The runtime sampler brackets exactly the soak (fleet build through
+	// last phase), so heap growth and GC pauses in the report belong to
+	// the traffic, not to setup or teardown.
+	sampler := newRuntimeSampler()
 	recs, elapsed, err := r.soak(ctx)
 	if err != nil {
+		sampler.Stop()
 		return nil, err
 	}
-	return r.report(recs, elapsed), nil
+	rep := r.report(recs, elapsed)
+	rep.Runtime = sampler.Stop()
+	return rep, nil
 }
 
 // soak is the phase loop: build the fleet, then alternate traffic

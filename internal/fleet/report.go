@@ -34,6 +34,11 @@ type Report struct {
 	Repair   RepairStats   `json:"repair"`
 	Recovery RecoveryStats `json:"recovery"`
 
+	// Runtime profiles the Go runtime over the soak (heap growth, GC
+	// pauses); optional so rows written by earlier revisions still
+	// validate.
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
+
 	// UnexpectedSamples holds up to 8 of the run's unexpected failures,
 	// verbatim, so a red soak is debuggable from its report alone.
 	UnexpectedSamples []string `json:"unexpected_samples,omitempty"`

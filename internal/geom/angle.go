@@ -2,7 +2,7 @@ package geom
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // NormAngle normalizes an angle into the half-open interval [0, 2π).
@@ -61,14 +61,35 @@ func InCCWInterval(theta, start, spread float64) bool {
 // reference direction ref: the key of direction a is CCW(ref, a). Returns a
 // permutation of indices into dirs (dirs itself is not modified).
 func SortCCW(ref float64, dirs []float64) []int {
-	idx := make([]int, len(dirs))
-	for i := range idx {
-		idx[i] = i
+	s := GetScratch()
+	pairs := s.sortedPairs(ref, dirs)
+	idx := make([]int, len(pairs))
+	for i, p := range pairs {
+		idx[i] = int(p.i)
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return CCW(ref, dirs[idx[a]]) < CCW(ref, dirs[idx[b]])
-	})
+	s.Release()
 	return idx
+}
+
+// sortedPairs returns (CCW(ref, dir), index) pairs sorted stably by key,
+// living in the scratch pair buffer.
+func (s *Scratch) sortedPairs(ref float64, dirs []float64) []dirIdx {
+	pairs := s.pairBuf(len(dirs))
+	for i, d := range dirs {
+		pairs = append(pairs, dirIdx{key: CCW(ref, d), i: int32(i)})
+	}
+	slices.SortStableFunc(pairs, func(a, b dirIdx) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	s.pairs = pairs
+	return pairs
 }
 
 // Gap describes the angular gap between two cyclically consecutive rays.
@@ -83,33 +104,51 @@ type Gap struct {
 // of width 2π) ordered CCW starting at the ray with the smallest direction.
 // An empty input yields nil.
 func CyclicGaps(dirs []float64) []Gap {
+	s := GetScratch()
+	gaps := append([]Gap(nil), s.CyclicGaps(dirs)...)
+	s.Release()
+	return gaps
+}
+
+// CyclicGaps is the arena form of the package-level CyclicGaps: the
+// returned slice lives in the scratch buffer and is valid only until the
+// next call on s.
+func (s *Scratch) CyclicGaps(dirs []float64) []Gap {
 	n := len(dirs)
 	if n == 0 {
 		return nil
 	}
-	idx := SortCCW(0, dirs)
-	gaps := make([]Gap, n)
+	pairs := s.sortedPairs(0, dirs)
+	gaps := s.gapBuf(n)
 	for i := 0; i < n; i++ {
 		j := (i + 1) % n
-		a, b := idx[i], idx[j]
+		a, b := int(pairs[i].i), int(pairs[j].i)
 		w := CCW(dirs[a], dirs[b])
 		if n == 1 {
 			w = TwoPi
 		} else if i == n-1 {
 			// Wrap-around gap: remaining angle to close the circle.
-			w = TwoPi - CCW(dirs[idx[0]], dirs[a])
+			w = TwoPi - CCW(dirs[int(pairs[0].i)], dirs[a])
 		}
-		gaps[i] = Gap{From: a, To: b, Width: w}
+		gaps = append(gaps, Gap{From: a, To: b, Width: w})
 	}
+	s.gaps = gaps
 	return gaps
 }
 
 // MaxGap returns the widest cyclic gap among the ray directions, or a zero
 // Gap if dirs is empty.
 func MaxGap(dirs []float64) Gap {
-	gaps := CyclicGaps(dirs)
+	s := GetScratch()
+	g := s.MaxGap(dirs)
+	s.Release()
+	return g
+}
+
+// MaxGap is the arena form of the package-level MaxGap.
+func (s *Scratch) MaxGap(dirs []float64) Gap {
 	var best Gap
-	for _, g := range gaps {
+	for _, g := range s.CyclicGaps(dirs) {
 		if g.Width > best.Width {
 			best = g
 		}
@@ -120,7 +159,9 @@ func MaxGap(dirs []float64) Gap {
 // MinGap returns the narrowest cyclic gap among the ray directions, or a
 // zero Gap if dirs is empty.
 func MinGap(dirs []float64) Gap {
-	gaps := CyclicGaps(dirs)
+	s := GetScratch()
+	defer s.Release()
+	gaps := s.CyclicGaps(dirs)
 	if len(gaps) == 0 {
 		return Gap{}
 	}
@@ -137,23 +178,34 @@ func MinGap(dirs []float64) Gap {
 // dirs, clamping k to the number of gaps. It is the quantity maximized in
 // the optimal k-antenna cover of Lemma 1.
 func SumKLargestGaps(dirs []float64, k int) float64 {
-	gaps := CyclicGaps(dirs)
+	s := GetScratch()
+	v := s.SumKLargestGaps(dirs, k)
+	s.Release()
+	return v
+}
+
+// SumKLargestGaps is the arena form of the package-level SumKLargestGaps.
+func (s *Scratch) SumKLargestGaps(dirs []float64, k int) float64 {
+	gaps := s.CyclicGaps(dirs)
 	if k <= 0 || len(gaps) == 0 {
 		return 0
 	}
-	widths := make([]float64, len(gaps))
-	for i, g := range gaps {
-		widths[i] = g.Width
+	widths := s.widthBuf(len(gaps))
+	for _, g := range gaps {
+		widths = append(widths, g.Width)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(widths)))
+	s.widths = widths
+	slices.Sort(widths)
 	if k > len(widths) {
 		k = len(widths)
 	}
-	var s float64
-	for _, w := range widths[:k] {
-		s += w
+	// Sum in descending width order — the exact float addition order the
+	// descending sort of earlier revisions produced.
+	var sum float64
+	for i := len(widths) - 1; i >= len(widths)-k; i-- {
+		sum += widths[i]
 	}
-	return s
+	return sum
 }
 
 // MinCoverSpread returns the minimum total angular spread needed to cover
@@ -161,12 +213,20 @@ func SumKLargestGaps(dirs []float64, k int) float64 {
 // 2π minus the k largest cyclic gaps (never negative). With k ≥ len(dirs)
 // the answer is 0 (one zero-spread antenna per ray).
 func MinCoverSpread(dirs []float64, k int) float64 {
+	s := GetScratch()
+	v := s.MinCoverSpread(dirs, k)
+	s.Release()
+	return v
+}
+
+// MinCoverSpread is the arena form of the package-level MinCoverSpread.
+func (s *Scratch) MinCoverSpread(dirs []float64, k int) float64 {
 	if len(dirs) == 0 || k >= len(dirs) {
 		return 0
 	}
-	s := TwoPi - SumKLargestGaps(dirs, k)
-	if s < 0 {
+	v := TwoPi - s.SumKLargestGaps(dirs, k)
+	if v < 0 {
 		return 0
 	}
-	return s
+	return v
 }

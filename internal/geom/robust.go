@@ -1,0 +1,268 @@
+// Robust geometric predicates in the style of Shewchuk's adaptive
+// arithmetic: each predicate first evaluates the floating-point formula
+// and accepts its sign whenever the magnitude clears a forward error
+// bound; only when the sign is uncertain does it fall back to an exact
+// evaluation over floating-point expansions (multi-component sums that
+// represent intermediate values without rounding). The fast path costs a
+// handful of extra flops over the naive formula; the exact path runs only
+// on (near-)degenerate inputs, where a wrong sign would corrupt the
+// Delaunay mesh or the cavity invariants of the parallel build.
+//
+// The expansion arithmetic follows Shewchuk, "Adaptively Robust
+// Floating-Point Predicates" (Discrete Comput Geom 18, 1997): TWO-SUM,
+// FMA-based TWO-PRODUCT, GROW-EXPANSION and SCALE-EXPANSION with zero
+// elimination. Expansions are kept nonoverlapping and ordered by
+// increasing magnitude, so the sign of a value is the sign of its last
+// nonzero component.
+package geom
+
+import "math"
+
+// ulpHalf is 2^-53, the unit roundoff of float64.
+const ulpHalf = 1.1102230246251565e-16
+
+// Forward error bounds (Shewchuk's A-bounds): if the float evaluation's
+// magnitude exceeds bound·(permanent), its sign is certain.
+var (
+	ccwErrBound = (3 + 16*ulpHalf) * ulpHalf
+	iccErrBound = (10 + 96*ulpHalf) * ulpHalf
+)
+
+// twoSum returns x+y = a+b exactly, with x = fl(a+b) and y the roundoff.
+func twoSum(a, b float64) (x, y float64) {
+	x = a + b
+	bv := x - a
+	av := x - bv
+	y = (a - av) + (b - bv)
+	return
+}
+
+// twoProd returns x+y = a·b exactly via an FMA.
+func twoProd(a, b float64) (x, y float64) {
+	x = a * b
+	y = math.FMA(a, b, -x)
+	return
+}
+
+// growExp adds the scalar b to the expansion e (nonoverlapping,
+// increasing magnitude), appending the result to dst and returning it.
+// Zero components are eliminated so expansions stay compact.
+func growExp(dst, e []float64, b float64) []float64 {
+	q := b
+	for _, ei := range e {
+		var h float64
+		q, h = twoSum(q, ei)
+		if h != 0 {
+			dst = append(dst, h)
+		}
+	}
+	if q != 0 {
+		dst = append(dst, q)
+	}
+	return dst
+}
+
+// addExp returns the exact sum of expansions e and f as a fresh
+// expansion.
+func addExp(e, f []float64) []float64 {
+	out := append([]float64(nil), e...)
+	for _, fi := range f {
+		out = growExp(make([]float64, 0, len(out)+1), out, fi)
+	}
+	return out
+}
+
+// scaleExp returns the exact product of expansion e and scalar b.
+func scaleExp(e []float64, b float64) []float64 {
+	var out []float64
+	for _, ei := range e {
+		p, err := twoProd(ei, b)
+		if err != 0 {
+			out = growExp(make([]float64, 0, len(out)+1), out, err)
+		}
+		out = growExp(make([]float64, 0, len(out)+1), out, p)
+	}
+	return out
+}
+
+// expSign returns the sign of the exact value an expansion represents:
+// the sign of its largest-magnitude (last) component.
+func expSign(e []float64) int {
+	for i := len(e) - 1; i >= 0; i-- {
+		if e[i] > 0 {
+			return 1
+		}
+		if e[i] < 0 {
+			return -1
+		}
+	}
+	return 0
+}
+
+// prodExp returns the 2-component expansion of a·b.
+func prodExp(a, b float64) []float64 {
+	x, y := twoProd(a, b)
+	if y == 0 {
+		if x == 0 {
+			return nil
+		}
+		return []float64{x}
+	}
+	return []float64{y, x}
+}
+
+// OrientExact classifies the turn u -> v -> w with an exact sign:
+// +1 when w lies strictly counterclockwise (left) of ray u->v, -1 when
+// strictly clockwise, 0 when the three points are exactly collinear.
+// Unlike Orientation, there is no epsilon band: the answer is the sign
+// of the true real-arithmetic determinant.
+func OrientExact(u, v, w Point) int {
+	detL := (u.X - w.X) * (v.Y - w.Y)
+	detR := (u.Y - w.Y) * (v.X - w.X)
+	det := detL - detR
+
+	var detSum float64
+	switch {
+	case detL > 0:
+		if detR <= 0 {
+			if det != 0 {
+				return signOf(det)
+			}
+			return orientSignExact(u, v, w) // underflow guard
+		}
+		detSum = detL + detR
+	case detL < 0:
+		if detR >= 0 {
+			if det != 0 {
+				return signOf(det)
+			}
+			return orientSignExact(u, v, w)
+		}
+		detSum = -detL - detR
+	default:
+		if det != 0 {
+			return signOf(det)
+		}
+		if detR != 0 {
+			return orientSignExact(u, v, w)
+		}
+		return 0 // both products exactly zero: exactly collinear
+	}
+	if err := ccwErrBound * detSum; det >= err || -det >= err {
+		return signOf(det)
+	}
+	return orientSignExact(u, v, w)
+}
+
+// orientSignExact computes sign((ux-wx)(vy-wy) - (uy-wy)(vx-wx)) from the
+// raw coordinates with expansion arithmetic: six exact products summed
+// exactly.
+func orientSignExact(u, v, w Point) int {
+	// Expand: ux·vy - ux·wy - wx·vy - uy·vx + uy·wx + wy·vx.
+	e := prodExp(u.X, v.Y)
+	e = addExp(e, prodExp(-u.X, w.Y))
+	e = addExp(e, prodExp(-w.X, v.Y))
+	e = addExp(e, prodExp(-u.Y, v.X))
+	e = addExp(e, prodExp(u.Y, w.X))
+	e = addExp(e, prodExp(w.Y, v.X))
+	return expSign(e)
+}
+
+// InCircle reports the position of q relative to the circumcircle of the
+// triangle (a, b, c), which must be in counterclockwise order: +1 when q
+// is strictly inside, -1 when strictly outside, 0 when the four points
+// are exactly cocircular. The fast path is the classical translated 3×3
+// determinant guarded by a forward error bound; the exact path evaluates
+// the 4×4 lifted determinant over expansions.
+func InCircle(a, b, c, q Point) int {
+	adx := a.X - q.X
+	ady := a.Y - q.Y
+	bdx := b.X - q.X
+	bdy := b.Y - q.Y
+	cdx := c.X - q.X
+	cdy := c.Y - q.Y
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*alift +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*blift +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*clift
+	if err := iccErrBound * permanent; det > err || -det > err {
+		return signOf(det)
+	}
+	return inCircleSignExact(a, b, c, q)
+}
+
+// inCircleSignExact evaluates the lifted 4×4 incircle determinant from
+// the raw coordinates over expansions:
+//
+//	det = alift·minor(b,c,q) - blift·minor(a,c,q) + clift·minor(a,b,q)
+//	      - qlift·minor(a,b,c)
+//
+// where lift(p) = px²+py² and minor(x,y,z) is the 3×3 orientation
+// determinant of the rows (x 1), (y 1), (z 1).
+func inCircleSignExact(a, b, c, q Point) int {
+	det := mulExp(liftExp(a), minorExp(b, c, q))
+	det = addExp(det, scaleExpAll(mulExp(liftExp(b), minorExp(a, c, q)), -1))
+	det = addExp(det, mulExp(liftExp(c), minorExp(a, b, q)))
+	det = addExp(det, scaleExpAll(mulExp(liftExp(q), minorExp(a, b, c)), -1))
+	return expSign(det)
+}
+
+// liftExp returns px²+py² as an exact expansion.
+func liftExp(p Point) []float64 {
+	return addExp(prodExp(p.X, p.X), prodExp(p.Y, p.Y))
+}
+
+// minorExp returns the 3×3 determinant |xx xy 1; yx yy 1; zx zy 1| as an
+// exact expansion: xx·yy - xx·zy - xy·yx + xy·zx + yx·zy - yy·zx.
+func minorExp(x, y, z Point) []float64 {
+	e := prodExp(x.X, y.Y)
+	e = addExp(e, prodExp(-x.X, z.Y))
+	e = addExp(e, prodExp(-x.Y, y.X))
+	e = addExp(e, prodExp(x.Y, z.X))
+	e = addExp(e, prodExp(y.X, z.Y))
+	e = addExp(e, prodExp(-y.Y, z.X))
+	return e
+}
+
+// mulExp returns the exact product of two expansions.
+func mulExp(e, f []float64) []float64 {
+	var out []float64
+	for _, fi := range f {
+		out = addExp(out, scaleExp(e, fi))
+	}
+	return out
+}
+
+// scaleExpAll negates or scales an expansion by an exact power of two (or
+// -1); s must be representable so each component product is exact.
+func scaleExpAll(e []float64, s float64) []float64 {
+	out := make([]float64, len(e))
+	for i, v := range e {
+		out[i] = v * s
+	}
+	return out
+}
+
+func signOf(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,190 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// orientRef computes the exact orientation sign with big.Rat arithmetic.
+func orientRef(u, v, w Point) int {
+	ux, uy := new(big.Rat).SetFloat64(u.X), new(big.Rat).SetFloat64(u.Y)
+	vx, vy := new(big.Rat).SetFloat64(v.X), new(big.Rat).SetFloat64(v.Y)
+	wx, wy := new(big.Rat).SetFloat64(w.X), new(big.Rat).SetFloat64(w.Y)
+	l := new(big.Rat).Mul(new(big.Rat).Sub(ux, wx), new(big.Rat).Sub(vy, wy))
+	r := new(big.Rat).Mul(new(big.Rat).Sub(uy, wy), new(big.Rat).Sub(vx, wx))
+	return l.Sub(l, r).Sign()
+}
+
+// inCircleRef computes the exact lifted 4x4 determinant sign with big.Rat.
+func inCircleRef(a, b, c, q Point) int {
+	lift := func(p Point) (x, y, l *big.Rat) {
+		x = new(big.Rat).SetFloat64(p.X)
+		y = new(big.Rat).SetFloat64(p.Y)
+		l = new(big.Rat).Add(new(big.Rat).Mul(x, x), new(big.Rat).Mul(y, y))
+		return
+	}
+	ax, ay, al := lift(a)
+	bx, by, bl := lift(b)
+	cx, cy, cl := lift(c)
+	qx, qy, ql := lift(q)
+	// minor(x,y,z) = |xx xy 1; yx yy 1; zx zy 1|
+	minor := func(xx, xy, yx, yy, zx, zy *big.Rat) *big.Rat {
+		m := new(big.Rat).Mul(xx, yy)
+		m.Sub(m, new(big.Rat).Mul(xx, zy))
+		m.Sub(m, new(big.Rat).Mul(xy, yx))
+		m.Add(m, new(big.Rat).Mul(xy, zx))
+		m.Add(m, new(big.Rat).Mul(yx, zy))
+		m.Sub(m, new(big.Rat).Mul(yy, zx))
+		return m
+	}
+	det := new(big.Rat).Mul(al, minor(bx, by, cx, cy, qx, qy))
+	det.Sub(det, new(big.Rat).Mul(bl, minor(ax, ay, cx, cy, qx, qy)))
+	det.Add(det, new(big.Rat).Mul(cl, minor(ax, ay, bx, by, qx, qy)))
+	det.Sub(det, new(big.Rat).Mul(ql, minor(ax, ay, bx, by, cx, cy)))
+	return det.Sign()
+}
+
+func TestOrientExactRandomAgainstBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		u := Point{rng.Float64() * 100, rng.Float64() * 100}
+		v := Point{rng.Float64() * 100, rng.Float64() * 100}
+		w := Point{rng.Float64() * 100, rng.Float64() * 100}
+		if got, want := OrientExact(u, v, w), orientRef(u, v, w); got != want {
+			t.Fatalf("OrientExact(%v,%v,%v)=%d want %d", u, v, w, got, want)
+		}
+	}
+}
+
+func TestOrientExactNearDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		// Three points nearly on a line through a random anchor: the
+		// float determinant is drowned in rounding, so the exact
+		// fallback must decide the sign.
+		ax, ay := rng.Float64()*1e6, rng.Float64()*1e6
+		dx, dy := rng.Float64()-0.5, rng.Float64()-0.5
+		t1, t2 := rng.Float64()*10, rng.Float64()*10
+		u := Point{ax, ay}
+		v := Point{ax + t1*dx, ay + t1*dy}
+		w := Point{ax + t2*dx, ay + t2*dy + (rng.Float64()-0.5)*1e-12}
+		if got, want := OrientExact(u, v, w), orientRef(u, v, w); got != want {
+			t.Fatalf("near-degenerate OrientExact=%d want %d (u=%v v=%v w=%v)", got, want, u, v, w)
+		}
+	}
+}
+
+func TestOrientExactCollinearIsZero(t *testing.T) {
+	cases := [][3]Point{
+		{{0, 0}, {1, 1}, {2, 2}},
+		{{0, 0}, {0, 5}, {0, -3}},
+		{{1e15, 1e15}, {2e15, 2e15}, {3e15, 3e15}},
+		{{3, 3}, {3, 3}, {7, 1}}, // duplicate points
+		{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}},
+		{{1, 2}, {3, 2}, {-100, 2}},
+	}
+	for _, c := range cases {
+		if got := OrientExact(c[0], c[1], c[2]); got != 0 {
+			t.Errorf("OrientExact(%v)=%d want 0", c, got)
+		}
+	}
+}
+
+func TestOrientExactTinyMagnitudes(t *testing.T) {
+	// Tiny coordinates whose products land deep in the normal range but
+	// far below any absolute tolerance: the old eps-banded Orientation
+	// calls everything collinear here; the exact predicate must not.
+	// (Products of the coordinates must stay above the subnormal floor
+	// — the standard no-underflow precondition of expansion arithmetic —
+	// so 1e-150-scale inputs are the honest boundary, not 1e-300.)
+	u := Point{0, 0}
+	v := Point{1e-150, 0}
+	w := Point{0.5e-150, 1e-150}
+	if got := OrientExact(u, v, w); got != 1 {
+		t.Fatalf("tiny CCW triangle: got %d want 1", got)
+	}
+	if got := OrientExact(u, w, v); got != -1 {
+		t.Fatalf("tiny CW triangle: got %d want -1", got)
+	}
+}
+
+func TestInCircleRandomAgainstBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		a := Point{rng.Float64() * 100, rng.Float64() * 100}
+		b := Point{rng.Float64() * 100, rng.Float64() * 100}
+		c := Point{rng.Float64() * 100, rng.Float64() * 100}
+		if OrientExact(a, b, c) <= 0 {
+			b, c = c, b // InCircle wants CCW order
+		}
+		if OrientExact(a, b, c) <= 0 {
+			continue // collinear sample
+		}
+		q := Point{rng.Float64() * 100, rng.Float64() * 100}
+		if got, want := InCircle(a, b, c, q), inCircleRef(a, b, c, q); got != want {
+			t.Fatalf("InCircle(%v,%v,%v,%v)=%d want %d", a, b, c, q, got, want)
+		}
+	}
+}
+
+func TestInCircleCocircularIsZero(t *testing.T) {
+	// Unit-square corners (exactly cocircular), at several offsets and
+	// scales that stay exactly representable.
+	offsets := []float64{0, 1, 1024, 1e6}
+	for _, off := range offsets {
+		a := Point{off, off}
+		b := Point{off + 1, off}
+		c := Point{off + 1, off + 1}
+		d := Point{off, off + 1}
+		if got := InCircle(a, b, c, d); got != 0 {
+			t.Errorf("square at offset %g: InCircle=%d want 0", off, got)
+		}
+	}
+	// Points of a 5x5 lattice circle: (±3,±4),(±4,±3),(0,±5),(±5,0) on
+	// radius 5. Any CCW triple plus a fourth is exactly cocircular.
+	a, b, c, q := Point{5, 0}, Point{0, 5}, Point{-5, 0}, Point{3, 4}
+	if got := InCircle(a, b, c, q); got != 0 {
+		t.Errorf("lattice circle: InCircle=%d want 0", got)
+	}
+	if got := InCircle(a, b, c, Point{3, 3.999999}); got != 1 {
+		t.Errorf("point (3,3.999999) just inside the radius-5 circle: got %d want 1", got)
+	}
+	if got := InCircle(a, b, c, Point{3, 4.000001}); got != -1 {
+		t.Errorf("point (3,4.000001) just outside the radius-5 circle: got %d want -1", got)
+	}
+}
+
+func TestInCircleNearDegeneratePerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		// Four nearly-cocircular points: a random CCW triangle and a
+		// fourth point perturbed off its circumcircle by ~1e-12.
+		ang := func() float64 { return rng.Float64() * 2 * math.Pi }
+		r := 50 + rng.Float64()*50
+		cx, cy := rng.Float64()*1e4, rng.Float64()*1e4
+		t0, t1, t2, t3 := ang(), ang(), ang(), ang()
+		a := Point{cx + r*math.Cos(t0), cy + r*math.Sin(t0)}
+		b := Point{cx + r*math.Cos(t1), cy + r*math.Sin(t1)}
+		c := Point{cx + r*math.Cos(t2), cy + r*math.Sin(t2)}
+		if OrientExact(a, b, c) <= 0 {
+			b, c = c, b
+		}
+		if OrientExact(a, b, c) <= 0 {
+			continue
+		}
+		rq := r + (rng.Float64()-0.5)*1e-12
+		q := Point{cx + rq*math.Cos(t3), cy + rq*math.Sin(t3)}
+		if got, want := InCircle(a, b, c, q), inCircleRef(a, b, c, q); got != want {
+			t.Fatalf("near-cocircular InCircle=%d want %d (a=%v b=%v c=%v q=%v)", got, want, a, b, c, q)
+		}
+	}
+}
+
+func TestInCircleAllPointsEqual(t *testing.T) {
+	p := Point{3.25, -1.5}
+	if got := InCircle(p, p, p, p); got != 0 {
+		t.Fatalf("degenerate all-equal InCircle=%d want 0", got)
+	}
+}

@@ -1,0 +1,82 @@
+package geom
+
+import "sync"
+
+// Scratch is a reusable arena for the angular-gap machinery. The gap
+// functions (CyclicGaps, MaxGap, SumKLargestGaps, CoverAllSector, …) run
+// once per vertex in every orienter and in the verifier, so their
+// temporaries — the direction sort, the gap list, the width heap —
+// dominate allocation profiles at scale. A Scratch owns those buffers;
+// its methods reuse them across calls and return views into them.
+//
+// Lifecycle: GetScratch hands out a pooled instance, Release returns it.
+// A Scratch is not safe for concurrent use, and slices returned by its
+// methods (e.g. CyclicGaps) are valid only until the next method call or
+// Release. The package-level functions of the same names borrow a pooled
+// Scratch internally, so one-shot callers stay allocation-free without
+// holding an arena; hot loops should hold one explicitly to skip the
+// pool round-trip.
+type Scratch struct {
+	pairs  []dirIdx
+	gaps   []Gap
+	widths []float64
+	dirs   []float64
+}
+
+// dirIdx pairs a sort key with the caller-space index it came from; the
+// gap machinery sorts these concrete pairs so no reflective or closure-
+// capturing sort path allocates.
+type dirIdx struct {
+	key float64
+	i   int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the Scratch to the pool. The caller must not use it,
+// or any slice obtained from it, afterwards.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+func (s *Scratch) pairBuf(n int) []dirIdx {
+	if cap(s.pairs) < n {
+		s.pairs = make([]dirIdx, 0, grow(n))
+	}
+	s.pairs = s.pairs[:0]
+	return s.pairs
+}
+
+func (s *Scratch) gapBuf(n int) []Gap {
+	if cap(s.gaps) < n {
+		s.gaps = make([]Gap, 0, grow(n))
+	}
+	s.gaps = s.gaps[:0]
+	return s.gaps
+}
+
+func (s *Scratch) widthBuf(n int) []float64 {
+	if cap(s.widths) < n {
+		s.widths = make([]float64, 0, grow(n))
+	}
+	s.widths = s.widths[:0]
+	return s.widths
+}
+
+func (s *Scratch) dirBuf(n int) []float64 {
+	if cap(s.dirs) < n {
+		s.dirs = make([]float64, 0, grow(n))
+	}
+	s.dirs = s.dirs[:0]
+	return s.dirs
+}
+
+// grow rounds capacity requests up so a warming-up Scratch settles after
+// a few calls instead of reallocating at every new high-water mark.
+func grow(n int) int {
+	if n < 16 {
+		return 16
+	}
+	return n + n/2
+}

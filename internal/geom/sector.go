@@ -207,17 +207,26 @@ func MaxRadius(sectors []Sector) float64 {
 // target directions. For zero or one target a zero-spread sector suffices.
 // The second return value is false when targets is empty.
 func CoverAllSector(apex Point, targets []Point, radius float64) (Sector, bool) {
+	s := GetScratch()
+	sec, ok := s.CoverAllSector(apex, targets, radius)
+	s.Release()
+	return sec, ok
+}
+
+// CoverAllSector is the arena form of the package-level CoverAllSector.
+func (s *Scratch) CoverAllSector(apex Point, targets []Point, radius float64) (Sector, bool) {
 	if len(targets) == 0 {
 		return Sector{}, false
 	}
-	dirs := make([]float64, len(targets))
-	for i, t := range targets {
-		dirs[i] = Dir(apex, t)
+	dirs := s.dirBuf(len(targets))
+	for _, t := range targets {
+		dirs = append(dirs, Dir(apex, t))
 	}
+	s.dirs = dirs
 	if len(targets) == 1 {
 		return NewSector(dirs[0], 0, radius), true
 	}
-	g := MaxGap(dirs)
+	g := s.MaxGap(dirs)
 	// The sector starts where the widest gap ends and spans the rest.
 	return NewSector(dirs[g.To], TwoPi-g.Width, radius), true
 }

@@ -3,19 +3,28 @@ package mst
 import (
 	"math"
 	"math/bits"
+	"runtime"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/delaunay"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
-// Delaunay computes an exact Euclidean MST by running Kruskal over the
-// Delaunay triangulation's edges (a classical superset of the EMST). The
-// triangulation exposes its edges as a cached, pre-sorted slice, so this
-// path is O(n log n) end to end: no per-edge map bookkeeping, and the
-// weight ordering is a flat uint64 sort over packed keys. It falls back
-// to Prim when the triangulation degenerates.
+// boruvkaCutoff is the edge count below which the serial Kruskal sweep
+// beats Borůvka's round bookkeeping.
+const boruvkaCutoff = 2048
+
+// Delaunay computes an exact Euclidean MST over the Delaunay
+// triangulation's edges (a classical superset of the EMST), so the whole
+// path is O(n log n) end to end. Small inputs run Kruskal over a packed
+// uint64 weight sort; large inputs run Borůvka rounds whose edge scans
+// fan out across CPUs. Both orders are total (the packed keys embed the
+// edge index, so no two edges compare equal), which makes the MST unique
+// — the two paths and any worker count emit byte-identical trees. It
+// falls back to Prim when the triangulation degenerates.
 func Delaunay(pts []geom.Point) *Tree {
 	n := len(pts)
 	if n <= 2 {
@@ -29,18 +38,165 @@ func Delaunay(pts []geom.Point) *Tree {
 	if len(es) == 0 {
 		return Prim(pts)
 	}
-	dsu := graph.NewDSU(n)
-	edges := make([][2]int, 0, n-1)
-	for _, k := range sortedByWeight(pts, es) {
-		e := es[k]
-		if dsu.Union(e[0], e[1]) {
-			edges = append(edges, e)
+	var edges [][2]int
+	if len(es) >= boruvkaCutoff {
+		edges = boruvka(pts, es, runtime.GOMAXPROCS(0))
+	} else {
+		dsu := graph.NewDSU(n)
+		edges = make([][2]int, 0, n-1)
+		for _, k := range sortedByWeight(pts, es) {
+			e := es[k]
+			if dsu.Union(e[0], e[1]) {
+				edges = append(edges, e)
+			}
+		}
+		if dsu.Sets() != 1 {
+			edges = nil
 		}
 	}
-	if dsu.Sets() != 1 {
+	if edges == nil {
 		return Prim(pts)
 	}
 	return newTree(pts, edges)
+}
+
+// boruvka runs parallel Borůvka rounds over the candidate edges: each
+// round every component finds its minimum incident edge by an atomic-min
+// scan, the chosen edges merge components, and intra-component edges
+// drop out. Weights use the same packed (float bits | edge index) keys
+// as the Kruskal path — a total order, so the component minima are
+// unique, every round is scheduling-independent, and the final tree is
+// exactly the unique MST Kruskal emits. Chosen keys are sorted before
+// expansion so the edge list comes out in Kruskal's ascending-weight
+// order. Returns nil if the edge set does not span the points.
+func boruvka(pts []geom.Point, es [][2]int, workers int) [][2]int {
+	n := len(pts)
+	bl := bits.Len(uint(len(es)))
+	mask := uint64(1)<<bl - 1
+	keys := make([]uint64, len(es))
+	par.For(workers, len(es), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := es[i]
+			w := pts[e[0]].Dist2(pts[e[1]]) // squared: same order, no sqrt
+			keys[i] = math.Float64bits(w)&^mask | uint64(i)
+		}
+	})
+
+	const unset = ^uint64(0)
+	comp := make([]int32, n)   // vertex -> component root label
+	parent := make([]int32, n) // component-level DSU, flattened each round
+	cand := make([]uint64, n)  // component root -> min incident packed key
+	roots := make([]int32, n)
+	for i := range comp {
+		comp[i] = int32(i)
+		parent[i] = int32(i)
+		cand[i] = unset
+		roots[i] = int32(i)
+	}
+	find := func(c int32) int32 {
+		for parent[c] != c {
+			parent[c] = parent[parent[c]] // path halving
+			c = parent[c]
+		}
+		return c
+	}
+
+	alive := make([]int32, len(es))
+	for i := range alive {
+		alive[i] = int32(i)
+	}
+	chosen := make([]uint64, 0, n-1)
+	for len(roots) > 1 && len(alive) > 0 {
+		// Min-edge scan: every alive edge bids its key on both endpoint
+		// components. Edges that went intra-component mark themselves for
+		// compaction.
+		par.For(workers, len(alive), 2048, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				i := alive[j]
+				e := es[i]
+				cu, cv := comp[e[0]], comp[e[1]]
+				if cu == cv {
+					alive[j] = -1
+					continue
+				}
+				k := keys[i]
+				atomicMinU64(&cand[cu], k)
+				atomicMinU64(&cand[cv], k)
+			}
+		})
+		// Merge (serial, increasing root label — deterministic): each
+		// component's winning edge unions it with its neighbor; the edge
+		// joins the tree unless the neighbor already chose the same edge.
+		progress := false
+		for _, c := range roots {
+			k := cand[c]
+			cand[c] = unset
+			if k == unset {
+				continue
+			}
+			e := es[k&mask]
+			a, b := find(comp[e[0]]), find(comp[e[1]])
+			if a == b {
+				continue
+			}
+			parent[b] = a
+			chosen = append(chosen, k)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+		// Flatten the component DSU so every old root points directly at
+		// its new root, then relabel vertices in parallel off the now
+		// read-only parent array.
+		nr := roots[:0]
+		for _, c := range roots {
+			r := find(c)
+			parent[c] = r
+			if r == c {
+				nr = append(nr, c)
+			}
+		}
+		roots = nr
+		par.For(workers, n, 8192, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				comp[v] = parent[comp[v]]
+			}
+		})
+		// Compact the dead edges away.
+		w := 0
+		for _, i := range alive {
+			if i >= 0 {
+				alive[w] = i
+				w++
+			}
+		}
+		alive = alive[:w]
+	}
+	if len(roots) != 1 {
+		return nil
+	}
+	radixSortU64(chosen, make([]uint64, len(chosen)))
+	edges := make([][2]int, len(chosen))
+	for i, k := range chosen {
+		edges[i] = es[k&mask]
+	}
+	return edges
+}
+
+// atomicMinU64 lowers *addr to k if k is smaller, tolerating concurrent
+// bidders; the final value is the minimum of all bids regardless of
+// interleaving.
+func atomicMinU64(addr *uint64, k uint64) {
+	for {
+		cur := atomic.LoadUint64(addr)
+		if cur <= k {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, cur, k) {
+			return
+		}
+	}
 }
 
 // sortedByWeight returns the indices of es ordered by increasing edge

@@ -3,9 +3,12 @@ package mst
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"repro/internal/delaunay"
 	"repro/internal/geom"
+	"repro/internal/graph"
 	"repro/internal/pointset"
 )
 
@@ -48,6 +51,41 @@ func TestDelaunayMSTExactlyCollinear(t *testing.T) {
 	}
 	if math.Abs(tr.TotalLength()-16.5) > 1e-9 {
 		t.Fatalf("collinear MST length = %v, want 16.5", tr.TotalLength())
+	}
+}
+
+// TestBoruvkaMatchesKruskal pins the Borůvka path byte-identical to the
+// Kruskal sweep over the same Delaunay edge set, above the cutoff and at
+// several worker counts: both resolve the same total order (packed weight
+// | edge index), so the unique MST must come out edge-for-edge equal,
+// in the same ascending-weight order.
+func TestBoruvkaMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 3; trial++ {
+		pts := pointset.Uniform(rng, 1500, 60) // ~4400 Delaunay edges: over boruvkaCutoff
+		tri, err := delaunay.Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es := tri.Edges()
+		if len(es) < boruvkaCutoff {
+			t.Fatalf("trial %d: want > %d edges for the Borůvka path, got %d", trial, boruvkaCutoff, len(es))
+		}
+		dsu := graph.NewDSU(len(pts))
+		kruskal := make([][2]int, 0, len(pts)-1)
+		for _, k := range sortedByWeight(pts, es) {
+			e := es[k]
+			if dsu.Union(e[0], e[1]) {
+				kruskal = append(kruskal, e)
+			}
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got := boruvka(pts, es, workers)
+			if !reflect.DeepEqual(got, kruskal) {
+				t.Fatalf("trial %d: Borůvka (workers=%d) diverges from Kruskal (%d vs %d edges)",
+					trial, workers, len(got), len(kruskal))
+			}
+		}
 	}
 }
 

@@ -54,6 +54,19 @@ func RootAt(t *Tree, root int) (*Rooted, error) {
 		Children: make([][]int, n),
 		Depth:    make([]int, n),
 	}
+	// Children lists share one counted backing array (capacity = each
+	// vertex's degree, a safe upper bound on its child count) instead of
+	// growing by per-vertex append churn.
+	backing := make([]int, 0, 2*len(t.Edges()))
+	off := 0
+	for v := 0; v < n; v++ {
+		d := t.Degree(v)
+		if off+d > cap(backing) {
+			d = cap(backing) - off // malformed edge lists: clamp, appends still work
+		}
+		r.Children[v] = backing[off : off : off+d]
+		off += d
+	}
 	for i := range r.Parent {
 		r.Parent[i] = -2 // unvisited
 	}

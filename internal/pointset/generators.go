@@ -155,18 +155,37 @@ func Annulus(rng *rand.Rand, n int, inner, outer float64) []geom.Point {
 // rejectionFill draws points until n pairwise-separated samples exist.
 func rejectionFill(rng *rand.Rand, n int, draw func() geom.Point) []geom.Point {
 	pts := make([]geom.Point, 0, n)
+	// Cell hash on MinSep-sized cells: any accepted point closer than
+	// MinSep to a candidate must sit in the candidate's 3×3 cell
+	// neighborhood, so each draw checks O(1) prior points instead of all
+	// of them — the difference between O(n) and O(n²) setup at n = 10⁶.
+	// The accept predicate and the rng draw sequence are unchanged, so
+	// every generator emits byte-identical point sets to the quadratic
+	// scan this replaces.
+	type cellKey struct{ x, y int64 }
+	cells := make(map[cellKey][]int32, n)
+	key := func(p geom.Point) cellKey {
+		return cellKey{int64(math.Floor(p.X / MinSep)), int64(math.Floor(p.Y / MinSep))}
+	}
 	attempts := 0
 	for len(pts) < n && attempts < 100*n+1000 {
 		attempts++
 		p := draw()
+		c := key(p)
 		ok := true
-		for _, q := range pts {
-			if p.Dist(q) < MinSep {
-				ok = false
-				break
+	scan:
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, qi := range cells[cellKey{c.x + dx, c.y + dy}] {
+					if p.Dist(pts[qi]) < MinSep {
+						ok = false
+						break scan
+					}
+				}
 			}
 		}
 		if ok {
+			cells[c] = append(cells[c], int32(len(pts)))
 			pts = append(pts, p)
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/instance"
+	"repro/internal/mst"
 	"repro/internal/plan"
 	"repro/internal/solution"
 	"repro/internal/verify"
@@ -416,10 +417,17 @@ func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (
 			algo, req.K, req.Phi, orienter.Info().Region)}
 	}
 
+	// The verifier's radius audit divides by the EMST bottleneck l_max —
+	// the same mst.Euclidean(req.Pts).LMax() the verify tail would
+	// recompute from scratch. Kick that tree build off now so it overlaps
+	// the orientation instead of serializing after it; finish folds the
+	// value into the budgets as KnownLMax.
+	lmaxc := prefetchLMax(req.Pts)
+
 	// A race already oriented the winner on this instance; reuse that
 	// run instead of orienting a second time.
 	if decision != nil && decision.WinnerAsg != nil {
-		return e.finish(req, key, decision, guar, decision.WinnerAsg, decision.WinnerRes), nil
+		return e.finish(req, key, decision, guar, decision.WinnerAsg, decision.WinnerRes, lmaxc), nil
 	}
 
 	resc := e.orientAsync(ctx, core.BatchItem{Pts: req.Pts, K: req.K, Phi: req.Phi, Algo: algo})
@@ -438,16 +446,16 @@ func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (
 			// deadline reports the expiry, never a lucky scheduling
 			// race — but the artifact is salvaged for the tiers.
 			e.noteCtxErr(err)
-			e.finish(req, key, decision, guar, out.Asg, out.Res)
+			e.finish(req, key, decision, guar, out.Asg, out.Res, lmaxc)
 			return nil, err
 		}
-		return e.finish(req, key, decision, guar, out.Asg, out.Res), nil
+		return e.finish(req, key, decision, guar, out.Asg, out.Res, lmaxc), nil
 	case <-ctx.Done():
 		// The caller is unblocked now; salvage the abandoned solve when
 		// it eventually lands so a retry does not re-pay it.
 		go func() {
 			if out := <-resc; out.Err == nil {
-				e.finish(req, key, decision, guar, out.Asg, out.Res)
+				e.finish(req, key, decision, guar, out.Asg, out.Res, lmaxc)
 			}
 		}()
 		e.noteCtxErr(ctx.Err())
@@ -455,14 +463,37 @@ func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (
 	}
 }
 
+// prefetchLMax computes the EMST bottleneck of pts on its own goroutine.
+// The channel is buffered so the producer never blocks; every solveMiss
+// path receives at most once (in finish). Returns nil for point sets
+// with no spanning edge.
+func prefetchLMax(pts []geom.Point) <-chan float64 {
+	if len(pts) <= 1 {
+		return nil
+	}
+	c := make(chan float64, 1)
+	go func() { c <- mst.Euclidean(pts).LMax() }()
+	return c
+}
+
 // finish runs the post-orientation tail — independent verification,
 // artifact assembly, and the fill of both cache tiers — and returns the
 // immutable artifact.
 func (e *Engine) finish(req Request, key solution.Key, decision *plan.Decision, guar core.Guarantee,
-	asg *antenna.Assignment, res *core.Result) *solution.Solution {
+	asg *antenna.Assignment, res *core.Result, lmaxc <-chan float64) *solution.Solution {
 	// Budgets come from the a-priori guarantee, never from the
 	// construction's self-report.
-	rep := verify.Check(asg, plan.VerifyBudgets(guar))
+	budgets := plan.VerifyBudgets(guar)
+	if lmaxc != nil {
+		// The prefetched bottleneck is bit-for-bit the value verify.Check
+		// would recompute (same mst.Euclidean over the same points), so
+		// handing it over changes no verdicts — only the duplicate tree
+		// build goes away.
+		if lm := <-lmaxc; lm > 0 {
+			budgets.KnownLMax = lm
+		}
+	}
+	rep := verify.Check(asg, budgets)
 	if !rep.OK() {
 		e.metrics.VerifyFailures.Add(1)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/antenna"
 	"repro/internal/graph"
 	"repro/internal/mst"
+	"repro/internal/par"
 )
 
 // Budgets are the claims to verify. They mirror core.Guarantee without
@@ -159,15 +160,51 @@ func SymmetricConnected(g *graph.Digraph) bool {
 		return true
 	}
 	dsu := graph.NewDSU(n)
-	for u := 0; u < n; u++ {
-		for _, v := range g.Adj[u] {
-			if u < v && g.HasEdge(v, u) {
-				dsu.Union(u, v)
+	if n >= symParMin {
+		// The mutual-edge discovery — a binary search per directed edge —
+		// is the expensive half; it reads only the frozen adjacency, so it
+		// fans out across CPUs into per-chunk buffers. The union pass stays
+		// serial: connectivity (dsu.Sets) is invariant under union order.
+		const chunk = 2048
+		nc := (n + chunk - 1) / chunk
+		mutual := make([][][2]int32, nc)
+		par.For(0, nc, 1, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				end := (c + 1) * chunk
+				if end > n {
+					end = n
+				}
+				var buf [][2]int32
+				for u := c * chunk; u < end; u++ {
+					for _, v := range g.Adj[u] {
+						if u < v && g.HasEdge(v, u) {
+							buf = append(buf, [2]int32{int32(u), int32(v)})
+						}
+					}
+				}
+				mutual[c] = buf
+			}
+		})
+		for _, buf := range mutual {
+			for _, e := range buf {
+				dsu.Union(int(e[0]), int(e[1]))
+			}
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			for _, v := range g.Adj[u] {
+				if u < v && g.HasEdge(v, u) {
+					dsu.Union(u, v)
+				}
 			}
 		}
 	}
 	return dsu.Sets() == 1
 }
+
+// symParMin is the vertex count below which SymmetricConnected scans
+// serially; fan-out overhead beats the win on small digraphs.
+const symParMin = 4096
 
 // CheckStrong is the minimal check: the induced digraph is strongly
 // connected.
