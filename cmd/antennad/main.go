@@ -24,6 +24,7 @@
 //	         [-workers 0] [-batch-window 2ms] [-max-batch 64]
 //	         [-deadline 0] [-max-inflight 0] [-race 0]
 //	         [-repair-threshold 0.25] [-instance-history 32]
+//	         [-verify-audit-every 64]
 //	         [-wal-dir DIR] [-wal-sync interval] [-wal-sync-interval 100ms]
 //	         [-wal-max-bytes 4194304] [-drain-timeout 15s]
 //
@@ -84,6 +85,7 @@ func main() {
 	race := flag.Duration("race", 0, "default racing deadline for planner-selected requests; 0 disables racing")
 	repairThreshold := flag.Float64("repair-threshold", 0, "live-instance dirty fraction above which incremental repair falls back to a full solve; 0 = default (0.25), negative disables repair")
 	instanceHistory := flag.Int("instance-history", 0, "revisions retained per live instance; 0 = default (32)")
+	verifyAuditEvery := flag.Int("verify-audit-every", 0, "full re-verification audit every Nth repaired revision; 0 = default (64), negative disables the audit")
 	walDir := flag.String("wal-dir", "", "directory for per-instance write-ahead logs; empty disables crash durability")
 	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | off")
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "flush cadence for -wal-sync=interval; 0 = default (100ms)")
@@ -116,18 +118,19 @@ func main() {
 		}
 	}
 	eng := service.NewEngine(service.Options{
-		CacheSize:       *cache,
-		CacheMaxBytes:   *cacheMaxBytes,
-		Store:           store,
-		Workers:         *workers,
-		BatchWindow:     *batchWindow,
-		MaxBatch:        *maxBatch,
-		Deadline:        *deadline,
-		MaxInflight:     *maxInflight,
-		DefaultRace:     *race,
-		RepairThreshold: *repairThreshold,
-		InstanceHistory: *instanceHistory,
-		InstanceWAL:     walCfg,
+		CacheSize:        *cache,
+		CacheMaxBytes:    *cacheMaxBytes,
+		Store:            store,
+		Workers:          *workers,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		Deadline:         *deadline,
+		MaxInflight:      *maxInflight,
+		DefaultRace:      *race,
+		RepairThreshold:  *repairThreshold,
+		InstanceHistory:  *instanceHistory,
+		VerifyAuditEvery: *verifyAuditEvery,
+		InstanceWAL:      walCfg,
 	})
 	defer eng.Close()
 	api := service.NewServer(eng)

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_baseline.json] [-benchtime 1s]
+//	benchjson [-o BENCH_baseline.json] [-benchtime 1s] [-only REGEX]
 //	benchjson -check-fleet BENCH_fleet.json
 //	benchjson -check-scaling BENCH_baseline.json [-max-growth 25]
+//	benchjson -check-repair BENCH_baseline.json
+//
+// -only restricts the run to benchmarks whose name matches the regexp —
+// handy for refreshing one family of rows without re-running the n=10⁶
+// series (merge the resulting file's benches by hand or with jq).
 //
 // -check-fleet validates a fleetsim soak file instead of running the
 // benchmarks: every row must decode strictly (unknown fields rejected)
@@ -17,6 +22,11 @@
 // <prefix>/n=<size>): across every whole-decade step the ns/op growth
 // must stay at or below -max-growth, the CI gate that catches an
 // accidentally superlinear substrate before it ships.
+//
+// -check-repair audits the BenchmarkRepairScaling rows: for every
+// class/n pair above n=10000 the incremental-repair ns/op must beat the
+// full-solve ns/op, and at least one such pair must exist — the CI gate
+// that keeps live-instance repair worth having at scale.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -145,6 +156,86 @@ func checkScaling(path string, maxGrowth float64) error {
 	return nil
 }
 
+// checkRepair audits the repair-vs-full rows (benches named
+// BenchmarkRepairScaling/<class>/<repair|full>/n=<size>): every pair
+// above n=10000 must have the repair side strictly faster, and at least
+// one gated pair must exist. Pairs at or below n=10000 are printed for
+// context but not gated — at small n a full solve is cheap enough that
+// repair's constant costs can tie it without being a regression.
+func checkRepair(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	const prefix = "BenchmarkRepairScaling/"
+	type pair struct{ repair, full float64 }
+	pairs := make(map[string]*pair)
+	var order []string
+	for _, e := range base.Benches {
+		rest, ok := strings.CutPrefix(e.Name, prefix)
+		if !ok {
+			continue
+		}
+		parts := strings.Split(rest, "/") // class, mode, n=<size>
+		if len(parts) != 3 {
+			return fmt.Errorf("%s: malformed repair bench name %q", path, e.Name)
+		}
+		key := parts[0] + "/" + parts[2]
+		p, seen := pairs[key]
+		if !seen {
+			p = &pair{}
+			pairs[key] = p
+			order = append(order, key)
+		}
+		switch parts[1] {
+		case "repair":
+			p.repair = e.NsPerOp
+		case "full":
+			p.full = e.NsPerOp
+		default:
+			return fmt.Errorf("%s: unknown repair mode in %q", path, e.Name)
+		}
+	}
+	gated := 0
+	for _, key := range order {
+		p := pairs[key]
+		if p.repair <= 0 || p.full <= 0 {
+			return fmt.Errorf("%s: repair pair %s is missing a side", path, key)
+		}
+		i := strings.LastIndex(key, "/n=")
+		n, err := strconv.Atoi(key[i+3:])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("%s: bad size in repair pair %s", path, key)
+		}
+		speedup := p.full / p.repair
+		if n <= 10000 {
+			fmt.Printf("%-24s repair %12.0f ns/op  full %12.0f ns/op  %6.1fx (not gated)\n",
+				key, p.repair, p.full, speedup)
+			continue
+		}
+		status := "ok"
+		if p.repair >= p.full {
+			status = "FAIL"
+		}
+		fmt.Printf("%-24s repair %12.0f ns/op  full %12.0f ns/op  %6.1fx %s\n",
+			key, p.repair, p.full, speedup, status)
+		if p.repair >= p.full {
+			return fmt.Errorf("%s: %s: incremental repair (%0.f ns/op) does not beat the full solve (%0.f ns/op)",
+				path, key, p.repair, p.full)
+		}
+		gated++
+	}
+	if gated == 0 {
+		return fmt.Errorf("%s: no repair pairs above n=10000 to gate", path)
+	}
+	fmt.Printf("%s: %d repair pairs beat their full solves\n", path, gated)
+	return nil
+}
+
 // benchPoints mirrors the deterministic workload generator of the root
 // bench suite (same seed formula), so numbers here are comparable with
 // `go test -bench`.
@@ -196,6 +287,8 @@ func main() {
 	fleetFile := flag.String("check-fleet", "", "validate this fleetsim soak file against the fleet report schema and exit")
 	scalingFile := flag.String("check-scaling", "", "audit the per-decade growth of the scaling series in this baseline file and exit")
 	maxGrowth := flag.Float64("max-growth", 25, "largest allowed ns/op growth per 10x n step for -check-scaling")
+	repairFile := flag.String("check-repair", "", "audit this baseline file's repair-vs-full pairs (repair must win above n=10000) and exit")
+	only := flag.String("only", "", "run only benchmarks whose name matches this regexp")
 	flag.Parse()
 	if *fleetFile != "" {
 		if err := checkFleet(*fleetFile); err != nil {
@@ -206,6 +299,13 @@ func main() {
 	}
 	if *scalingFile != "" {
 		if err := checkScaling(*scalingFile, *maxGrowth); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *repairFile != "" {
+		if err := checkRepair(*repairFile); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -433,6 +533,73 @@ func main() {
 			},
 		})
 	}
+	// Repair-vs-full pairs per repair class (emst = the cover rule, tour =
+	// the bottleneck cycle, bats = the one-wedge regime), at a small and a
+	// beyond-threshold size: the same churn batch served by the class's
+	// incremental repair and, with repair disabled, by a full engine solve.
+	// The -check-repair gate requires the repair side to win above
+	// n=10000. The repair rows tolerate an occasional dirty-threshold or
+	// 2-opt fallback (cheap full solves only *raise* the measured ns/op,
+	// so the gate stays honest) but fail if repairs stop being the norm.
+	repairRows := []struct {
+		class  string
+		budget instance.Budget
+	}{
+		{"emst", instance.Budget{K: 2, Phi: core.Phi2Full, Algo: "cover"}},
+		{"tour", instance.Budget{K: 1, Phi: 0, Algo: "tour"}},
+		{"bats", instance.Budget{K: 1, Phi: core.Phi1Full, Algo: "bats"}},
+	}
+	for _, row := range repairRows {
+		for _, n := range []int{2000, 20000} {
+			for _, mode := range []struct {
+				name      string
+				threshold float64
+			}{{"repair", 0}, {"full", -1}} {
+				row, n, mode := row, n, mode
+				benches = append(benches, bench{
+					fmt.Sprintf("BenchmarkRepairScaling/%s/%s/n=%d", row.class, mode.name, n),
+					func(b *testing.B) {
+						eng := service.NewEngine(service.Options{RepairThreshold: mode.threshold})
+						defer eng.Close()
+						m := service.NewInstanceManager(eng)
+						defer m.Close()
+						pts := benchPoints(n)
+						side := math.Sqrt(float64(n))
+						if _, err := m.Create(context.Background(), "rs", pts, row.budget); err != nil {
+							b.Fatal(err)
+						}
+						rng := rand.New(rand.NewSource(31007))
+						cur := append([]geom.Point(nil), pts...)
+						repaired := 0
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							b.StopTimer()
+							ops := churnBatch(rng, cur, side)
+							b.StartTimer()
+							snap, err := m.Apply(context.Background(), "rs", 0, ops)
+							if err != nil {
+								b.Fatal(err)
+							}
+							b.StopTimer()
+							if cur, err = solution.ApplyPointOps(cur, ops); err != nil {
+								b.Fatal(err)
+							}
+							if snap.Repair == instance.RepairIncremental {
+								repaired++
+							}
+							if mode.threshold < 0 && snap.Repair != instance.RepairFull {
+								b.Fatalf("iteration %d served %q with repair disabled", i, snap.Repair)
+							}
+							b.StartTimer()
+						}
+						if mode.threshold == 0 && repaired*5 < b.N*4 {
+							b.Fatalf("only %d of %d batches repaired incrementally", repaired, b.N)
+						}
+					},
+				})
+			}
+		}
+	}
 	// Crash-recovery replay: one instance at n=2000 with 64 churn
 	// revisions in its write-ahead log, recovered from disk per iteration
 	// — the startup cost a crashed antennad pays per surviving instance.
@@ -502,6 +669,25 @@ func main() {
 				}
 			},
 		})
+	}
+
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -only:", err)
+			os.Exit(1)
+		}
+		kept := benches[:0]
+		for _, bn := range benches {
+			if re.MatchString(bn.name) {
+				kept = append(kept, bn)
+			}
+		}
+		benches = kept
+		if len(benches) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -only %q matches no benchmarks\n", *only)
+			os.Exit(1)
+		}
 	}
 
 	base := Baseline{

@@ -218,16 +218,15 @@ const tourStretch = 3
 
 // table1Branch couples one arm of the Table-1 dispatcher with the
 // guarantee that arm provides, so the construction Orient runs and the
-// claim dispatchGuarantee declares can never diverge. emstLocal marks
-// the full-cover arm, whose per-sensor output is a pure function of that
-// sensor's EMST neighborhood (see EMSTLocalBudget); runCtx, when set,
+// claim dispatchGuarantee declares can never diverge. repair names the
+// arm's incremental-repair class (see RepairClass); runCtx, when set,
 // is the construction with cancellation checkpoints.
 type table1Branch struct {
 	matches   func(k int, phi float64) bool
 	guarantee func(k int, phi float64) Guarantee
 	run       func(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result)
 	runCtx    func(ctx context.Context, pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result, error)
-	emstLocal bool
+	repair    string
 }
 
 // dispatchBranches is the Table-1 dispatch in paper order; the final
@@ -242,7 +241,7 @@ var dispatchBranches = []table1Branch{
 		run: func(pts []geom.Point, k int, phi float64) (*antenna.Assignment, *Result) {
 			return OrientFullCover(pts, k, phi, false)
 		},
-		emstLocal: true,
+		repair: RepairClassEMST,
 	},
 	{ // Theorem 6: four zero-spread chains.
 		matches:   func(k int, phi float64) bool { return k == 4 },
@@ -280,7 +279,54 @@ var dispatchBranches = []table1Branch{
 		guarantee: tourGuarantee,
 		run:       runTour,
 		runCtx:    runTourCtx,
+		repair:    RepairClassTour,
 	},
+}
+
+// Incremental-repair classes: the locality structure a construction
+// exposes, which decides how the live-instance tier (internal/instance)
+// repairs a mutated deployment without a from-scratch solve.
+const (
+	// RepairClassEMST: per-sensor sectors are a pure function of that
+	// sensor's own EMST neighborhood (the full-cover rule), so re-running
+	// the rule for just the spliced tree's dirty sensors reproduces the
+	// from-scratch assignment exactly.
+	RepairClassEMST = "emst"
+	// RepairClassTour: sectors are rays along a maintained Hamiltonian
+	// cycle; churn sites splice into the cycle (route.SpliceTour) and a
+	// local 2-opt restores the 3·l_max hop bound around the dirty windows.
+	RepairClassTour = "tour"
+	// RepairClassBats: one wedge per sensor covering its EMST neighbors;
+	// only wedges whose rooted-tree neighborhood changed re-aim, valid
+	// while a single φ-wedge still covers every neighborhood.
+	RepairClassBats = "bats"
+)
+
+// RepairClass reports the incremental-repair class of the named orienter
+// at budget (k, φ): RepairClassEMST, RepairClassTour, RepairClassBats, or
+// "" when that row only full-solves (the chain inductions, the anchored
+// arc, and Damian–Flatland's gadgets are built from global structure).
+// For the Table-1 dispatcher the class follows the arm the budget
+// dispatches to, so it can never diverge from the construction that runs.
+func RepairClass(algo string, k int, phi float64) string {
+	if k < 1 || phi < 0 || math.IsNaN(phi) || math.IsInf(phi, 0) {
+		return ""
+	}
+	switch algo {
+	case "cover":
+		if o, ok := LookupOrienter("cover"); ok && o.Supports(k, phi) {
+			return RepairClassEMST
+		}
+	case "tour":
+		return RepairClassTour
+	case "bats":
+		if o, ok := LookupOrienter("bats"); ok && o.Supports(k, phi) {
+			return RepairClassBats
+		}
+	case DefaultOrienterName:
+		return dispatchBranchFor(k, phi).repair
+	}
+	return ""
 }
 
 // EMSTLocalBudget reports whether the named orienter at budget (k, φ)
@@ -291,17 +337,7 @@ var dispatchBranches = []table1Branch{
 // whose EMST neighborhood changed reproduces the from-scratch assignment,
 // so a spliced revision verifies identically to a full solve.
 func EMSTLocalBudget(algo string, k int, phi float64) bool {
-	if k < 1 || phi < 0 || math.IsNaN(phi) || math.IsInf(phi, 0) {
-		return false
-	}
-	switch algo {
-	case "cover":
-		o, ok := LookupOrienter("cover")
-		return ok && o.Supports(k, phi)
-	case DefaultOrienterName:
-		return dispatchBranchFor(k, phi).emstLocal
-	}
-	return false
+	return RepairClass(algo, k, phi) == RepairClassEMST
 }
 
 // dispatchBranchFor returns the Table-1 branch for (k, φ); the tour

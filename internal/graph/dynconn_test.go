@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveConn recomputes component count over live vertices with a DSU —
+// the oracle for DynConn.
+func naiveConn(live []bool, edges map[[2]int]int) (comps int) {
+	n := len(live)
+	dsu := NewDSU(n)
+	alive := 0
+	for _, ok := range live {
+		if ok {
+			alive++
+		}
+	}
+	merged := 0
+	for e, cnt := range edges {
+		if cnt > 0 && dsu.Union(e[0], e[1]) {
+			merged++
+		}
+	}
+	return alive - merged
+}
+
+// TestDynConnRandomChurn drives DynConn through random interleaved
+// add/remove of vertices and edges and cross-checks component counts
+// against a from-scratch DSU after every operation.
+func TestDynConnRandomChurn(t *testing.T) {
+	const n = 64
+	rounds := 4000
+	if testing.Short() {
+		rounds = 800
+	}
+	rng := rand.New(rand.NewSource(42))
+	d := NewDynConn(n)
+	live := make([]bool, n)
+	edges := make(map[[2]int]int) // unordered pair -> multiplicity
+	var liveList []int
+
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	degree := make([]int, n)
+
+	for step := 0; step < rounds; step++ {
+		switch op := rng.Intn(10); {
+		case op < 2: // add node
+			v := rng.Intn(n)
+			if !live[v] {
+				d.AddNode(v)
+				live[v] = true
+				liveList = append(liveList, v)
+			}
+		case op < 3: // remove an isolated node
+			if len(liveList) > 0 {
+				i := rng.Intn(len(liveList))
+				v := liveList[i]
+				if degree[v] == 0 {
+					d.RemoveNode(v)
+					live[v] = false
+					liveList[i] = liveList[len(liveList)-1]
+					liveList = liveList[:len(liveList)-1]
+				}
+			}
+		case op < 7: // add edge
+			if len(liveList) >= 2 {
+				u := liveList[rng.Intn(len(liveList))]
+				v := liveList[rng.Intn(len(liveList))]
+				if u != v {
+					d.AddEdge(u, v)
+					edges[key(u, v)]++
+					degree[u]++
+					degree[v]++
+				}
+			}
+		default: // remove a random existing edge
+			if len(edges) > 0 {
+				// Deterministic-ish pick: collect keys with copies.
+				var ks [][2]int
+				for e, cnt := range edges {
+					if cnt > 0 {
+						ks = append(ks, e)
+					}
+				}
+				if len(ks) > 0 {
+					// Map order is random; sort-free pick is fine for a
+					// correctness test since the oracle sees the same state.
+					e := ks[rng.Intn(len(ks))]
+					d.RemoveEdge(e[0], e[1])
+					if edges[e]--; edges[e] == 0 {
+						delete(edges, e)
+					}
+					degree[e[0]]--
+					degree[e[1]]--
+				}
+			}
+		}
+		want := naiveConn(live, edges)
+		if got := d.Components(); got != want {
+			t.Fatalf("step %d: DynConn.Components() = %d, oracle = %d", step, got, want)
+		}
+		if got, want := d.Connected(), want <= 1; got != want {
+			t.Fatalf("step %d: Connected() = %v, want %v", step, got, want)
+		}
+		if d.Live() != countLive(live) {
+			t.Fatalf("step %d: Live() = %d, want %d", step, d.Live(), countLive(live))
+		}
+	}
+}
+
+func countLive(live []bool) int {
+	c := 0
+	for _, ok := range live {
+		if ok {
+			c++
+		}
+	}
+	return c
+}
+
+// TestDynConnSame pins the pairwise query on a concrete forest split.
+func TestDynConnSame(t *testing.T) {
+	d := NewDynConn(6)
+	for v := 0; v < 6; v++ {
+		d.AddNode(v)
+	}
+	// Path 0-1-2-3 plus extra edge 0-2; separate pair 4-5.
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(0, 2)
+	d.AddEdge(4, 5)
+	if !d.Same(0, 3) || d.Same(3, 4) || d.Components() != 2 {
+		t.Fatalf("unexpected initial state: comps=%d", d.Components())
+	}
+	// Dropping forest edge 1-2 must discover the 0-2 replacement.
+	d.RemoveEdge(1, 2)
+	if !d.Same(0, 3) || d.Components() != 2 {
+		t.Fatalf("replacement edge not found: comps=%d", d.Components())
+	}
+	// Dropping both 0-2 and 2-3 isolates {2,3}... 0-2 still bridges via 2.
+	d.RemoveEdge(0, 2)
+	if d.Same(0, 3) || d.Components() != 3 {
+		t.Fatalf("split not detected: comps=%d", d.Components())
+	}
+	if !d.Same(2, 3) {
+		t.Fatalf("2 and 3 should remain joined")
+	}
+}
+
+// TestDynConnGrow exercises capacity extension.
+func TestDynConnGrow(t *testing.T) {
+	d := NewDynConn(2)
+	d.AddNode(0)
+	d.AddNode(1)
+	d.Grow(5)
+	d.AddNode(4)
+	d.AddEdge(0, 4)
+	if d.Components() != 2 || d.Live() != 3 {
+		t.Fatalf("after grow: comps=%d live=%d", d.Components(), d.Live())
+	}
+}

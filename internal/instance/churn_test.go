@@ -56,9 +56,14 @@ func relClose(a, b float64) bool {
 
 // compareRecords asserts the churn-equivalence property for one
 // revision: the live instance's verification record — connectivity kind,
-// verified verdict, guarantee, and every radius measurement — matches a
-// from-scratch engine solve on the same point set.
-func compareRecords(t *testing.T, tag string, got, scratch *solution.Solution) {
+// verified verdict, and guarantee — matches a from-scratch engine solve
+// on the same point set. strict additionally requires every radius and
+// spread measurement to match: the EMST-local classes (cover, bats
+// wedges) re-derive exactly the from-scratch construction, so their
+// records are identical; the tour class maintains its own (equally
+// guaranteed) cycle, whose bottleneck legitimately differs from a
+// from-scratch tour, so only the verifier-level equivalence holds there.
+func compareRecords(t *testing.T, tag string, got, scratch *solution.Solution, strict bool) {
 	t.Helper()
 	if got.PointsDigest != scratch.PointsDigest {
 		t.Fatalf("%s: digests diverged — instance points drifted from the op log", tag)
@@ -75,14 +80,18 @@ func compareRecords(t *testing.T, tag string, got, scratch *solution.Solution) {
 	if !relClose(got.LMax, scratch.LMax) {
 		t.Fatalf("%s: l_max %.12f vs scratch %.12f", tag, got.LMax, scratch.LMax)
 	}
-	if !relClose(got.RadiusUsed, scratch.RadiusUsed) {
-		t.Fatalf("%s: radius %.12f vs scratch %.12f", tag, got.RadiusUsed, scratch.RadiusUsed)
-	}
-	if !relClose(got.RadiusRatio, scratch.RadiusRatio) {
-		t.Fatalf("%s: ratio %.12f vs scratch %.12f", tag, got.RadiusRatio, scratch.RadiusRatio)
-	}
-	if !relClose(got.SpreadUsed, scratch.SpreadUsed) {
-		t.Fatalf("%s: spread %.12f vs scratch %.12f", tag, got.SpreadUsed, scratch.SpreadUsed)
+	if strict {
+		if !relClose(got.RadiusUsed, scratch.RadiusUsed) {
+			t.Fatalf("%s: radius %.12f vs scratch %.12f", tag, got.RadiusUsed, scratch.RadiusUsed)
+		}
+		if !relClose(got.RadiusRatio, scratch.RadiusRatio) {
+			t.Fatalf("%s: ratio %.12f vs scratch %.12f", tag, got.RadiusRatio, scratch.RadiusRatio)
+		}
+		if !relClose(got.SpreadUsed, scratch.SpreadUsed) {
+			t.Fatalf("%s: spread %.12f vs scratch %.12f", tag, got.SpreadUsed, scratch.SpreadUsed)
+		}
+	} else if got.SpreadUsed > scratch.Phi+1e-7 {
+		t.Fatalf("%s: spread %.12f exceeds budget %.12f", tag, got.SpreadUsed, scratch.Phi)
 	}
 	if got.RadiusRatio > got.Guarantee.Stretch+1e-7 {
 		t.Fatalf("%s: ratio %.6f exceeds guaranteed stretch %.6f", tag, got.RadiusRatio, got.Guarantee.Stretch)
@@ -94,8 +103,9 @@ func compareRecords(t *testing.T, tag string, got, scratch *solution.Solution) {
 // supports × every generator family, a sequence of 20 random
 // Add/Remove/Move batches yields, at each revision, a solution whose
 // verification record matches a from-scratch engine solve on the same
-// point set. EMST-local budgets must take the incremental path at least
-// once (otherwise the repair engine silently degraded to full solves).
+// point set. Budgets with a repair class must take the incremental path
+// at least once (otherwise the repair engine silently degraded to full
+// solves), and classless budgets must never claim one.
 func TestChurnEquivalence(t *testing.T) {
 	const n0 = 110
 	const batches = 20
@@ -109,7 +119,7 @@ func TestChurnEquivalence(t *testing.T) {
 			if !o.Supports(kp.K, kp.Phi) {
 				continue
 			}
-			local := core.EMSTLocalBudget(name, kp.K, kp.Phi)
+			class := core.RepairClass(name, kp.K, kp.Phi)
 			for _, family := range families {
 				tag := fmt.Sprintf("%s/k=%d/phi=%.3f/%s", name, kp.K, kp.Phi, family)
 				t.Run(tag, func(t *testing.T) {
@@ -141,13 +151,24 @@ func TestChurnEquivalence(t *testing.T) {
 						if err != nil {
 							t.Fatalf("step %d scratch: %v", step, err)
 						}
-						compareRecords(t, fmt.Sprintf("%s step %d (%s)", tag, step, snap.Repair), snap.Sol, scratch)
+						strict := snap.Repair != instance.RepairIncremental || snap.Class != core.RepairClassTour
+						compareRecords(t, fmt.Sprintf("%s step %d (%s)", tag, step, snap.Repair), snap.Sol, scratch, strict)
 					}
-					if local && repairs == 0 {
-						t.Fatalf("EMST-local budget never repaired incrementally (%d batches)", batches)
-					}
-					if !local && repairs != 0 {
-						t.Fatalf("non-local budget claimed %d incremental repairs", repairs)
+					switch {
+					case class == core.RepairClassEMST || class == core.RepairClassTour:
+						if repairs == 0 {
+							t.Fatalf("%s-class budget never repaired incrementally (%d batches)", class, batches)
+						}
+					case class == core.RepairClassBats && kp.Phi >= core.Phi1Full:
+						// φ ≥ 8π/5 pigeonholes every vertex into the wedge
+						// regime, so the bats kit must be live.
+						if repairs == 0 {
+							t.Fatalf("bats budget in the guaranteed wedge regime never repaired (%d batches)", batches)
+						}
+					case class == "":
+						if repairs != 0 {
+							t.Fatalf("classless budget claimed %d incremental repairs", repairs)
+						}
 					}
 				})
 			}

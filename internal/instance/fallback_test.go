@@ -1,0 +1,98 @@
+package instance_test
+
+// fallback_test.go — pins the splice-bail downgrade path at the instance
+// layer: when mst.SpliceEMSTIndexed refuses a batch (here: fresh
+// vertices exceeding a quarter of the instance, via bulk adds and via
+// bulk moves — a move is remove+add, so every moved sensor is fresh),
+// the manager must cleanly downgrade to a full solve with correct
+// revision semantics, and the rebuilt repair kit must serve the next
+// small batch incrementally again.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/solution"
+)
+
+// forceSpliceFallback drives one instance through a splice-refusing
+// batch and asserts the downgrade and the recovery.
+func forceSpliceFallback(t *testing.T, bulk []instance.Op) {
+	t.Helper()
+	ctx := context.Background()
+	// RepairThreshold 0.9: the dirty-fraction guard cannot be what
+	// abandons the batch — only the splice bail can.
+	m := newTestManager(instance.Config{RepairThreshold: 0.9})
+	if _, err := m.Create(ctx, "f", testPoints(100, 11), coverBudget()); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: a small batch must repair, proving the kit is live.
+	snap, err := m.Apply(ctx, "f", 0, []instance.Op{{Op: solution.OpMove, Index: 3, X: 2.2, Y: 2.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Repair != instance.RepairIncremental {
+		t.Fatalf("warm-up batch repair = %q, want incremental", snap.Repair)
+	}
+	fallbacksBefore := m.Metrics().RepairFallbacks.Load()
+
+	snap, err = m.Apply(ctx, "f", 0, bulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Repair != instance.RepairFull {
+		t.Fatalf("splice-refused batch repair = %q, want full", snap.Repair)
+	}
+	if snap.Class != "" {
+		t.Fatalf("full solve reported repair class %q", snap.Class)
+	}
+	if snap.Rev != 3 {
+		t.Fatalf("rev = %d, want 3 (fallback must still advance exactly one revision)", snap.Rev)
+	}
+	if !snap.Sol.Verified {
+		t.Fatal("full fallback must re-verify")
+	}
+	if got := m.Metrics().RepairFallbacks.Load(); got != fallbacksBefore+1 {
+		t.Fatalf("RepairFallbacks = %d, want %d", got, fallbacksBefore+1)
+	}
+	if snap.DirtyFrac != 1 {
+		t.Fatalf("full solve dirty fraction = %v, want 1", snap.DirtyFrac)
+	}
+
+	// The full solve rebuilt the kit: the next small batch repairs again
+	// and its record agrees with the published revision chain.
+	snap, err = m.Apply(ctx, "f", snap.Rev, []instance.Op{{Op: solution.OpMove, Index: 5, X: 9.5, Y: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Repair != instance.RepairIncremental {
+		t.Fatalf("post-fallback batch repair = %q, want incremental (kit not rebuilt)", snap.Repair)
+	}
+	if snap.Rev != 4 || !snap.Sol.Verified {
+		t.Fatalf("post-fallback snapshot: rev=%d verified=%v", snap.Rev, snap.Sol.Verified)
+	}
+	if got, err := m.Get("f", 0); err != nil || got.Rev != 4 {
+		t.Fatalf("head after fallback cycle: %+v, %v", got, err)
+	}
+}
+
+// TestSpliceFallbackBulkAdds: 40 arrivals on a 100-sensor instance makes
+// 40 of 141 vertices fresh (> n/4), so the splice refuses.
+func TestSpliceFallbackBulkAdds(t *testing.T) {
+	var bulk []instance.Op
+	for i := 0; i < 40; i++ {
+		bulk = append(bulk, instance.Op{Op: solution.OpAdd, X: 0.3 * float64(i), Y: 13.5})
+	}
+	forceSpliceFallback(t, bulk)
+}
+
+// TestSpliceFallbackBulkMoves: 40 relocations keep n at 101 but make 40
+// vertices fresh (> n/4) — same refusal through the move decomposition.
+func TestSpliceFallbackBulkMoves(t *testing.T) {
+	var bulk []instance.Op
+	for i := 0; i < 40; i++ {
+		bulk = append(bulk, instance.Op{Op: solution.OpMove, Index: i, X: 0.3 * float64(i), Y: 0.2*float64(i) + 1})
+	}
+	forceSpliceFallback(t, bulk)
+}

@@ -1,0 +1,120 @@
+package instance_test
+
+// fuzz_test.go — go-fuzz harness over churn-op batches. The fuzzer
+// drives arbitrary byte strings through a decoder that deliberately
+// produces hostile batches — out-of-range and negative indices,
+// duplicate removes of the same slot, NaN/Inf coordinates — and checks
+// the manager against two oracles: a rejected batch must leave the
+// revision and the point set untouched, and an accepted batch must land
+// exactly on the wire-semantics shadow copy and be verifier-equivalent
+// to a from-scratch engine solve. Equivalence here is the relaxed form:
+// the byte-grid decoder routinely produces exactly coincident points,
+// whose tied EMSTs make the spliced and scratch trees different-but-
+// equal, so per-sensor measurements may differ while both assignments
+// verify (exactness in generic position is pinned separately by
+// TestChurnRepairedSectorsExact).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/instance"
+	"repro/internal/service"
+	"repro/internal/solution"
+)
+
+// fuzzCoord maps one byte to a coordinate; the top values inject the
+// non-finite floats the manager must reject.
+func fuzzCoord(b byte) float64 {
+	switch b {
+	case 255:
+		return math.NaN()
+	case 254:
+		return math.Inf(1)
+	case 253:
+		return math.Inf(-1)
+	default:
+		return float64(b) * 0.055
+	}
+}
+
+// decodeChurnOps turns a fuzz input into a batch: 4 bytes per op (kind,
+// index, x, y). Indices are shifted down so negatives appear; nothing is
+// clamped — out-of-range values are the point.
+func decodeChurnOps(data []byte) []instance.Op {
+	var ops []instance.Op
+	for len(data) >= 4 && len(ops) < 24 {
+		kind, idx := data[0]%3, int(data[1])-4
+		x, y := fuzzCoord(data[2]), fuzzCoord(data[3])
+		data = data[4:]
+		switch kind {
+		case 0:
+			ops = append(ops, instance.Op{Op: solution.OpAdd, X: x, Y: y})
+		case 1:
+			ops = append(ops, instance.Op{Op: solution.OpRemove, Index: idx})
+		default:
+			ops = append(ops, instance.Op{Op: solution.OpMove, Index: idx, X: x, Y: y})
+		}
+	}
+	return ops
+}
+
+// FuzzChurnOps splits each decoded input into two batches (repair on top
+// of repair is where stale-kit bugs live) and applies both against the
+// shadow-copy and from-scratch oracles.
+func FuzzChurnOps(f *testing.F) {
+	f.Add([]byte{0, 0, 40, 40, 2, 10, 80, 80, 1, 5, 0, 0})        // add + move + remove, all in range
+	f.Add([]byte{1, 250, 0, 0, 2, 3, 20, 20})                     // out-of-range remove, then a valid move
+	f.Add([]byte{2, 7, 255, 10, 0, 0, 254, 1})                    // NaN move, Inf add
+	f.Add([]byte{1, 4, 0, 0, 1, 4, 0, 0, 1, 4, 0, 0, 1, 4, 0, 0}) // repeated remove of slot 0
+	f.Add([]byte{2, 8, 30, 30, 2, 8, 60, 60, 2, 8, 90, 90})       // triple move of one sensor
+	f.Add([]byte{0, 0, 253, 253, 1, 2, 0, 0})                     // -Inf add ahead of a valid remove
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeChurnOps(data)
+		batches := [][]instance.Op{ops[:len(ops)/2], ops[len(ops)/2:]}
+		m := newTestManager(instance.Config{})
+		pts := testPoints(60, 9)
+		if _, err := m.Create(context.Background(), "z", pts, coverBudget()); err != nil {
+			t.Fatal(err)
+		}
+		shadow := append([]geom.Point(nil), pts...)
+		scratchEng := service.NewEngine(service.Options{CacheSize: 1})
+		rev := uint64(1)
+		for bi, batch := range batches {
+			snap, err := m.Apply(context.Background(), "z", 0, batch)
+			if err != nil {
+				// Rejected: the instance must be frozen at the prior state.
+				got, gerr := m.Get("z", 0)
+				if gerr != nil || got.Rev != rev {
+					t.Fatalf("batch %d rejected (%v) but revision moved: %v %v", bi, err, got, gerr)
+				}
+				if got.Sol.PointsDigest != solution.Digest(shadow) {
+					t.Fatalf("batch %d rejected (%v) but points drifted", bi, err)
+				}
+				continue
+			}
+			next, aerr := solution.ApplyPointOps(shadow, batch)
+			if aerr != nil {
+				t.Fatalf("batch %d: manager accepted a batch the wire semantics reject: %v", bi, aerr)
+			}
+			shadow = next
+			rev++
+			if snap.Rev != rev {
+				t.Fatalf("batch %d: rev %d, want %d", bi, snap.Rev, rev)
+			}
+			if snap.Sol.PointsDigest != solution.Digest(shadow) {
+				t.Fatalf("batch %d: accepted revision diverged from the shadow copy", bi)
+			}
+			cb := coverBudget()
+			scratch, _, serr := scratchEng.Solve(context.Background(),
+				service.Request{Pts: shadow, K: cb.K, Phi: cb.Phi, Algo: cb.Algo})
+			if serr != nil {
+				t.Fatalf("batch %d scratch: %v", bi, serr)
+			}
+			compareRecords(t, fmt.Sprintf("batch %d (%s)", bi, snap.Repair), snap.Sol, scratch, false)
+		}
+	})
+}

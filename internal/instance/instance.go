@@ -6,20 +6,27 @@
 // Add/Remove/Move batch produces a new monotonically increasing revision
 // whose artifact is re-verified before it is published.
 //
-// The point of the package is **incremental repair**. The EMST-local
-// constructions of the portfolio (the full-cover rule: every sensor's
-// sectors are a pure function of its own EMST neighborhood, see
-// core.EMSTLocalBudget) let a small mutation batch be served without a
-// from-scratch solve: the maintained EMST is spliced exactly
-// (mst.SpliceEMST — survivor forest + Borůvka reconnection + exact
-// insertions), only the sensors whose tree neighborhood changed are
-// re-aimed through the construction's own per-sensor rule, the spliced
-// assignment is re-verified in full (connectivity, budgets, radius ratio
-// against the maintained bottleneck), and the revision falls back to a
+// The point of the package is **incremental repair**. Constructions
+// that expose locality (core.RepairClass) let a small mutation batch be
+// served without a from-scratch solve. Three classes are maintained:
+// the EMST class (full cover — every sensor's sectors are a pure
+// function of its own EMST neighborhood) splices the maintained tree
+// exactly (mst.SpliceEMST) and re-aims only the sensors whose tree
+// neighborhood changed; the tour class (the φ=0 bottleneck-cycle rows)
+// splices churn sites into the maintained Hamiltonian cycle
+// (route.SpliceTour) and repairs the hop bound with a dirty-window
+// 2-opt (route.LocalTwoOpt) before re-aiming only the rays whose cycle
+// neighbor changed; the bats class (one bounded-angle wedge per sensor)
+// re-covers only the wedges whose EMST neighborhood changed, while the
+// wedge regime holds. Every repaired revision is audited by a
+// maintained incremental verifier (verify.Incremental) that carries the
+// induced digraph and the connectivity verdict across revisions in
+// O(dirty · local density), with a periodic from-scratch verify.Check
+// escape hatch (Config.VerifyAuditEvery); the revision falls back to a
 // full engine solve whenever the dirty fraction crosses the configured
-// threshold, the splice bails, or verification fails. Budgets outside
-// the EMST-local region always take the full-solve path — correctness
-// first, locality when the mathematics allows it.
+// threshold, the splice bails, or the audit fails. Budgets without a
+// repair class always take the full-solve path — correctness first,
+// locality when the mathematics allows it.
 //
 // Revisions retain their full artifacts in a bounded history window and
 // are also served as ADLT deltas (solution.EncodeDelta): base digest,
@@ -75,6 +82,14 @@ type Config struct {
 	MaxInstances int
 	// MaxBatch bounds ops per mutation batch (≤ 0 selects DefaultMaxBatch).
 	MaxBatch int
+	// VerifyAuditEvery is the incremental verifier's escape hatch: every
+	// Nth repaired revision the maintained verdict is re-derived by a
+	// from-scratch verify.Check (with an independently recomputed l_max)
+	// and compared; a divergence invalidates the repair state, counts in
+	// antennad_verify_incremental_divergence_total, and falls the batch
+	// back to a full solve. Zero selects DefaultVerifyAuditEvery;
+	// negative disables the audit (trust the maintained verdict fully).
+	VerifyAuditEvery int
 	// WAL, when non-nil, makes the manager crash-durable: creates and
 	// mutation batches are logged (wal.go) before they are acknowledged,
 	// and Recover replays the log at startup. Nil keeps the tier purely
@@ -84,10 +99,11 @@ type Config struct {
 
 // Defaults for Config fields.
 const (
-	DefaultRepairThreshold = 0.25
-	DefaultHistory         = 32
-	DefaultMaxInstances    = 256
-	DefaultMaxBatch        = 4096
+	DefaultRepairThreshold  = 0.25
+	DefaultHistory          = 32
+	DefaultMaxInstances     = 256
+	DefaultMaxBatch         = 4096
+	DefaultVerifyAuditEvery = 64
 )
 
 // Repair kinds recorded per revision and rendered in the X-Repair header.
@@ -136,6 +152,9 @@ type Snapshot struct {
 	// Repair records how the revision was produced (RepairFull,
 	// RepairIncremental, or RepairNone for revision 1).
 	Repair string
+	// Class names the repair class that served a RepairIncremental
+	// revision (core.RepairClassEMST, ...Tour, ...Bats); empty otherwise.
+	Class string
 	// DirtyFrac is the fraction of sensors re-aimed by the revision's
 	// repair (meaningful for RepairIncremental; 1 for full solves of a
 	// mutated instance).

@@ -184,13 +184,13 @@ func TestRepairDisabledThreshold(t *testing.T) {
 	}
 }
 
-// TestNonLocalBudgetAlwaysFullSolves: budgets outside the EMST-local
-// region (here the tour construction) never take the splice path, but
+// TestNonLocalBudgetAlwaysFullSolves: budgets with no repair class
+// (here the anchored-arc k1 construction) never take a splice path, but
 // still revision correctly.
 func TestNonLocalBudgetAlwaysFullSolves(t *testing.T) {
 	ctx := context.Background()
 	m := newTestManager(instance.Config{})
-	if _, err := m.Create(ctx, "t", testPoints(80, 7), instance.Budget{K: 1, Phi: 0, Algo: "tour"}); err != nil {
+	if _, err := m.Create(ctx, "t", testPoints(80, 7), instance.Budget{K: 1, Phi: math.Pi, Algo: "k1"}); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := m.Apply(ctx, "t", 0, []instance.Op{{Op: solution.OpAdd, X: 3, Y: 3}})
@@ -198,7 +198,10 @@ func TestNonLocalBudgetAlwaysFullSolves(t *testing.T) {
 		t.Fatal(err)
 	}
 	if snap.Repair != instance.RepairFull || !snap.Sol.Verified {
-		t.Fatalf("tour budget snapshot: %+v", snap)
+		t.Fatalf("k1 budget snapshot: %+v", snap)
+	}
+	if snap.Class != "" {
+		t.Fatalf("classless budget reported repair class %q", snap.Class)
 	}
 }
 

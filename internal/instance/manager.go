@@ -7,9 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/antenna"
 	"repro/internal/geom"
-	"repro/internal/mst"
 	"repro/internal/solution"
 )
 
@@ -48,11 +46,12 @@ type inst struct {
 	rev uint64
 	// wal is the instance's open durability state (nil when disabled).
 	wal *instWAL
-	// repairState: the exactly maintained EMST and the current
-	// assignment, present only while the budget is EMST-local and the
-	// instance is repairable (nil after a fallback-ineligible solve).
-	tree *mst.Tree
-	asg  *antenna.Assignment
+	// kit is the maintained repair substrate (EMST, assignment, cycle,
+	// incremental verifier), present only while the construction is
+	// repairable at the budget (nil after a fallback-ineligible solve or
+	// an invalidated repair). Owned by applyMu, not mu: only Apply reads
+	// or writes it, and batches serialize.
+	kit *repairKit
 
 	// history holds the most recent revisions, oldest first; the last
 	// entry is the current revision.
@@ -67,6 +66,7 @@ type revision struct {
 	sol     *solution.Solution
 	ops     []Op // batch that produced it (nil for revision 1)
 	repair  string
+	class   string // repair class that served an incremental revision
 	dirty   float64
 	changed int
 	elapsed time.Duration
@@ -88,6 +88,9 @@ func NewManager(cfg Config) *Manager {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.VerifyAuditEvery == 0 {
+		cfg.VerifyAuditEvery = DefaultVerifyAuditEvery
 	}
 	m := &Manager{cfg: cfg, byID: make(map[string]*inst), reserved: make(map[string]struct{})}
 	m.metrics.initMetrics()
@@ -141,7 +144,7 @@ func (m *Manager) Create(ctx context.Context, id string, pts []geom.Point, b Bud
 	}
 	in := &inst{budget: b, pts: append([]geom.Point(nil), pts...), rev: 1}
 	in.history = []revision{{rev: 1, sol: sol, repair: RepairNone, changed: sol.N, elapsed: time.Since(start)}}
-	m.adoptRepairState(in, sol)
+	m.adoptRepairKit(in, sol)
 
 	// Reserve the id so the WAL write below owns its directory
 	// exclusively and the id stays taken while the lock is released;
@@ -244,12 +247,16 @@ func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op
 	rev := revision{rev: curRev + 1, ops: append([]Op(nil), ops...)}
 	var rs *repairState
 	if m.cfg.RepairThreshold > 0 {
-		rs = m.tryRepair(in, newPts, old2new, fresh)
+		rs = m.tryRepair(ctx, in, newPts, old2new, fresh)
 	}
-	var adopt bool
+	// On the repair path tryRepair already advanced in.kit to the new
+	// revision; on the full-solve path the kit is rebuilt from the fresh
+	// artifact below (after the WAL acknowledges the batch).
+	var newKit *repairKit
 	if rs != nil {
-		rev.sol, rev.repair, rev.dirty, rev.changed = rs.sol, RepairIncremental, rs.dirtyFrac, rs.changed
+		rev.sol, rev.repair, rev.class, rev.dirty, rev.changed = rs.sol, RepairIncremental, rs.class, rs.dirtyFrac, rs.changed
 		m.metrics.Repairs.Add(1)
+		m.metrics.repairClassCounter(rs.class).Add(1)
 	} else {
 		sol, err := m.cfg.Solve(ctx, newPts, in.budget)
 		if err != nil {
@@ -257,38 +264,36 @@ func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op
 		}
 		rev.sol, rev.repair, rev.dirty = sol, RepairFull, 1
 		rev.changed = changedSectors(in.currentSol(), sol, old2new)
-		adopt = true
+		newKit = m.buildRepairKit(in.budget, sol, newPts)
 		m.metrics.FullSolves.Add(1)
 	}
 	rev.elapsed = time.Since(start)
 
-	// Rebuild the repair state for full solves before publishing — still
-	// outside the state mutex (adoptRepairState recomputes the EMST).
-	newRepair := repairHandoff{tree: nil, asg: nil}
-	if rs != nil {
-		newRepair.tree, newRepair.asg = rs.tree, rs.asg
-	} else if adopt {
-		newRepair.tree, newRepair.asg = m.buildRepairState(in.budget, rev.sol, newPts)
-	}
-
 	// Write-ahead: the batch is logged (and, under SyncAlways, on stable
 	// storage) before the revision becomes visible. A batch that cannot
-	// be made durable is not acknowledged and the revision not bumped.
+	// be made durable is not acknowledged and the revision not bumped —
+	// and a repaired kit, already advanced past the unacknowledged
+	// revision, is dropped so the next batch rebuilds it consistently.
 	if in.wal != nil {
 		err := m.wal.append(in.wal, walRecord{
 			rev: rev.rev, ops: rev.ops,
 			digest: rev.sol.PointsDigest, verified: rev.sol.Verified,
 		})
 		if err != nil {
+			if rs != nil {
+				in.kit = nil
+			}
 			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
 		m.wal.maybeCompact(in.wal, in.id, rev.rev, in.budget, newPts, rev.sol)
+	}
+	if rs == nil {
+		in.kit = newKit
 	}
 
 	in.mu.Lock()
 	in.pts = newPts
 	in.rev = rev.rev
-	in.tree, in.asg = newRepair.tree, newRepair.asg
 	if rs != nil {
 		in.repairs++
 	} else {
@@ -322,7 +327,7 @@ func (m *Manager) Get(id string, rev uint64) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{ID: in.id, Rev: r.rev, Sol: r.sol, Repair: r.repair,
+	return &Snapshot{ID: in.id, Rev: r.rev, Sol: r.sol, Repair: r.repair, Class: r.class,
 		DirtyFrac: r.dirty, Changed: r.changed, Elapsed: r.elapsed}, nil
 }
 
@@ -447,7 +452,7 @@ func (in *inst) revisionLocked(rev uint64) (*revision, error) {
 // exclusively own the inst, as Create does).
 func (in *inst) snapshotLocked() *Snapshot {
 	r := in.history[len(in.history)-1]
-	return &Snapshot{ID: in.id, Rev: r.rev, Sol: r.sol, Repair: r.repair,
+	return &Snapshot{ID: in.id, Rev: r.rev, Sol: r.sol, Repair: r.repair, Class: r.class,
 		DirtyFrac: r.dirty, Changed: r.changed, Elapsed: r.elapsed}
 }
 

@@ -19,6 +19,18 @@ type Metrics struct {
 	RepairFallbacks      atomic.Uint64
 	RepairVerifyFailures atomic.Uint64
 	Conflicts            atomic.Uint64
+	// Per-class repair counters, rendered as antennad_repair_total{class}.
+	RepairsEMST atomic.Uint64
+	RepairsTour atomic.Uint64
+	RepairsBats atomic.Uint64
+	// Incremental-verifier counters: maintained-verdict revisions, ones
+	// it rejected, full-audit escape-hatch runs, and audits whose
+	// from-scratch verdict diverged from the maintained one (each
+	// divergence invalidates the repair state and full-solves).
+	VerifyIncremental        atomic.Uint64
+	VerifyIncrementalRejects atomic.Uint64
+	VerifyAudits             atomic.Uint64
+	VerifyAuditDivergence    atomic.Uint64
 	// WAL counters (all zero while durability is disabled).
 	WALAppends          atomic.Uint64
 	WALAppendErrors     atomic.Uint64
@@ -52,6 +64,20 @@ var (
 	dirtyBounds = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1}
 	churnBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5}
 )
+
+// repairClassCounter maps a repair class to its per-class counter;
+// unknown classes land in the EMST counter (cannot happen — tryRepair
+// only produces registered classes).
+func (m *Metrics) repairClassCounter(class string) *atomic.Uint64 {
+	switch class {
+	case "tour":
+		return &m.RepairsTour
+	case "bats":
+		return &m.RepairsBats
+	default:
+		return &m.RepairsEMST
+	}
+}
 
 // initMetrics sizes the histograms; called once by NewManager.
 func (m *Metrics) initMetrics() {
@@ -128,6 +154,25 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 		{"antennad_instance_wal_recovery_failures_total", "instance directories that failed to recover", mm.WALRecoveryFailures.Load()},
 	}
 	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP antennad_repair_total incremental repairs by repair class\n# TYPE antennad_repair_total counter\nantennad_repair_total{class=\"emst\"} %d\nantennad_repair_total{class=\"tour\"} %d\nantennad_repair_total{class=\"bats\"} %d\n",
+		mm.RepairsEMST.Load(), mm.RepairsTour.Load(), mm.RepairsBats.Load()); err != nil {
+		return err
+	}
+	verifyCounters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"antennad_verify_incremental_total", "revisions audited by the maintained incremental verifier", mm.VerifyIncremental.Load()},
+		{"antennad_verify_incremental_rejects_total", "repairs rejected by the incremental verifier and re-solved in full", mm.VerifyIncrementalRejects.Load()},
+		{"antennad_verify_incremental_audits_total", "periodic from-scratch audits of the maintained verdict (escape hatch)", mm.VerifyAudits.Load()},
+		{"antennad_verify_incremental_divergence_total", "audits whose from-scratch verdict diverged from the maintained one", mm.VerifyAuditDivergence.Load()},
+	}
+	for _, c := range verifyCounters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v); err != nil {
 			return err
 		}

@@ -118,7 +118,7 @@ func (m *Manager) recoverOne(ctx context.Context, dir string) error {
 
 	in := &inst{id: snap.id, budget: snap.budget, pts: pts, rev: rev}
 	in.history = []revision{{rev: rev, sol: sol, repair: RepairRecovered, changed: sol.N, elapsed: time.Since(start)}}
-	m.adoptRepairState(in, sol)
+	m.adoptRepairKit(in, sol)
 
 	// Reopen the log for appends and register the instance, resuming the
 	// id sequence past any recovered "i-<seq>" name.

@@ -1,0 +1,84 @@
+package instance_test
+
+// speedup_test.go — the headline acceptance check: a 100k-sensor
+// instance absorbs a small churn batch at least an order of magnitude
+// faster than a from-scratch solve. Skipped under -short (the create
+// alone is a six-figure solve).
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/instance"
+	"repro/internal/service"
+	"repro/internal/solution"
+)
+
+// TestRepairSpeedup100k creates a 100_000-sensor cover instance, applies
+// five independent 4-op churn batches, and requires the fastest repair
+// to beat a cache-cold full solve on the final point set by ≥ 10×. The
+// fastest-of-five guards against scheduler noise on the repair side;
+// the full solve is measured once (it is the slow side — noise only
+// widens the margin it must already clear).
+func TestRepairSpeedup100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k solve; skipped under -short")
+	}
+	ctx := context.Background()
+	m := newTestManager(instance.Config{})
+	pts := testPoints(100_000, 17)
+	if _, err := m.Create(ctx, "big", pts, coverBudget()); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *instance.Snapshot
+	var err error
+	best := time.Duration(1<<62 - 1)
+	cur := append([]geom.Point(nil), pts...)
+	for trial := 0; trial < 5; trial++ {
+		// Irregular per-trial offsets: evenly spaced colinear arrivals
+		// would manufacture EMST ties and bail the splice by design.
+		base := float64(trial*trial)*0.0013 + float64(trial)*0.00041
+		ops := []instance.Op{
+			{Op: solution.OpAdd, X: 7.01 + base, Y: 7.02 + 2.3*base},
+			{Op: solution.OpMove, Index: 1000 * (trial + 1), X: 3.03, Y: 9.04 + base},
+			{Op: solution.OpRemove, Index: 2000 * (trial + 1)},
+			{Op: solution.OpAdd, X: 11.05 - 1.7*base, Y: 2.06 + base},
+		}
+		snap, err = m.Apply(ctx, "big", 0, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Repair != instance.RepairIncremental {
+			t.Fatalf("trial %d: 4-op batch at n=100k took %q, want incremental", trial, snap.Repair)
+		}
+		cur, err = solution.ApplyPointOps(cur, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Elapsed < best {
+			best = snap.Elapsed
+		}
+	}
+	if !snap.Sol.Verified {
+		t.Fatal("repaired 100k revision not verified")
+	}
+
+	scratchEng := service.NewEngine(service.Options{CacheSize: 1})
+	cb := coverBudget()
+	start := time.Now()
+	scratch, _, err := scratchEng.Solve(ctx, service.Request{Pts: cur, K: cb.K, Phi: cb.Phi, Algo: cb.Algo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+	if !scratch.Verified {
+		t.Fatal("scratch 100k solve not verified")
+	}
+	t.Logf("n=100k: repair %v vs full solve %v (%.1f×)", best, full, float64(full)/float64(best))
+	if best*10 > full {
+		t.Fatalf("repair %v not ≥10× faster than full solve %v", best, full)
+	}
+}

@@ -1,0 +1,302 @@
+package route
+
+// This file maintains the Hamiltonian cycle behind the φ=0 tour rows
+// under churn (the live-instance tier, internal/instance): SpliceTour
+// removes departed sensors from the cycle, stitches the gaps, and
+// reinserts fresh sensors next to their nearest settled cycle vertex;
+// LocalTwoOpt then repairs the bottleneck around exactly those dirty
+// windows, under cancellation, instead of re-running the full tour
+// construction. The package hosts it because tours are routes: the cycle
+// is the one global routing structure the orientation tier maintains.
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/spatial"
+)
+
+// SpliceTour splices a mutation batch into a Hamiltonian cycle. oldTour
+// is the previous cycle over the previous point set; old2new maps old
+// indices to new ones (-1 = removed, solution.PlanOps semantics), fresh
+// lists the new indices absent from the old set, and grid indexes pts
+// (the new point set). It returns the new cycle, the sorted set of
+// vertices whose cycle neighborhood changed (every fresh vertex, every
+// insertion anchor, and the endpoints of every stitched gap), and ok.
+//
+// ok is false when the splice cannot produce a meaningful cycle: fewer
+// than 3 survivors to stitch, or an insertion that finds no settled
+// anchor. Callers then rebuild the tour from scratch.
+//
+// Each fresh vertex is inserted beside its nearest settled cycle vertex
+// (a grid query), on whichever side minimizes the longer of the two new
+// hops — the deterministic nearest-neighbor reinsertion rule. Earlier
+// insertions count as settled for later ones, so a cluster of arrivals
+// chains together instead of all splicing into one hop.
+func SpliceTour(oldTour []int, pts []geom.Point, grid *spatial.Grid, old2new []int, fresh []int) (tour []int, dirty []int, ok bool) {
+	n := len(pts)
+	if n < 3 || len(oldTour) != len(old2new) {
+		return nil, nil, false
+	}
+	next := make([]int, n)
+	prev := make([]int, n)
+	for i := range next {
+		next[i] = -1
+		prev[i] = -1
+	}
+	inTour := make([]bool, n)
+	dirtyMark := make([]bool, n)
+
+	// Map the old cycle through the batch, dropping removed vertices.
+	// Survivors adjacent to a dropped stretch get dirty: their cycle
+	// neighbor changed.
+	seq := make([]int, 0, n)
+	gapBefore := make([]bool, 0, n) // gapBefore[i]: ≥1 removal between seq[i-1] and seq[i]
+	pendingGap := false
+	for _, v := range oldTour {
+		nv := old2new[v]
+		if nv < 0 {
+			pendingGap = true
+			continue
+		}
+		seq = append(seq, nv)
+		gapBefore = append(gapBefore, pendingGap)
+		pendingGap = false
+	}
+	if len(seq) < 3 {
+		return nil, nil, false
+	}
+	if pendingGap && len(gapBefore) > 0 {
+		gapBefore[0] = true // removals wrapped past the end of the old cycle
+	}
+	m := len(seq)
+	for i, v := range seq {
+		w := seq[(i+1)%m]
+		next[v] = w
+		prev[w] = v
+		inTour[v] = true
+	}
+	for i, v := range seq {
+		if gapBefore[i] {
+			dirtyMark[v] = true
+			dirtyMark[seq[(i-1+m)%m]] = true
+		}
+	}
+
+	// Reinsert fresh vertices in ascending index order (deterministic).
+	for _, x := range fresh {
+		v := grid.NearestWhere(pts[x], func(i int) bool { return inTour[i] && i != x })
+		if v < 0 {
+			return nil, nil, false
+		}
+		a, b := prev[v], next[v]
+		// Insert on the side whose worse new hop is shorter; ties keep
+		// the successor side.
+		before := math.Max(pts[a].Dist(pts[x]), pts[x].Dist(pts[v]))
+		after := math.Max(pts[v].Dist(pts[x]), pts[x].Dist(pts[b]))
+		if after <= before {
+			next[v], prev[x], next[x], prev[b] = x, v, b, x
+			dirtyMark[b] = true
+		} else {
+			next[a], prev[x], next[x], prev[v] = x, a, v, x
+			dirtyMark[a] = true
+		}
+		dirtyMark[v] = true
+		dirtyMark[x] = true
+		inTour[x] = true
+	}
+
+	// Materialize the cycle.
+	tour = make([]int, 0, n)
+	start := seq[0]
+	for v := start; ; {
+		tour = append(tour, v)
+		v = next[v]
+		if v == start || v < 0 {
+			break
+		}
+	}
+	if len(tour) != n {
+		return nil, nil, false // linked list corrupted — cannot happen, but never trust it
+	}
+	for v := 0; v < n; v++ {
+		if dirtyMark[v] {
+			dirty = append(dirty, v)
+		}
+	}
+	return tour, dirty, true
+}
+
+// LocalTwoOpt repairs the bottleneck of a spliced tour around its dirty
+// windows: only hops incident to seed vertices (and hops created by
+// accepted moves) are attacked, so the cost scales with the churn, not
+// with n. A hop longer than bound is replaced by the best grid-local
+// 2-opt move that shrinks its contribution; moves whose shorter reversal
+// arc exceeds maxArc are skipped (a reversal flips the successor of every
+// arc vertex, so unbounded arcs would un-localize the caller's re-aim),
+// and at most maxMoves moves apply. The context is polled between moves.
+//
+// The tour is modified in place. extra returns the sorted vertices whose
+// cycle neighborhood changed — move endpoints always, plus every vertex
+// inside a reversed arc when trackArc is set (needed when sectors depend
+// on hop *direction*, i.e. the k=1 successor-ray rows). ok reports
+// whether every inspected hop ended ≤ bound; callers treat !ok as a
+// failed repair and fall back to a full solve.
+func LocalTwoOpt(ctx context.Context, pts []geom.Point, grid *spatial.Grid, tour []int, seeds []int, bound float64, maxArc, maxMoves int, trackArc bool) (extra []int, ok bool, err error) {
+	n := len(tour)
+	if n < 4 {
+		return nil, true, nil
+	}
+	pos := make([]int, len(pts))
+	for i, v := range tour {
+		pos[v] = i
+	}
+	nextPos := func(i int) int {
+		if i++; i == n {
+			return 0
+		}
+		return i
+	}
+	prevPos := func(i int) int {
+		if i--; i < 0 {
+			return n - 1
+		}
+		return i
+	}
+	// Work queue of suspect hops, each named by its start vertex (the hop
+	// is (v, successor-of-v) at pop time, so entries survive reversals).
+	var queue []int
+	queued := make(map[int]bool, 2*len(seeds))
+	push := func(v int) {
+		if !queued[v] {
+			queued[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, s := range seeds {
+		push(s)
+		push(tour[prevPos(pos[s])])
+	}
+	dirtyMark := make(map[int]bool)
+	var buf []int
+	ok = true
+	moves := 0
+	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		a := queue[0]
+		queue = queue[1:]
+		queued[a] = false
+		i := pos[a]
+		b := tour[nextPos(i)]
+		L := pts[a].Dist(pts[b])
+		if L <= bound {
+			continue
+		}
+		if moves >= maxMoves {
+			ok = false // over-bound hop left standing
+			continue
+		}
+		// Candidates c with dist(a, c) < L − eps: the only endpoints that
+		// can shrink this hop's contribution (cf. core.TwoOptBottleneck).
+		buf = grid.Within(pts[a], L-geom.Eps, buf[:0])
+		bestJ := -1
+		bestMax := L - geom.Eps
+		for _, c := range buf {
+			if c == a || c == b {
+				continue
+			}
+			j := pos[c]
+			d := tour[nextPos(j)]
+			if d == a {
+				continue
+			}
+			if arc := shorterArcLen(i, j, n); arc > maxArc {
+				continue
+			}
+			newMax := math.Max(pts[a].Dist(pts[c]), pts[b].Dist(pts[d]))
+			if newMax < bestMax || (newMax == bestMax && bestJ >= 0 && j < bestJ) {
+				bestMax, bestJ = newMax, j
+			}
+		}
+		if bestJ < 0 {
+			ok = false // bottleneck hop admits no local improving move
+			continue
+		}
+		j := bestJ
+		// Reverse the shorter of the two arcs (both yield the same
+		// undirected cycle; the physically reversed one is what flips
+		// successors, hence what trackArc records).
+		lo, hi := nextPos(i), j
+		arc := hi - lo
+		if arc < 0 {
+			arc += n
+		}
+		if arc+1 > n/2 {
+			lo, hi = nextPos(j), i
+		}
+		reverseTourArc(tour, pos, lo, hi)
+		moves++
+		if trackArc {
+			for p := lo; ; p = nextPos(p) {
+				dirtyMark[tour[p]] = true
+				if p == hi {
+					break
+				}
+			}
+		}
+		// The two fresh hops start at lo-1 and hi; their endpoints are
+		// exactly {a, c} and {b, d} — always dirty, and always re-suspect.
+		p := prevPos(lo)
+		for _, v := range []int{tour[p], tour[nextPos(p)], tour[hi], tour[nextPos(hi)]} {
+			dirtyMark[v] = true
+		}
+		push(tour[p])
+		push(tour[hi])
+	}
+	extra = make([]int, 0, len(dirtyMark))
+	for v := range dirtyMark {
+		extra = append(extra, v)
+	}
+	sort.Ints(extra)
+	return extra, ok, nil
+}
+
+// shorterArcLen is the vertex count of the shorter reversal arc of a
+// 2-opt move on hops starting at positions i and j.
+func shorterArcLen(i, j, n int) int {
+	arc := j - i // positions i+1..j inclusive = j-i vertices
+	if arc < 0 {
+		arc += n
+	}
+	if other := n - arc; other < arc {
+		return other
+	}
+	return arc
+}
+
+// reverseTourArc reverses tour positions lo..hi (cyclic, inclusive),
+// maintaining pos. Mirrors core's 2-opt reversal.
+func reverseTourArc(tour, pos []int, lo, hi int) {
+	n := len(tour)
+	count := hi - lo
+	if count < 0 {
+		count += n
+	}
+	count++
+	for s := 0; s < count/2; s++ {
+		a := lo + s
+		if a >= n {
+			a -= n
+		}
+		b := hi - s
+		if b < 0 {
+			b += n
+		}
+		tour[a], tour[b] = tour[b], tour[a]
+		pos[tour[a]], pos[tour[b]] = a, b
+	}
+}

@@ -127,6 +127,11 @@ type Options struct {
 	// InstanceHistory bounds retained revisions per live instance (≤ 0
 	// selects instance.DefaultHistory).
 	InstanceHistory int
+	// VerifyAuditEvery is the incremental verifier's escape hatch: every
+	// Nth repaired revision is re-checked by a from-scratch verification
+	// pass (0 selects instance.DefaultVerifyAuditEvery; negative
+	// disables the audit).
+	VerifyAuditEvery int
 	// InstanceWAL, when non-nil, makes the live-instance tier
 	// crash-durable: creates and mutation batches are write-ahead logged
 	// and replayed by Manager.Recover at startup (see internal/instance).

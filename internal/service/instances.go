@@ -25,8 +25,9 @@ import (
 //	                              conditional: stale revisions answer 409
 //	DELETE /instances/{id}      — drop the instance
 //
-// Every mutating response carries X-Repair (incremental|full|none) and an
-// ETag holding the revision, so clients can chain conditional batches.
+// Every mutating response carries X-Repair (incremental|full|none) — plus
+// X-Repair-Class (emst|tour|bats) when incremental — and an ETag holding
+// the revision, so clients can chain conditional batches.
 // Semantics are documented in docs/OPERATIONS.md ("Instances & churn").
 
 // InstanceSolver adapts the engine's full solve path to the instance
@@ -40,13 +41,14 @@ func (e *Engine) InstanceSolver() instance.SolveFunc {
 
 // NewInstanceManager builds a live-instance manager that full-solves
 // through the engine, honoring the engine's RepairThreshold,
-// InstanceHistory, and InstanceWAL options.
+// InstanceHistory, VerifyAuditEvery, and InstanceWAL options.
 func NewInstanceManager(e *Engine) *instance.Manager {
 	return instance.NewManager(instance.Config{
-		Solve:           e.InstanceSolver(),
-		RepairThreshold: e.opts.RepairThreshold,
-		History:         e.opts.InstanceHistory,
-		WAL:             e.opts.InstanceWAL,
+		Solve:            e.InstanceSolver(),
+		RepairThreshold:  e.opts.RepairThreshold,
+		History:          e.opts.InstanceHistory,
+		VerifyAuditEvery: e.opts.VerifyAuditEvery,
+		WAL:              e.opts.InstanceWAL,
 	})
 }
 
@@ -80,6 +82,7 @@ type instanceRevisionResponse struct {
 	Algo      string  `json:"algo"`
 	Verified  bool    `json:"verified"`
 	Repair    string  `json:"repair"`
+	Class     string  `json:"repair_class,omitempty"`
 	DirtyFrac float64 `json:"dirty_fraction"`
 	Changed   int     `json:"changed"`
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -88,7 +91,7 @@ type instanceRevisionResponse struct {
 func revisionResponse(s *instance.Snapshot) instanceRevisionResponse {
 	return instanceRevisionResponse{
 		ID: s.ID, Rev: s.Rev, N: s.Sol.N, Algo: s.Sol.Algo, Verified: s.Sol.Verified,
-		Repair: s.Repair, DirtyFrac: s.DirtyFrac, Changed: s.Changed,
+		Repair: s.Repair, Class: s.Class, DirtyFrac: s.DirtyFrac, Changed: s.Changed,
 		ElapsedMS: float64(s.Elapsed.Microseconds()) / 1000,
 	}
 }
@@ -119,10 +122,13 @@ func instanceError(w http.ResponseWriter, err error) {
 }
 
 // markRevision stamps the revision headers shared by every instance
-// response.
-func markRevision(w http.ResponseWriter, rev uint64, repair string) {
+// response; class is empty except on incrementally repaired revisions.
+func markRevision(w http.ResponseWriter, rev uint64, repair, class string) {
 	w.Header().Set("ETag", fmt.Sprintf("%q", strconv.FormatUint(rev, 10)))
 	w.Header().Set("X-Repair", repair)
+	if class != "" {
+		w.Header().Set("X-Repair-Class", class)
+	}
 }
 
 func (s *Server) handleInstanceCreate(w http.ResponseWriter, r *http.Request) {
@@ -153,7 +159,7 @@ func (s *Server) handleInstanceCreate(w http.ResponseWriter, r *http.Request) {
 		instanceError(w, err)
 		return
 	}
-	markRevision(w, snap.Rev, snap.Repair)
+	markRevision(w, snap.Rev, snap.Repair, snap.Class)
 	w.Header().Set("Location", "/instances/"+snap.ID)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
@@ -187,7 +193,7 @@ func (s *Server) handleInstanceGet(w http.ResponseWriter, r *http.Request) {
 			instanceError(w, err)
 			return
 		}
-		markRevision(w, snap.Rev, snap.Repair)
+		markRevision(w, snap.Rev, snap.Repair, snap.Class)
 		w.Header().Set("Content-Type", "application/octet-stream")
 		_, _ = w.Write(delta)
 		return
@@ -197,7 +203,7 @@ func (s *Server) handleInstanceGet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "encode: %v", err)
 		return
 	}
-	markRevision(w, snap.Rev, snap.Repair)
+	markRevision(w, snap.Rev, snap.Repair, snap.Class)
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(data)
 }
@@ -223,7 +229,7 @@ func (s *Server) handleInstancePatch(w http.ResponseWriter, r *http.Request) {
 		instanceError(w, err)
 		return
 	}
-	markRevision(w, snap.Rev, snap.Repair)
+	markRevision(w, snap.Rev, snap.Repair, snap.Class)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(revisionResponse(snap))
 }
