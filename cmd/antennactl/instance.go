@@ -71,6 +71,9 @@ type instanceClient struct {
 	base    string
 	hc      *http.Client
 	retries int
+	// verbose prints each successful response's observability headers
+	// (trace id, cache/repair verdicts, Server-Timing) to stderr.
+	verbose bool
 	// sleep is time.Sleep, swapped out by tests.
 	sleep func(time.Duration)
 }
@@ -128,6 +131,9 @@ func (c *instanceClient) do(method, path string, body []byte, hdr map[string]str
 	for attempt := 0; ; attempt++ {
 		resp, data, err := c.once(method, path, body, hdr)
 		if err == nil {
+			if c.verbose {
+				printResponseMeta(os.Stderr, resp)
+			}
 			return resp, data, nil
 		}
 		retryable := retryableErr(err) || (resp != nil && retryableStatus(resp.StatusCode))
@@ -180,6 +186,7 @@ func cmdInstanceCreate(args []string) error {
 	algo := fs.String("algo", "", "orienter to run (default table1)")
 	id := fs.String("id", "", "instance id (server assigns when empty)")
 	retries := retriesFlag(fs)
+	verbose := verboseFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,6 +218,7 @@ func cmdInstanceCreate(args []string) error {
 		return err
 	}
 	c := newInstanceClient(*server, *retries)
+	c.verbose = *verbose
 	resp, data, err := c.do("POST", "/instances", payload, nil)
 	if err != nil {
 		return err
@@ -230,10 +238,13 @@ func cmdInstanceList(args []string) error {
 	fs := flag.NewFlagSet("instance ls", flag.ExitOnError)
 	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
 	retries := retriesFlag(fs)
+	verbose := verboseFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	_, data, err := newInstanceClient(*server, *retries).do("GET", "/instances", nil, nil)
+	c := newInstanceClient(*server, *retries)
+	c.verbose = *verbose
+	_, data, err := c.do("GET", "/instances", nil, nil)
 	if err != nil {
 		return err
 	}
@@ -267,6 +278,7 @@ func cmdInstanceGet(args []string, delta bool) error {
 	rev := fs.Uint64("rev", 0, "revision to fetch (0 = current)")
 	out := fs.String("o", "", "write the artifact/delta to this path (default stdout summary)")
 	retries := retriesFlag(fs)
+	verbose := verboseFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -284,7 +296,9 @@ func cmdInstanceGet(args []string, delta bool) error {
 	if len(q) > 0 {
 		path += "?" + strings.Join(q, "&")
 	}
-	resp, data, err := newInstanceClient(*server, *retries).do("GET", path, nil, nil)
+	c := newInstanceClient(*server, *retries)
+	c.verbose = *verbose
+	resp, data, err := c.do("GET", path, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -378,6 +392,7 @@ func cmdInstancePatch(args []string) error {
 	opsFile := fs.String("ops", "", "JSON file holding the mutation batch ([{\"op\":\"move\",...}])")
 	ifMatch := fs.Uint64("if-match", 0, "conditional: apply only at this revision (409 otherwise)")
 	retries := retriesFlag(fs)
+	verbose := verboseFlag(fs)
 	var ops opList
 	fs.Var(&ops, "op", "one compact op (repeatable): add:x:y | remove:index | move:index:x:y")
 	if err := fs.Parse(args); err != nil {
@@ -408,7 +423,9 @@ func cmdInstancePatch(args []string) error {
 	if *ifMatch > 0 {
 		hdr["If-Match"] = fmt.Sprintf("%q", strconv.FormatUint(*ifMatch, 10))
 	}
-	resp, data, err := newInstanceClient(*server, *retries).do("PATCH", "/instances/"+*id, payload, hdr)
+	c := newInstanceClient(*server, *retries)
+	c.verbose = *verbose
+	resp, data, err := c.do("PATCH", "/instances/"+*id, payload, hdr)
 	if err != nil {
 		return err
 	}
@@ -448,13 +465,16 @@ func cmdInstanceDelete(args []string) error {
 	server := fs.String("server", "http://127.0.0.1:8080", "antennad base URL")
 	id := fs.String("id", "", "instance id")
 	retries := retriesFlag(fs)
+	verbose := verboseFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
-	if _, _, err := newInstanceClient(*server, *retries).do("DELETE", "/instances/"+*id, nil, nil); err != nil {
+	c := newInstanceClient(*server, *retries)
+	c.verbose = *verbose
+	if _, _, err := c.do("DELETE", "/instances/"+*id, nil, nil); err != nil {
 		return err
 	}
 	fmt.Printf("deleted %s\n", *id)

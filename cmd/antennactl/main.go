@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mst"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/render"
@@ -152,6 +153,7 @@ func cmdOrient(args []string, verifyOnly bool) error {
 	minimize := fs.String("minimize", "stretch", "with -auto: quantity to minimize (stretch|antennae|spread)")
 	race := fs.Duration("race", 0, "with -auto: race the shortlist on the instance under this deadline")
 	artifact := fs.String("artifact", "", "write the solution artifact to this path (.json or .bin by extension)")
+	verbose := verboseFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,7 +195,18 @@ func cmdOrient(args []string, verifyOnly bool) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+	// -verbose attaches a trace to the in-process solve, the same span
+	// instrumentation antennad renders as Server-Timing.
+	var tr *obs.Trace
+	if *verbose {
+		tr = obs.NewTrace(obs.NewTraceID())
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	sol, cached, err := service.Shared().Solve(ctx, req)
+	if tr != nil {
+		fmt.Fprintf(os.Stderr, "trace       %s\n", tr.ID)
+		printTimingPhases(os.Stderr, tr.Finish())
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,81 @@
+package main
+
+// -verbose support: every subcommand that talks to antennad (or runs the
+// in-process engine) can print the request's observability envelope —
+// the trace id (look it up in the server's /debug/traces), the cache and
+// repair verdict headers, and the parsed Server-Timing phase breakdown.
+// Verbose output goes to stderr so scripted stdout parsing is unchanged.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// verboseFlag registers the shared -verbose flag on a subcommand.
+func verboseFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("verbose", false, "print trace id, cache/repair verdicts, and Server-Timing phases to stderr")
+}
+
+// printResponseMeta renders one antennad response's observability
+// headers.
+func printResponseMeta(w io.Writer, resp *http.Response) {
+	if resp == nil {
+		return
+	}
+	if id := resp.Header.Get("X-Trace-Id"); id != "" {
+		fmt.Fprintf(w, "trace       %s\n", id)
+	}
+	for _, h := range []struct{ header, label string }{
+		{"X-Cache", "cache"},
+		{"X-Repair", "repair"},
+		{"X-Repair-Class", "class"},
+	} {
+		if v := resp.Header.Get(h.header); v != "" {
+			fmt.Fprintf(w, "%-11s %s\n", h.label, v)
+		}
+	}
+	printTimingPhases(w, resp.Header.Get("Server-Timing"))
+}
+
+// printTimingPhases renders a parsed Server-Timing value, one indented
+// line per phase.
+func printTimingPhases(w io.Writer, v string) {
+	for _, ph := range parseServerTiming(v) {
+		fmt.Fprintf(w, "  %-9s %8.3fms\n", ph.name, ph.ms)
+	}
+}
+
+type timingPhase struct {
+	name string
+	ms   float64
+}
+
+// parseServerTiming parses the subset of the Server-Timing grammar
+// antennad emits: comma-separated "name;dur=millis" entries.
+func parseServerTiming(v string) []timingPhase {
+	var out []timingPhase
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ";")
+		ph := timingPhase{name: strings.TrimSpace(fields[0])}
+		ok := false
+		for _, f := range fields[1:] {
+			if s, found := strings.CutPrefix(strings.TrimSpace(f), "dur="); found {
+				if ms, err := strconv.ParseFloat(s, 64); err == nil {
+					ph.ms, ok = ms, true
+				}
+			}
+		}
+		if ok && ph.name != "" {
+			out = append(out, ph)
+		}
+	}
+	return out
+}

@@ -27,6 +27,15 @@
 //	         [-verify-audit-every 64]
 //	         [-wal-dir DIR] [-wal-sync interval] [-wal-sync-interval 100ms]
 //	         [-wal-max-bytes 4194304] [-drain-timeout 15s]
+//	         [-debug-addr ADDR] [-log-level info]
+//
+// Every request is traced: responses carry X-Trace-Id (honoring an
+// inbound X-Trace-Id) and a Server-Timing header breaking the request
+// into phases; recent and slow traces are browsable at /debug/traces.
+// -debug-addr serves pprof and a runtime snapshot on a separate
+// listener that is deliberately absent from the serving mux — bind it
+// to localhost only. Logs are structured (log/slog text format) on
+// stderr; -log-level selects debug|info|warn|error.
 //
 // With -wal-dir set, every instance mutation is written to a
 // checksummed per-instance write-ahead log before it is acknowledged,
@@ -60,6 +69,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -70,6 +80,21 @@ import (
 	"repro/internal/service"
 	"repro/internal/solution"
 )
+
+// parseLogLevel maps the -log-level vocabulary onto slog levels.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (debug|info|warn|error)", s)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -91,23 +116,33 @@ func main() {
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "flush cadence for -wal-sync=interval; 0 = default (100ms)")
 	walMaxBytes := flag.Int64("wal-max-bytes", 0, "per-instance log size that triggers snapshot compaction; 0 = default (4 MiB)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests get to finish on SIGTERM before their contexts are cancelled")
+	debugAddr := flag.String("debug-addr", "", "separate listener for pprof, /debug/runtime, and /debug/traces; empty disables (bind to localhost only)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	flag.Parse()
+
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antennad:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
 
 	var store *solution.Store
 	if *storeDir != "" {
 		var err error
 		store, err = solution.OpenStore(*storeDir, *storeMaxBytes)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "antennad:", err)
+			logger.Error("artifact store open failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "antennad: artifact store %s (%d resident)\n", store.Root(), store.Len())
+		logger.Info("artifact store open", "dir", store.Root(), "resident", store.Len())
 	}
 	var walCfg *instance.WALConfig
 	if *walDir != "" {
 		policy, err := instance.ParseSyncPolicy(*walSync)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "antennad:", err)
+			logger.Error("bad -wal-sync", "err", err)
 			os.Exit(2)
 		}
 		walCfg = &instance.WALConfig{
@@ -134,14 +169,17 @@ func main() {
 	})
 	defer eng.Close()
 	api := service.NewServer(eng)
+	api.SetLogger(logger)
 	if walCfg != nil {
 		n, err := api.Instances().Recover(context.Background())
 		if err != nil {
 			// Recover is continue-on-error per instance: n instances are
 			// live, err aggregates the directories it had to abandon.
-			fmt.Fprintln(os.Stderr, "antennad: wal recovery:", err)
+			logger.Warn("wal recovery", "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "antennad: wal %s (%s sync, %d instances recovered)\n", *walDir, *walSync, n)
+		// The message text carries the count: the crash-restart smoke in CI
+		// greps for "N instances recovered" on stderr.
+		logger.Info(fmt.Sprintf("%d instances recovered", n), "wal", *walDir, "sync", *walSync)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -150,12 +188,23 @@ func main() {
 		ReadTimeout:       2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+	if *debugAddr != "" {
+		// pprof and runtime snapshots live on their own listener, never on
+		// the serving mux; operators bind this to localhost.
+		dbg := &http.Server{Addr: *debugAddr, Handler: api.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "antennad: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case <-ctx.Done():
@@ -163,11 +212,11 @@ func main() {
 		// in-flight requests finish under -drain-timeout; past the
 		// deadline their contexts are cancelled so Shutdown can return.
 		api.BeginDrain()
-		fmt.Fprintf(os.Stderr, "antennad: draining (up to %s)\n", *drainTimeout)
+		logger.Info("draining", "timeout", *drainTimeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "antennad: drain deadline expired, aborting in-flight requests:", err)
+			logger.Warn("drain deadline expired, aborting in-flight requests", "err", err)
 			api.AbortInflight()
 			abortCtx, abortCancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer abortCancel()
@@ -176,13 +225,13 @@ func main() {
 		// Final WAL sync: every acknowledged revision is on disk before
 		// the process exits.
 		if err := api.Instances().Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "antennad: wal close:", err)
+			logger.Error("wal close failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "antennad: drained, bye")
+		logger.Info("drained, bye")
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "antennad:", err)
+			logger.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 	}

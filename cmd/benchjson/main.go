@@ -15,8 +15,9 @@
 //
 // -check-fleet validates a fleetsim soak file instead of running the
 // benchmarks: every row must decode strictly (unknown fields rejected)
-// against the fleet/v1 report schema — the CI gate that keeps
-// BENCH_fleet.json machine-readable as the format evolves.
+// against the fleet report schema (fleet/v1 and fleet/v2 are accepted;
+// v2 adds optional server-side histogram summaries) — the CI gate that
+// keeps BENCH_fleet.json machine-readable as the format evolves.
 //
 // -check-scaling audits a baseline file's scaling series (benches named
 // <prefix>/n=<size>): across every whole-decade step the ns/op growth
@@ -52,6 +53,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/instance"
 	"repro/internal/mst"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/pointset"
 	"repro/internal/service"
@@ -79,14 +81,16 @@ func checkFleet(path string) error {
 		if err := dec.Decode(&rep); err != nil {
 			return fmt.Errorf("%s: row %d does not match the %s schema: %w", path, i, fleet.Schema, err)
 		}
-		if rep.Schema != fleet.Schema {
-			return fmt.Errorf("%s: row %d has schema %q, want %q", path, i, rep.Schema, fleet.Schema)
+		// fleet/v1 rows predate the optional server-side stats and remain
+		// valid; v2 is the current writer.
+		if rep.Schema != fleet.Schema && rep.Schema != fleet.SchemaV1 {
+			return fmt.Errorf("%s: row %d has schema %q, want %q or %q", path, i, rep.Schema, fleet.Schema, fleet.SchemaV1)
 		}
 		if rep.Totals.Ops == 0 {
 			return fmt.Errorf("%s: row %d records no operations", path, i)
 		}
 	}
-	fmt.Printf("%s: %d rows, schema %s ok\n", path, len(raw), fleet.Schema)
+	fmt.Printf("%s: %d rows, schema %s/%s ok\n", path, len(raw), fleet.SchemaV1, fleet.Schema)
 	return nil
 }
 
@@ -670,6 +674,46 @@ func main() {
 			},
 		})
 	}
+
+	// Observability substrate: the per-span cost on the two paths every
+	// request-phase site pays (no trace on the context — the benchmark
+	// and batch paths — versus a live trace), and one histogram observe.
+	// These bound the tracing tax the overhead budget test enforces.
+	benches = append(benches,
+		bench{"BenchmarkObsSpan/untraced", func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, end := obs.StartSpan(ctx, "phase")
+				end()
+			}
+		}},
+		bench{"BenchmarkObsSpan/traced", func(b *testing.B) {
+			tr := obs.NewTrace("bench")
+			ctx := obs.WithTrace(context.Background(), tr)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, end := obs.StartSpan(ctx, "phase")
+				end()
+				if i%4096 == 4095 { // keep the span buffer bounded
+					b.StopTimer()
+					tr = obs.NewTrace("bench")
+					ctx = obs.WithTrace(context.Background(), tr)
+					b.StartTimer()
+				}
+			}
+		}},
+		bench{"BenchmarkHistogramObserve", func(b *testing.B) {
+			h := obs.NewHistogram(obs.LatencyBuckets())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Observe(0.0042)
+			}
+		}},
+	)
 
 	if *only != "" {
 		re, err := regexp.Compile(*only)

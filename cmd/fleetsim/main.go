@@ -146,6 +146,21 @@ func summarize(rep *fleet.Report) {
 		rep.Totals.Ops, rep.Totals.OpsPerSec, rep.Cache.HitRatio*100, rep.Repair.IncrementalRatio*100)
 	fmt.Fprintf(os.Stderr, "  recovery: %d cycles, %d recovered, %d lost revisions, %d phantoms\n",
 		rep.Recovery.Cycles, rep.Recovery.Recovered, rep.Recovery.RevLosses, rep.Recovery.Phantoms)
+	if sv := rep.Server; sv != nil {
+		for _, row := range []struct {
+			name string
+			d    *fleet.ServerDist
+		}{{"orient", sv.Orient}, {"churn", sv.Churn}, {"repair", sv.Repair}, {"wal-sync", sv.WALSync}} {
+			if row.d == nil {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "  server  %-8s %8d obs  p50 %8.3fms  p99 %8.3fms\n",
+				row.name, row.d.Count, row.d.P50ms, row.d.P99ms)
+		}
+		for _, msg := range sv.Disagreements {
+			fmt.Fprintln(os.Stderr, "  DISAGREEMENT:", msg)
+		}
+	}
 }
 
 func fatal(err error) {

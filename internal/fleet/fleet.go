@@ -223,6 +223,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	rep := r.report(recs, elapsed)
+	r.attachServerStats(ctx, rep)
 	rep.Runtime = sampler.Stop()
 	return rep, nil
 }

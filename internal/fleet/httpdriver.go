@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // httpDriver soaks a live antennad over its wire surface. Two shapes:
@@ -265,6 +266,46 @@ func (d *httpDriver) Delete(ctx context.Context, id string) error {
 		return statusErr(resp.StatusCode, false)
 	}
 	return nil
+}
+
+// histogramFamilies maps the driver's snapshot keys to the exposition
+// family names antennad serves on /metrics.
+var histogramFamilies = map[string]string{
+	"solve":    "antennad_solve_seconds",
+	"hit":      "antennad_hit_seconds",
+	"churn":    "antennad_instance_churn_seconds",
+	"repair":   "antennad_instance_repair_seconds",
+	"wal_sync": "antennad_instance_wal_sync_seconds",
+}
+
+// ServerMetrics scrapes the backend's /metrics and reconstructs its
+// latency histograms — the fleet/v2 server-side view over the wire.
+func (d *httpDriver) ServerMetrics(ctx context.Context) (map[string]obs.HistogramSnapshot, error) {
+	resp, err := d.do(ctx, http.MethodGet, "/metrics", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusErr(resp.StatusCode, false)
+	}
+	fams, _, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: parse /metrics: %w", err)
+	}
+	out := make(map[string]obs.HistogramSnapshot, len(histogramFamilies))
+	for key, fam := range histogramFamilies {
+		f, ok := fams[fam]
+		if !ok {
+			continue
+		}
+		snap, err := obs.SnapshotFromFamily(f)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %s: %w", fam, err)
+		}
+		out[key] = snap
+	}
+	return out, nil
 }
 
 // Kill SIGKILLs the owned antennad — a real crash, no drain.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/pointset"
 	"repro/internal/service"
 	"repro/internal/solution"
@@ -136,6 +137,22 @@ func (d *inprocDriver) Recover(ctx context.Context) (int, error) {
 	d.mgr = m
 	d.mu.Unlock()
 	return n, nil
+}
+
+// ServerMetrics reads the backend's latency histograms directly — the
+// fleet/v2 server-side view. The manager's histograms live on the
+// manager a kill/recover cycle replaces, so in killed runs the churn
+// figures cover the final phase only; the engine's survive the run.
+func (d *inprocDriver) ServerMetrics(ctx context.Context) (map[string]obs.HistogramSnapshot, error) {
+	em := d.eng.Metrics()
+	im := d.manager().Metrics()
+	return map[string]obs.HistogramSnapshot{
+		"solve":    em.SolveSeconds.Snapshot(),
+		"hit":      em.HitSeconds.Snapshot(),
+		"churn":    im.ChurnSeconds.Snapshot(),
+		"repair":   im.RepairSeconds.Snapshot(),
+		"wal_sync": im.WALSyncSeconds.Snapshot(),
+	}, nil
 }
 
 func (d *inprocDriver) Close() error {

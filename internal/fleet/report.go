@@ -9,8 +9,12 @@ import (
 
 // Schema identifies the BENCH_fleet.json row format. Bump it when a
 // field changes meaning; cmd/benchjson -check-fleet rejects rows whose
-// schema it does not know.
-const Schema = "fleet/v1"
+// schema it does not know. fleet/v2 adds the optional server-side
+// histogram summaries (Report.Server); v1 rows remain valid.
+const (
+	Schema   = "fleet/v2"
+	SchemaV1 = "fleet/v1"
+)
 
 // Report is one soak run's machine-readable result — the row appended
 // to BENCH_fleet.json. Latencies are milliseconds; rates are fractions
@@ -38,6 +42,12 @@ type Report struct {
 	// pauses); optional so rows written by earlier revisions still
 	// validate.
 	Runtime *RuntimeStats `json:"runtime,omitempty"`
+
+	// Server holds the backend's own latency histograms scraped after
+	// the run (fleet/v2), next to the client-observed latencies above;
+	// nil when the driver cannot read them (e.g. http mode against a
+	// server without /metrics access). v1 rows predate the field.
+	Server *ServerStats `json:"server,omitempty"`
 
 	// UnexpectedSamples holds up to 8 of the run's unexpected failures,
 	// verbatim, so a red soak is debuggable from its report alone.

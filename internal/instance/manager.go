@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/solution"
 )
 
@@ -138,7 +139,9 @@ func (m *Manager) Create(ctx context.Context, id string, pts []geom.Point, b Bud
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
 	start := time.Now()
-	sol, err := m.cfg.Solve(ctx, pts, b)
+	sctx, endSolve := obs.StartSpan(ctx, "solve")
+	sol, err := m.cfg.Solve(sctx, pts, b)
+	endSolve()
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +250,9 @@ func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op
 	rev := revision{rev: curRev + 1, ops: append([]Op(nil), ops...)}
 	var rs *repairState
 	if m.cfg.RepairThreshold > 0 {
-		rs = m.tryRepair(ctx, in, newPts, old2new, fresh)
+		rctx, endRepair := obs.StartSpan(ctx, "repair")
+		rs = m.tryRepair(rctx, in, newPts, old2new, fresh)
+		endRepair()
 	}
 	// On the repair path tryRepair already advanced in.kit to the new
 	// revision; on the full-solve path the kit is rebuilt from the fresh
@@ -258,7 +263,9 @@ func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op
 		m.metrics.Repairs.Add(1)
 		m.metrics.repairClassCounter(rs.class).Add(1)
 	} else {
-		sol, err := m.cfg.Solve(ctx, newPts, in.budget)
+		sctx, endSolve := obs.StartSpan(ctx, "solve")
+		sol, err := m.cfg.Solve(sctx, newPts, in.budget)
+		endSolve()
 		if err != nil {
 			return nil, err // revision not bumped; the batch did not happen
 		}
@@ -275,17 +282,20 @@ func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op
 	// and a repaired kit, already advanced past the unacknowledged
 	// revision, is dropped so the next batch rebuilds it consistently.
 	if in.wal != nil {
+		_, endWAL := obs.StartSpan(ctx, "wal")
 		err := m.wal.append(in.wal, walRecord{
 			rev: rev.rev, ops: rev.ops,
 			digest: rev.sol.PointsDigest, verified: rev.sol.Verified,
 		})
 		if err != nil {
+			endWAL()
 			if rs != nil {
 				in.kit = nil
 			}
 			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
 		m.wal.maybeCompact(in.wal, in.id, rev.rev, in.budget, newPts, rev.sol)
+		endWAL()
 	}
 	if rs == nil {
 		in.kit = newKit
@@ -306,8 +316,11 @@ func (m *Manager) Apply(ctx context.Context, id string, ifMatch uint64, ops []Op
 	snap := in.snapshotLocked()
 	in.mu.Unlock()
 
-	m.metrics.DirtyFrac.observe(rev.dirty)
-	m.metrics.ChurnSeconds.observe(rev.elapsed.Seconds())
+	m.metrics.DirtyFrac.Observe(rev.dirty)
+	m.metrics.ChurnSeconds.ObserveDuration(rev.elapsed)
+	if rs != nil {
+		m.metrics.RepairSeconds.ObserveDuration(rev.elapsed)
+	}
 	return snap, nil
 }
 

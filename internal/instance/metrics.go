@@ -3,8 +3,9 @@ package instance
 import (
 	"fmt"
 	"io"
-	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Metrics are the manager's cumulative counters and distributions. The
@@ -40,30 +41,21 @@ type Metrics struct {
 	WALTornTails        atomic.Uint64
 	WALRecoveryFailures atomic.Uint64
 	// DirtyFrac distributes the per-revision dirty fraction (re-aimed
-	// sensors / n); ChurnSeconds the server-side revision latency.
-	DirtyFrac    histogram
-	ChurnSeconds histogram
+	// sensors / n); ChurnSeconds the server-side revision latency (the
+	// PATCH path); RepairSeconds the latency of revisions served by
+	// incremental repair only; WALSyncSeconds the fsync durations paid
+	// by acknowledged mutations. The latency histograms share the obs
+	// log-spaced bucket layout so fleet reports can merge and compare
+	// them against client-observed latencies.
+	DirtyFrac      *obs.Histogram
+	ChurnSeconds   *obs.Histogram
+	RepairSeconds  *obs.Histogram
+	WALSyncSeconds *obs.Histogram
 }
 
-// histogram is a fixed-bucket Prometheus-style histogram: per-bucket
-// counts, a sum, and a total. Bounds are fixed at construction
-// (initMetrics); observations above the last bound land in the +Inf
-// bucket.
-type histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []uint64
-	sum    float64
-	n      uint64
-}
-
-// Default bucket bounds: dirty fractions span "a few sensors" to "whole
-// instance"; churn latencies span a sub-millisecond repair to a slow
-// full solve.
-var (
-	dirtyBounds = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1}
-	churnBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5}
-)
+// dirtyBounds bucket dirty fractions from "a few sensors" to "whole
+// instance".
+var dirtyBounds = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 1}
 
 // repairClassCounter maps a repair class to its per-class counter;
 // unknown classes land in the EMST counter (cannot happen — tryRepair
@@ -79,53 +71,12 @@ func (m *Metrics) repairClassCounter(class string) *atomic.Uint64 {
 	}
 }
 
-// initMetrics sizes the histograms; called once by NewManager.
+// initMetrics installs the histogram buckets; called once by NewManager.
 func (m *Metrics) initMetrics() {
-	m.DirtyFrac.bounds = dirtyBounds
-	m.DirtyFrac.counts = make([]uint64, len(dirtyBounds)+1)
-	m.ChurnSeconds.bounds = churnBounds
-	m.ChurnSeconds.counts = make([]uint64, len(churnBounds)+1)
-}
-
-// observe records one sample.
-func (h *histogram) observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i]++
-	h.sum += v
-	h.n++
-}
-
-// Count returns the number of observations.
-func (h *histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
-}
-
-// writeHistogram renders one histogram in Prometheus text format.
-func writeHistogram(w io.Writer, name, help string, h *histogram) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
-		return err
-	}
-	cum := uint64(0)
-	for i, b := range h.bounds {
-		cum += h.counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum); err != nil {
-			return err
-		}
-	}
-	cum += h.counts[len(h.bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n", name, cum, name, h.sum, name, h.n); err != nil {
-		return err
-	}
-	return nil
+	m.DirtyFrac = obs.NewHistogram(dirtyBounds)
+	m.ChurnSeconds = obs.NewHistogram(obs.LatencyBuckets())
+	m.RepairSeconds = obs.NewHistogram(obs.LatencyBuckets())
+	m.WALSyncSeconds = obs.NewHistogram(obs.LatencyBuckets())
 }
 
 // WriteMetrics renders the instance tier's rows in Prometheus text
@@ -177,20 +128,45 @@ func (m *Manager) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
-	if err := writeHistogram(w, "antennad_instance_dirty_fraction", "fraction of sensors re-aimed per revision", &mm.DirtyFrac); err != nil {
+	if err := mm.DirtyFrac.Write(w, "antennad_instance_dirty_fraction", "fraction of sensors re-aimed per revision"); err != nil {
 		return err
 	}
-	if err := writeHistogram(w, "antennad_instance_churn_seconds", "server-side latency of producing a revision", &mm.ChurnSeconds); err != nil {
+	if err := mm.ChurnSeconds.Write(w, "antennad_instance_churn_seconds", "server-side latency of producing a revision"); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "# HELP antennad_instances live instances\n# TYPE antennad_instances gauge\nantennad_instances %d\n", len(m.List())); err != nil {
+	if err := mm.RepairSeconds.Write(w, "antennad_instance_repair_seconds", "server-side latency of revisions served by incremental repair"); err != nil {
 		return err
 	}
-	for _, s := range m.List() {
-		if _, err := fmt.Fprintf(w,
-			"antennad_instance_revision{instance=%q} %d\nantennad_instance_sensors{instance=%q} %d\nantennad_instance_repaired_total{instance=%q} %d\nantennad_instance_resolved_total{instance=%q} %d\n",
-			s.ID, s.Rev, s.ID, s.N, s.ID, s.Repairs, s.ID, s.Fulls); err != nil {
+	if err := mm.WALSyncSeconds.Write(w, "antennad_instance_wal_sync_seconds", "WAL fsync durations"); err != nil {
+		return err
+	}
+	instances := m.List()
+	if _, err := fmt.Fprintf(w, "# HELP antennad_instances live instances\n# TYPE antennad_instances gauge\nantennad_instances %d\n", len(instances)); err != nil {
+		return err
+	}
+	// Per-instance labeled families: one HELP/TYPE block per family,
+	// samples grouped under it (interleaving families per instance is
+	// invalid exposition).
+	perInstance := []struct {
+		name, help, kind string
+		value            func(s Summary) uint64
+	}{
+		{"antennad_instance_revision", "current revision per live instance", "gauge", func(s Summary) uint64 { return s.Rev }},
+		{"antennad_instance_sensors", "sensor count per live instance", "gauge", func(s Summary) uint64 { return uint64(s.N) }},
+		{"antennad_instance_repaired_total", "revisions served by incremental repair per live instance", "counter", func(s Summary) uint64 { return s.Repairs }},
+		{"antennad_instance_resolved_total", "revisions served by a full solve per live instance", "counter", func(s Summary) uint64 { return s.Fulls }},
+	}
+	for _, f := range perInstance {
+		if len(instances) == 0 {
+			continue // a family with no samples is a lint violation
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
 			return err
+		}
+		for _, s := range instances {
+			if _, err := fmt.Fprintf(w, "%s{instance=%q} %d\n", f.name, s.ID, f.value(s)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

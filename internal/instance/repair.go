@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mst"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/route"
 	"repro/internal/solution"
@@ -173,7 +174,9 @@ func (m *Manager) tryRepair(ctx context.Context, in *inst, newPts []geom.Point, 
 	}
 	prev := in.currentSol()
 	grid := spatial.NewGrid(newPts, 0)
+	_, endSplice := obs.StartSpan(ctx, "splice")
 	newTree, touched, ok := mst.SpliceEMSTIndexed(kit.tree, newPts, grid, old2new, fresh)
+	endSplice()
 	if !ok {
 		m.metrics.RepairFallbacks.Add(1)
 		return nil
@@ -237,8 +240,10 @@ func (m *Manager) tryRepair(ctx context.Context, in *inst, newPts []geom.Point, 
 	// the revision: any bail below must invalidate it, or the next batch
 	// would repair against state one revision ahead of the instance.
 	m.metrics.VerifyIncremental.Add(1)
+	_, endVerify := obs.StartSpan(ctx, "verify_inc")
 	rep := kit.iv.Apply(asg, grid, old2new, reaim, newTree.LMax())
 	if !rep.OK() {
+		endVerify()
 		in.kit = nil
 		m.metrics.RepairVerifyFailures.Add(1)
 		m.metrics.VerifyIncrementalRejects.Add(1)
@@ -250,12 +255,14 @@ func (m *Manager) tryRepair(ctx context.Context, in *inst, newPts []geom.Point, 
 		full := verify.Check(asg, kit.budgets) // KnownLMax unset: recompute l_max independently
 		if !full.OK() || full.Edges != rep.Edges || full.Strong != rep.Strong ||
 			full.Symmetric != rep.Symmetric || full.SCCCount != rep.SCCCount {
+			endVerify()
 			in.kit = nil
 			m.metrics.VerifyAuditDivergence.Add(1)
 			return nil
 		}
 		kit.sinceAudit = 0
 	}
+	endVerify()
 
 	kit.tree, kit.asg = newTree, asg
 	if newTour != nil {

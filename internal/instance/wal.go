@@ -173,9 +173,11 @@ func (wm *walManager) syncAll() {
 	for _, iw := range handles {
 		iw.mu.Lock()
 		if iw.dirty && !iw.broken && iw.f != nil {
+			t0 := time.Now()
 			if err := iw.f.Sync(); err == nil {
 				iw.dirty = false
 				wm.metrics.WALSyncs.Add(1)
+				wm.metrics.WALSyncSeconds.ObserveDuration(time.Since(t0))
 			}
 		}
 		iw.mu.Unlock()
@@ -284,6 +286,7 @@ func (wm *walManager) append(iw *instWAL, rec walRecord) error {
 	iw.size += int64(len(data))
 	switch wm.cfg.Policy {
 	case SyncAlways:
+		t0 := time.Now()
 		if err := iw.f.Sync(); err != nil {
 			if terr := iw.f.Truncate(prev); terr != nil {
 				iw.broken = true
@@ -294,6 +297,7 @@ func (wm *walManager) append(iw *instWAL, rec walRecord) error {
 			return err
 		}
 		wm.metrics.WALSyncs.Add(1)
+		wm.metrics.WALSyncSeconds.ObserveDuration(time.Since(t0))
 	case SyncInterval:
 		iw.dirty = true
 	}

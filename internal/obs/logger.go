@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// logger wraps *slog.Logger so the context key stores a distinct type.
+type logger struct{ l *slog.Logger }
+
+// WithLogger attaches a request-scoped structured logger to ctx.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey, logger{l})
+}
+
+// Logger returns the request-scoped logger attached to ctx, falling back
+// to slog.Default when none is attached.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(logger); ok {
+		return l.l
+	}
+	return slog.Default()
+}

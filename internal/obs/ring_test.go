@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finishedTrace builds a trace with a controlled wall time.
+func finishedTrace(id string, wall time.Duration) *Trace {
+	t := NewTrace(id)
+	t.mu.Lock()
+	t.wall = wall
+	t.done = true
+	t.mu.Unlock()
+	return t
+}
+
+func TestRingRecentBounded(t *testing.T) {
+	r := NewRing(3, 1)
+	for i := 0; i < 5; i++ {
+		r.Record(finishedTrace(fmt.Sprintf("t%d", i), time.Millisecond))
+	}
+	snap := r.Snapshot()
+	if len(snap.Recent) != 3 {
+		t.Fatalf("recent holds %d traces, want cap 3", len(snap.Recent))
+	}
+	// Most recent first.
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if snap.Recent[i].TraceID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, snap.Recent[i].TraceID, want)
+		}
+	}
+}
+
+func TestRingSlowKeepsSlowest(t *testing.T) {
+	r := NewRing(8, 2)
+	r.Record(finishedTrace("fast", 1*time.Millisecond))
+	r.Record(finishedTrace("slow", 100*time.Millisecond))
+	r.Record(finishedTrace("mid", 10*time.Millisecond))
+	r.Record(finishedTrace("fastest", 100*time.Microsecond))
+	snap := r.Snapshot()
+	if len(snap.Slow) != 2 {
+		t.Fatalf("slow holds %d traces, want cap 2", len(snap.Slow))
+	}
+	if snap.Slow[0].TraceID != "slow" || snap.Slow[1].TraceID != "mid" {
+		t.Fatalf("slow = [%s %s], want [slow mid]", snap.Slow[0].TraceID, snap.Slow[1].TraceID)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(finishedTrace(fmt.Sprintf("w%d-%d", w, i), time.Duration(i)*time.Microsecond))
+				if i%10 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap.Recent) != 16 || len(snap.Slow) != 4 {
+		t.Fatalf("ring sizes %d/%d, want 16/4", len(snap.Recent), len(snap.Slow))
+	}
+}
+
+func TestRingServeHTTP(t *testing.T) {
+	r := NewRing(4, 2)
+	tr := finishedTrace("abc", 5*time.Millisecond)
+	ctx := WithTrace(t.Context(), tr)
+	// One closed and one leaked span: the view must clamp, not go negative.
+	_, end := StartSpan(ctx, "plan")
+	end()
+	StartSpan(ctx, "leaked")
+	tr.SetAttr("route", "/orient")
+	r.Record(tr)
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap RingSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON from /debug/traces: %v", err)
+	}
+	if len(snap.Recent) != 1 || snap.Recent[0].TraceID != "abc" {
+		t.Fatalf("payload recent = %+v", snap.Recent)
+	}
+	v := snap.Recent[0]
+	if len(v.Spans) != 2 || len(v.Attrs) != 1 {
+		t.Fatalf("view has %d spans / %d attrs, want 2/1", len(v.Spans), len(v.Attrs))
+	}
+	for _, s := range v.Spans {
+		if s.DurMS < 0 {
+			t.Fatalf("span %s has negative duration %g", s.Name, s.DurMS)
+		}
+	}
+}
+
+func TestRingCapClamp(t *testing.T) {
+	r := NewRing(0, -3)
+	r.Record(finishedTrace("a", time.Millisecond))
+	r.Record(finishedTrace("b", 2*time.Millisecond))
+	snap := r.Snapshot()
+	if len(snap.Recent) != 1 || len(snap.Slow) != 1 {
+		t.Fatalf("clamped ring sizes %d/%d, want 1/1", len(snap.Recent), len(snap.Slow))
+	}
+}

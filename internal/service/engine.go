@@ -29,6 +29,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/instance"
 	"repro/internal/mst"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/solution"
 	"repro/internal/verify"
@@ -210,7 +211,7 @@ func NewEngine(opts Options) *Engine {
 	if opts.CacheMaxBytes <= 0 {
 		opts.CacheMaxBytes = solution.DefaultCacheBytes
 	}
-	return &Engine{
+	e := &Engine{
 		cache:   solution.NewCacheSized(opts.CacheSize, opts.CacheMaxBytes),
 		store:   opts.Store,
 		opts:    opts,
@@ -219,6 +220,8 @@ func NewEngine(opts Options) *Engine {
 		negLL:   list.New(),
 		kick:    make(chan struct{}, 1),
 	}
+	e.metrics.init()
+	return e
 }
 
 // negLookup answers a remembered infeasible request, if any.
@@ -289,6 +292,7 @@ func (e *Engine) Plan(obj plan.Objective, k int, phi float64) (plan.Decision, er
 // instead of orienting.
 func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, CacheSource, error) {
 	e.metrics.Requests.Add(1)
+	start := time.Now()
 	if err := validate(req); err != nil {
 		return nil, SourceMiss, err
 	}
@@ -301,12 +305,20 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, Ca
 		Phi:    req.Phi,
 		Mode:   req.mode(),
 	}
-	if sol, ok := e.cache.Get(key); ok {
+	_, endCache := obs.StartSpan(ctx, "cache")
+	sol, ok := e.cache.Get(key)
+	endCache()
+	if ok {
+		e.metrics.HitSeconds.ObserveDuration(time.Since(start))
 		return sol, SourceMemory, nil
 	}
 	if e.store != nil {
-		if sol, ok := e.store.Get(key); ok {
+		_, endStore := obs.StartSpan(ctx, "store")
+		sol, ok := e.store.Get(key)
+		endStore()
+		if ok {
 			e.cache.Put(key, sol) // promote to L1
+			e.metrics.HitSeconds.ObserveDuration(time.Since(start))
 			return sol, SourceDisk, nil
 		}
 	}
@@ -332,6 +344,9 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, Ca
 		f.refs++
 		e.flightMu.Unlock()
 		e.metrics.Coalesced.Add(1)
+		obs.Annotate(ctx, "coalesced", "true")
+		_, endWait := obs.StartSpan(ctx, "coalesced")
+		defer endWait()
 		return e.await(ctx, f)
 	}
 	// Close the leader-handoff window: a previous leader may have filled
@@ -342,7 +357,10 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*solution.Solution, Ca
 		e.flightMu.Unlock()
 		return sol, SourceMemory, nil
 	}
-	fctx, cancel := context.WithCancel(context.Background())
+	// The flight context is detached from every caller's deadline but
+	// keeps the leading caller's trace, so the solve's phase spans land
+	// on the request that actually paid for them.
+	fctx, cancel := context.WithCancel(obs.Detach(ctx))
 	f := &flight{key: key, done: make(chan struct{}), ctx: fctx, cancel: cancel, refs: 1}
 	e.flights[key] = f
 	e.flightMu.Unlock()
@@ -408,7 +426,10 @@ func (e *Engine) leave(f *flight) {
 // if the result was already in hand, in the background otherwise), so a
 // retry hits the cache instead of re-paying the solve.
 func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (*solution.Solution, error) {
+	t0 := time.Now()
+	_, endPlan := obs.StartSpan(ctx, "plan")
 	algo, decision, err := e.selectAlgo(ctx, req)
+	endPlan()
 	if err != nil {
 		return nil, err
 	}
@@ -427,17 +448,21 @@ func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (
 	// recompute from scratch. Kick that tree build off now so it overlaps
 	// the orientation instead of serializing after it; finish folds the
 	// value into the budgets as KnownLMax.
-	lmaxc := prefetchLMax(req.Pts)
+	lmaxc := prefetchLMax(ctx, req.Pts)
 
 	// A race already oriented the winner on this instance; reuse that
 	// run instead of orienting a second time.
 	if decision != nil && decision.WinnerAsg != nil {
-		return e.finish(req, key, decision, guar, decision.WinnerAsg, decision.WinnerRes, lmaxc), nil
+		sol := e.finish(ctx, req, key, decision, guar, decision.WinnerAsg, decision.WinnerRes, lmaxc)
+		e.metrics.SolveSeconds.ObserveDuration(time.Since(t0))
+		return sol, nil
 	}
 
+	_, endOrient := obs.StartSpan(ctx, "orient")
 	resc := e.orientAsync(ctx, core.BatchItem{Pts: req.Pts, K: req.K, Phi: req.Phi, Algo: algo})
 	select {
 	case out := <-resc:
+		endOrient()
 		if out.Err != nil {
 			if ctx.Err() != nil {
 				e.noteCtxErr(ctx.Err())
@@ -451,16 +476,19 @@ func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (
 			// deadline reports the expiry, never a lucky scheduling
 			// race — but the artifact is salvaged for the tiers.
 			e.noteCtxErr(err)
-			e.finish(req, key, decision, guar, out.Asg, out.Res, lmaxc)
+			e.finish(ctx, req, key, decision, guar, out.Asg, out.Res, lmaxc)
 			return nil, err
 		}
-		return e.finish(req, key, decision, guar, out.Asg, out.Res, lmaxc), nil
+		sol := e.finish(ctx, req, key, decision, guar, out.Asg, out.Res, lmaxc)
+		e.metrics.SolveSeconds.ObserveDuration(time.Since(t0))
+		return sol, nil
 	case <-ctx.Done():
+		endOrient()
 		// The caller is unblocked now; salvage the abandoned solve when
 		// it eventually lands so a retry does not re-pay it.
 		go func() {
 			if out := <-resc; out.Err == nil {
-				e.finish(req, key, decision, guar, out.Asg, out.Res, lmaxc)
+				e.finish(ctx, req, key, decision, guar, out.Asg, out.Res, lmaxc)
 			}
 		}()
 		e.noteCtxErr(ctx.Err())
@@ -471,20 +499,26 @@ func (e *Engine) solveMiss(ctx context.Context, req Request, key solution.Key) (
 // prefetchLMax computes the EMST bottleneck of pts on its own goroutine.
 // The channel is buffered so the producer never blocks; every solveMiss
 // path receives at most once (in finish). Returns nil for point sets
-// with no spanning edge.
-func prefetchLMax(pts []geom.Point) <-chan float64 {
+// with no spanning edge. The span is async: the tree build deliberately
+// overlaps the orientation, so it must not count toward the sequential
+// phase sum.
+func prefetchLMax(ctx context.Context, pts []geom.Point) <-chan float64 {
 	if len(pts) <= 1 {
 		return nil
 	}
 	c := make(chan float64, 1)
-	go func() { c <- mst.Euclidean(pts).LMax() }()
+	go func() {
+		end := obs.AsyncSpan(ctx, "emst")
+		c <- mst.Euclidean(pts).LMax()
+		end()
+	}()
 	return c
 }
 
 // finish runs the post-orientation tail — independent verification,
 // artifact assembly, and the fill of both cache tiers — and returns the
 // immutable artifact.
-func (e *Engine) finish(req Request, key solution.Key, decision *plan.Decision, guar core.Guarantee,
+func (e *Engine) finish(ctx context.Context, req Request, key solution.Key, decision *plan.Decision, guar core.Guarantee,
 	asg *antenna.Assignment, res *core.Result, lmaxc <-chan float64) *solution.Solution {
 	// Budgets come from the a-priori guarantee, never from the
 	// construction's self-report.
@@ -498,16 +532,21 @@ func (e *Engine) finish(req Request, key solution.Key, decision *plan.Decision, 
 			budgets.KnownLMax = lm
 		}
 	}
+	_, endVerify := obs.StartSpan(ctx, "verify")
 	rep := verify.Check(asg, budgets)
+	endVerify()
 	if !rep.OK() {
 		e.metrics.VerifyFailures.Add(1)
 	}
 	sol := buildSolution(key, req, decision, guar, asg, res, rep)
 	e.metrics.Solves.Add(1)
+	e.metrics.SolvePoints.Observe(float64(len(req.Pts)))
+	_, endFill := obs.StartSpan(ctx, "fill")
 	e.cache.Put(key, sol)
 	if e.store != nil {
 		_ = e.store.Put(key, sol) // best-effort; failures show in store stats
 	}
+	endFill()
 	return sol
 }
 

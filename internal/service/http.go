@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/pointset"
 )
@@ -118,13 +121,25 @@ type Server struct {
 	// AbortInflight cancels it when the drain deadline expires.
 	abortCtx    context.Context
 	abortCancel context.CancelFunc
+	// ring holds the recent and slowest request traces for /debug/traces.
+	ring *obs.Ring
+	// logger receives request-lifecycle records; every request gets a
+	// child logger carrying its trace ID (obs.Logger(ctx) inside
+	// handlers). Discards unless SetLogger is called.
+	logger *slog.Logger
 }
 
 // NewServer returns a server over the engine, honoring the engine's
 // MaxInflight and Deadline options on /orient, with a live-instance
 // manager solving through the same engine.
 func NewServer(eng *Engine) *Server {
-	s := &Server{eng: eng, instances: NewInstanceManager(eng), start: time.Now()}
+	s := &Server{
+		eng:       eng,
+		instances: NewInstanceManager(eng),
+		start:     time.Now(),
+		ring:      obs.NewRing(128, 32),
+		logger:    slog.New(slog.DiscardHandler),
+	}
 	if n := eng.opts.MaxInflight; n > 0 {
 		s.inflight = make(chan struct{}, n)
 	}
@@ -134,6 +149,17 @@ func NewServer(eng *Engine) *Server {
 
 // Instances exposes the server's live-instance manager (tests, CLIs).
 func (s *Server) Instances() *instance.Manager { return s.instances }
+
+// SetLogger installs the structured logger request records are written
+// to (cmd/antennad passes its process logger; tests may capture one).
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.logger = l
+	}
+}
+
+// Traces exposes the bounded trace ring (tests, the debug mux).
+func (s *Server) Traces() *obs.Ring { return s.ring }
 
 // BeginDrain stops accepting new work: every request except /healthz
 // and /metrics answers 503 + Retry-After while in-flight requests run
@@ -163,36 +189,111 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /instances/{id}", s.handleInstanceGet)
 	mux.HandleFunc("PATCH /instances/{id}", s.handleInstancePatch)
 	mux.HandleFunc("DELETE /instances/{id}", s.handleInstanceDelete)
+	mux.HandleFunc("GET /debug/traces", s.ring.ServeHTTP)
 	return s.middleware(mux)
 }
 
-// middleware hardens every route: a panicking handler answers 500 and
-// increments antennad_panics_total instead of killing the process (the
-// net/http default only saves the connection, not the observability);
-// a draining server refuses new work with 503 while /healthz and
-// /metrics stay reachable for the balancer and the scraper; and the
-// drain-abort context is merged into the request's so AbortInflight
-// reaches every in-flight solve.
+// DebugHandler returns the profiling mux served on -debug-addr, kept
+// off the serving mux deliberately: pprof and runtime snapshots expose
+// process internals, so they bind to an operator-chosen (typically
+// loopback) address instead of the traffic port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", obs.HandleRuntime)
+	mux.HandleFunc("/debug/traces", s.ring.ServeHTTP)
+	return mux
+}
+
+// timingWriter injects the trace's Server-Timing header at the last
+// possible moment — just before the first byte of status/body leaves —
+// so the phase breakdown covers (almost) the whole wall time of the
+// request.
+type timingWriter struct {
+	http.ResponseWriter
+	tr     *obs.Trace
+	status int
+	wrote  bool
+}
+
+func (t *timingWriter) WriteHeader(code int) {
+	t.seal(code)
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *timingWriter) Write(b []byte) (int, error) {
+	if !t.wrote {
+		t.WriteHeader(http.StatusOK)
+	}
+	return t.ResponseWriter.Write(b)
+}
+
+// seal freezes the trace and sets the Server-Timing header once.
+func (t *timingWriter) seal(code int) {
+	if t.wrote {
+		return
+	}
+	t.wrote = true
+	t.status = code
+	t.Header().Set("Server-Timing", t.tr.Finish())
+}
+
+// middleware hardens and instruments every route. Hardening: a
+// panicking handler answers 500 and increments antennad_panics_total
+// instead of killing the process (the net/http default only saves the
+// connection, not the observability); a draining server refuses new
+// work with 503 while /healthz and /metrics stay reachable for the
+// balancer and the scraper; and the drain-abort context is merged into
+// the request's so AbortInflight reaches every in-flight solve.
+// Instrumentation: every request gets a trace (honoring an inbound
+// X-Trace-Id, echoed on the response), a request-scoped structured
+// logger, a Server-Timing phase breakdown injected at first write, and
+// a slot in the /debug/traces ring.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.SanitizeTraceID(r.Header.Get("X-Trace-Id"))
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		tr := obs.NewTrace(id)
+		tr.SetAttr("route", r.Method+" "+r.URL.Path)
+		w.Header().Set("X-Trace-Id", id)
+		tw := &timingWriter{ResponseWriter: w, tr: tr}
+		reqLog := s.logger.With("trace_id", id)
 		defer func() {
 			if v := recover(); v != nil {
 				s.eng.metrics.Panics.Add(1)
+				reqLog.Error("handler panic", "method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(v))
 				// Best effort: if the handler already wrote headers this
 				// is a no-op on the status line.
-				httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+				httpError(tw, http.StatusInternalServerError, "internal error: %v", v)
 			}
+			tw.seal(http.StatusOK) // no-op when the handler already wrote
+			s.ring.Record(tr)
+			lvl := slog.LevelDebug
+			if tw.status >= 500 {
+				lvl = slog.LevelWarn
+			}
+			reqLog.Log(r.Context(), lvl, "request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", tw.status, "wall_ms", float64(tr.Wall())/1e6)
 		}()
 		if s.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			tw.Header().Set("Retry-After", "1")
+			httpError(tw, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
 		ctx, cancel := context.WithCancel(r.Context())
 		defer cancel()
 		stop := context.AfterFunc(s.abortCtx, cancel)
 		defer stop()
-		next.ServeHTTP(w, r.WithContext(ctx))
+		ctx = obs.WithTrace(ctx, tr)
+		ctx = obs.WithLogger(ctx, reqLog)
+		next.ServeHTTP(tw, r.WithContext(ctx))
 	})
 }
 
@@ -288,6 +389,7 @@ func (s *Server) handleOrient(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Cache", src.String())
+	obs.Annotate(r.Context(), "cache", src.String())
 	switch body.Format {
 	case "", "json":
 		data, err := sol.EncodeJSON()

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/solution"
 )
 
@@ -228,6 +229,10 @@ func (s *Server) handleInstancePatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		instanceError(w, err)
 		return
+	}
+	obs.Annotate(ctx, "repair", snap.Repair)
+	if snap.Class != "" {
+		obs.Annotate(ctx, "repair_class", snap.Class)
 	}
 	markRevision(w, snap.Rev, snap.Repair, snap.Class)
 	w.Header().Set("Content-Type", "application/json")

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// Metrics are the engine's cumulative counters. All fields are atomics;
-// a zero Metrics is ready to use. Cache hit/miss counts live in the
-// cache tiers themselves (solution.Cache.Stats, solution.Store.Stats) —
-// the single sources of truth WriteMetrics renders.
+// Metrics are the engine's cumulative counters and latency histograms.
+// Counter fields are atomics; the histogram pointers are installed by
+// init (NewEngine calls it). Cache hit/miss counts live in the cache
+// tiers themselves (solution.Cache.Stats, solution.Store.Stats) — the
+// single sources of truth WriteMetrics renders.
 type Metrics struct {
 	Requests         atomic.Uint64
 	Solves           atomic.Uint64
@@ -26,6 +29,22 @@ type Metrics struct {
 	// Panics counts handler panics caught by the recovery middleware
 	// (each answered 500; the process stays up).
 	Panics atomic.Uint64
+
+	// SolveSeconds distributes end-to-end miss latency (plan through
+	// cache fill); HitSeconds the latency of requests served by either
+	// cache tier; SolvePoints the instance sizes actually solved. All
+	// share the obs bucket layouts so fleet reports can merge them.
+	SolveSeconds *obs.Histogram
+	HitSeconds   *obs.Histogram
+	SolvePoints  *obs.Histogram
+}
+
+// init installs the histogram buckets (log-spaced 10µs..10s latencies,
+// 1-2-5 sizes).
+func (m *Metrics) init() {
+	m.SolveSeconds = obs.NewHistogram(obs.LatencyBuckets())
+	m.HitSeconds = obs.NewHistogram(obs.LatencyBuckets())
+	m.SolvePoints = obs.NewHistogram(obs.SizeBuckets())
 }
 
 // Metrics returns the engine's counters.
@@ -83,5 +102,11 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	if err := m.SolveSeconds.Write(w, "antennad_solve_seconds", "end-to-end latency of computed (miss) solves"); err != nil {
+		return err
+	}
+	if err := m.HitSeconds.Write(w, "antennad_hit_seconds", "latency of requests served by a cache tier"); err != nil {
+		return err
+	}
+	return m.SolvePoints.Write(w, "antennad_solve_points", "instance sizes (points) of computed solves")
 }
